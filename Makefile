@@ -1,0 +1,49 @@
+# graftlab build targets. Everything is plain `go` underneath; the
+# Makefile just names the common workflows.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments quick-experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/upcall/ ./internal/netsim/ ./internal/kernel/
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+# Regenerate the paper's evaluation (Tables 1-6, Figure 1, ablations,
+# packet filter). Minutes at paper scale; use quick-experiments for CI.
+experiments:
+	$(GO) run ./cmd/graftbench -figure1-csv figure1.csv
+
+quick-experiments:
+	$(GO) run ./cmd/graftbench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pageevict
+	$(GO) run ./examples/md5stream
+	$(GO) run ./examples/logicaldisk
+	$(GO) run ./examples/packetfilter
+	$(GO) run ./examples/fastpath
+	$(GO) run ./cmd/kernelsim -scenario all
+
+clean:
+	$(GO) clean ./...
+	rm -f figure1.csv test_output.txt bench_output.txt

@@ -1,0 +1,158 @@
+// Command graftbench regenerates the paper's evaluation artifacts —
+// Tables 1-6, Figure 1, and the NIL-check / SFI-read-protection
+// ablations — on this machine.
+//
+// Usage:
+//
+//	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter]
+//	           [-figure1-csv out.csv]
+//
+// Paper-scale runs (the default) take minutes, dominated by the script
+// (Tcl-class) rows; -quick keeps every code path but shrinks sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graftlab/internal/bench"
+	"graftlab/internal/upcall"
+)
+
+func main() {
+	upcall.SignalChildMain() // become the Table 1 child if so directed
+
+	var (
+		experiment = flag.String("experiment", "all",
+			"which artifact to regenerate: all, table1..table6, figure1, ablation, pktfilter")
+		quick = flag.Bool("quick", false, "reduced sizes (CI-scale)")
+		csv   = flag.String("figure1-csv", "", "also write the Figure 1 series to this CSV file")
+		jsonP = flag.String("json", "", "also write machine-readable results to this JSON file")
+	)
+	flag.Parse()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	if exe, err := os.Executable(); err == nil {
+		cfg.Exe = exe
+	}
+
+	if err := run(cfg, strings.ToLower(*experiment), *csv, *jsonP, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) error {
+	want := func(name string) bool { return experiment == "all" || experiment == name }
+	report := &bench.Report{GeneratedNote: "paper-scale"}
+	if quick {
+		report.GeneratedNote = "quick-scale"
+	}
+	known := map[string]bool{
+		"all": true, "table1": true, "table2": true, "table3": true,
+		"table4": true, "table5": true, "table6": true, "figure1": true,
+		"ablation": true, "pktfilter": true,
+	}
+	if !known[experiment] {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+
+	if want("table1") {
+		res, err := bench.RunSignal(cfg)
+		if err != nil {
+			return err
+		}
+		report.Signal = res
+		fmt.Println(res.Table())
+	}
+	var evict *bench.EvictResult
+	if want("table2") || want("figure1") {
+		var err error
+		evict, err = bench.RunEviction(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		report.Evict = evict
+		fmt.Println(evict.Table())
+	}
+	if want("table3") {
+		res, err := bench.RunFault(cfg)
+		if err != nil {
+			return err
+		}
+		report.Fault = res
+		fmt.Println(res.Table())
+	}
+	if want("table4") {
+		res, err := bench.RunDisk(cfg)
+		if err != nil {
+			return err
+		}
+		report.Disk = res
+		fmt.Println(res.Table())
+	}
+	if want("table5") {
+		res, err := bench.RunMD5(cfg)
+		if err != nil {
+			return err
+		}
+		report.MD5 = res
+		fmt.Println(res.Table())
+	}
+	if want("table6") {
+		res, err := bench.RunLD(cfg)
+		if err != nil {
+			return err
+		}
+		report.LD = res
+		fmt.Println(res.Table())
+	}
+	if want("figure1") {
+		fig, err := bench.RunFigure1(cfg, evict)
+		if err != nil {
+			return err
+		}
+		report.Figure1 = fig
+		fmt.Println(fig.Table())
+		if csvPath != "" {
+			if err := os.WriteFile(csvPath, []byte(fig.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("figure 1 series written to %s\n\n", csvPath)
+		}
+	}
+	if want("pktfilter") {
+		res, err := bench.RunPacketFilter(cfg)
+		if err != nil {
+			return err
+		}
+		report.PacketFilter = res
+		fmt.Println(res.Table())
+	}
+	if want("ablation") {
+		res, err := bench.RunAblation(cfg)
+		if err != nil {
+			return err
+		}
+		report.Ablation = res
+		fmt.Println(res.Table())
+	}
+	if jsonPath != "" {
+		data, err := report.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s (%s)\n", jsonPath, bench.DurationsNote)
+	}
+	return nil
+}

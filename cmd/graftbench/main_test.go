@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graftlab/internal/bench"
+)
+
+// microConfig keeps CLI tests fast while exercising every experiment path.
+func microConfig() bench.Config {
+	cfg := bench.Quick()
+	cfg.Runs = 2
+	cfg.EvictIters = 200
+	cfg.MD5Bytes = 8 << 10
+	cfg.MD5ScriptBytes = 1 << 10
+	cfg.LDWrites = 1024
+	cfg.LDScriptWrites = 64
+	cfg.SignalIters = 10
+	cfg.FaultPages = 64
+	cfg.DiskWriteBytes = 128 << 10
+	return cfg
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run(microConfig(), "table99", "", "", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestIndividualExperiments(t *testing.T) {
+	cfg := microConfig()
+	for _, exp := range []string{"table2", "table3", "table4", "table5", "table6", "ablation", "pktfilter"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(cfg, exp, "", "", true); err != nil {
+				t.Fatalf("%s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestFigure1WritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "fig1.csv")
+	js := filepath.Join(dir, "results.json")
+	if err := run(microConfig(), "figure1", csv, js, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := report["figure1"]; !ok {
+		t.Fatalf("report lacks figure1: %v", report)
+	}
+	if report["note"] != "quick-scale" {
+		t.Fatalf("note = %v", report["note"])
+	}
+}

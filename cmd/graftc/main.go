@@ -1,0 +1,124 @@
+// Command graftc is the GEL toolchain driver: compile graft source to a
+// binary bytecode module, disassemble modules, and run the load-time
+// verifier — the checks a kernel would perform before accepting a graft.
+//
+// Usage:
+//
+//	graftc -c graft.gel -o graft.gbc     compile
+//	graftc -d graft.gbc                  disassemble
+//	graftc -verify graft.gbc             verify only
+//	graftc -check graft.gel              parse and typecheck only
+//	graftc -O ...                        constant-fold before compiling
+//	graftc -hipec prog.hasm              assemble+verify a domain program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graftlab/internal/bytecode"
+	"graftlab/internal/compile"
+	"graftlab/internal/gel"
+	"graftlab/internal/hipec"
+)
+
+func main() {
+	var (
+		compileSrc = flag.String("c", "", "compile GEL source file to bytecode")
+		out        = flag.String("o", "", "output path for -c (default: stdout disassembly note)")
+		disasm     = flag.String("d", "", "disassemble a bytecode module")
+		verify     = flag.String("verify", "", "verify a bytecode module")
+		check      = flag.String("check", "", "parse and typecheck GEL source only")
+		optimize   = flag.Bool("O", false, "constant-fold before compiling")
+		hipecSrc   = flag.String("hipec", "", "assemble and verify a HiPEC-class domain program")
+	)
+	flag.Parse()
+
+	if err := run(*compileSrc, *out, *disasm, *verify, *check, *hipecSrc, *optimize); err != nil {
+		fmt.Fprintf(os.Stderr, "graftc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(compileSrc, out, disasm, verify, check, hipecSrc string, optimize bool) error {
+	switch {
+	case hipecSrc != "":
+		src, err := os.ReadFile(hipecSrc)
+		if err != nil {
+			return err
+		}
+		p, err := hipec.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d instructions verify\n", hipecSrc, len(p.Code))
+		fmt.Print(hipec.Disassemble(p))
+		return nil
+	case compileSrc != "":
+		src, err := os.ReadFile(compileSrc)
+		if err != nil {
+			return err
+		}
+		prog, err := gel.ParseAndCheck(string(src))
+		if err != nil {
+			return err
+		}
+		if optimize {
+			gel.Fold(prog)
+		}
+		mod, err := compile.Compile(prog)
+		if err != nil {
+			return err
+		}
+		bin := bytecode.Encode(mod)
+		if out == "" {
+			fmt.Printf("%d functions, %d bytes; pass -o to write the module\n", len(mod.Funcs), len(bin))
+			fmt.Print(bytecode.Disassemble(mod))
+			return nil
+		}
+		if err := os.WriteFile(out, bin, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes, %d functions)\n", out, len(bin), len(mod.Funcs))
+		return nil
+	case disasm != "":
+		mod, err := loadModule(disasm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bytecode.Disassemble(mod))
+		return nil
+	case verify != "":
+		mod, err := loadModule(verify)
+		if err != nil {
+			return err
+		}
+		if err := bytecode.Verify(mod); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d functions verify\n", verify, len(mod.Funcs))
+		return nil
+	case check != "":
+		src, err := os.ReadFile(check)
+		if err != nil {
+			return err
+		}
+		prog, err := gel.ParseAndCheck(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d functions check\n", check, len(prog.Funcs))
+		return nil
+	}
+	flag.Usage()
+	return fmt.Errorf("one of -c, -d, -verify, -check is required")
+}
+
+func loadModule(path string) (*bytecode.Module, error) {
+	bin, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bytecode.Decode(bin)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goodSrc = `
+func helper(a) { return a * 2; }
+func main(n) { return helper(n) + 1; }
+`
+
+func TestCompileDisassembleVerify(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "g.gel")
+	out := filepath.Join(dir, "g.gbc")
+	if err := os.WriteFile(src, []byte(goodSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(src, out, "", "", "", "", false); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("module not written: %v", err)
+	}
+	if err := run("", "", out, "", "", "", false); err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+	if err := run("", "", "", out, "", "", false); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := run("", "", "", "", src, "", false); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCompileToStdout(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "g.gel")
+	if err := os.WriteFile(src, []byte(goodSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(src, "", "", "", "", "", false); err != nil {
+		t.Fatalf("compile without -o: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gel")
+	os.WriteFile(bad, []byte("func broken("), 0o644)
+	if err := run(bad, "", "", "", "", "", false); err == nil {
+		t.Error("bad source compiled")
+	}
+	if err := run("", "", "", "", bad, "", false); err == nil {
+		t.Error("bad source checked")
+	}
+	notMod := filepath.Join(dir, "junk.gbc")
+	os.WriteFile(notMod, []byte("not a module"), 0o644)
+	if err := run("", "", notMod, "", "", "", false); err == nil {
+		t.Error("junk disassembled")
+	}
+	if err := run("", "", "", notMod, "", "", false); err == nil {
+		t.Error("junk verified")
+	}
+	if err := run("/nonexistent.gel", "", "", "", "", "", false); err == nil {
+		t.Error("missing file compiled")
+	}
+	if err := run("", "", "", "", "", "", false); err == nil {
+		t.Error("no mode accepted")
+	}
+}
+
+func TestHipecMode(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "f.hasm")
+	os.WriteFile(good, []byte("movi r0, 7\nret r0\n"), 0o644)
+	if err := run("", "", "", "", "", good, false); err != nil {
+		t.Fatalf("hipec assemble: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.hasm")
+	os.WriteFile(bad, []byte("jmp nowhere\n"), 0o644)
+	if err := run("", "", "", "", "", bad, false); err == nil {
+		t.Error("bad hipec assembled")
+	}
+	if err := run("", "", "", "", "", "/nonexistent.hasm", false); err == nil {
+		t.Error("missing hipec file accepted")
+	}
+}
+
+func TestOptimizeFlag(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "o.gel")
+	os.WriteFile(src, []byte("func main() { return 2 + 3; }"), 0o644)
+	if err := run(src, "", "", "", "", "", true); err != nil {
+		t.Fatalf("optimized compile: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+// Command graftvm runs a GEL graft standalone under any extension
+// technology, for trying grafts outside the kernel simulator.
+//
+// Usage:
+//
+//	graftvm -tech native-unsafe -entry main graft.gel 1 2 3
+//	graftvm -tech bytecode -fuel 1000000 graft.gel
+//	graftvm -list
+//
+// Arguments after the source file are u32 values passed to the entry
+// point. The result and any trap are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+func main() {
+	var (
+		techName = flag.String("tech", string(tech.NativeUnsafe), "technology to load under")
+		entry    = flag.String("entry", "main", "entry point function")
+		memBits  = flag.Uint("membits", 20, "log2 of linear memory size")
+		fuel     = flag.Int64("fuel", 0, "execution budget (0 = unmetered)")
+		list     = flag.Bool("list", false, "list technologies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range tech.All {
+			fmt.Printf("%-16s %s\n", id, tech.PaperName(id))
+		}
+		return
+	}
+	if err := run(*techName, *entry, *memBits, *fuel, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "graftvm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(techName, entry string, memBits uint, fuel int64, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: graftvm [flags] graft.gel [args...]")
+	}
+	srcBytes, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var callArgs []uint32
+	for _, a := range args[1:] {
+		v, err := strconv.ParseUint(a, 0, 32)
+		if err != nil {
+			return fmt.Errorf("argument %q: %w", a, err)
+		}
+		callArgs = append(callArgs, uint32(v))
+	}
+	if memBits < 3 || memBits > 30 {
+		return fmt.Errorf("membits %d out of range [3,30]", memBits)
+	}
+	src := tech.Source{Name: args[0], GEL: string(srcBytes), Tcl: string(srcBytes)}
+	if tech.ID(techName) == tech.Domain {
+		// Under the domain class the file is HiPEC assembler for the
+		// single entry point named by -entry.
+		src = tech.Source{Name: args[0], Hipec: map[string]string{entry: string(srcBytes)}}
+	}
+	m := mem.New(1 << memBits)
+	g, err := tech.Load(tech.ID(techName), src, m, tech.Options{Fuel: fuel})
+	if err != nil {
+		return err
+	}
+	v, err := g.Invoke(entry, callArgs...)
+	if err != nil {
+		return fmt.Errorf("%s(%v): %w", entry, callArgs, err)
+	}
+	fmt.Printf("%s(%v) = %d (0x%x)\n", entry, callArgs, v, v)
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeGraft(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join(t.TempDir(), "g.gel")
+	err := os.WriteFile(src, []byte(`
+func main(a, b) { return a * 10 + b; }
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestRunUnderEachTechnology(t *testing.T) {
+	src := writeGraft(t)
+	for _, techName := range []string{"native-unsafe", "native-safe", "sfi", "bytecode"} {
+		if err := run(techName, "main", 16, 0, []string{src, "4", "2"}); err != nil {
+			t.Errorf("%s: %v", techName, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	src := writeGraft(t)
+	if err := run("native-unsafe", "main", 16, 0, nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run("no-such-tech", "main", 16, 0, []string{src}); err == nil {
+		t.Error("unknown tech accepted")
+	}
+	if err := run("native-unsafe", "nope", 16, 0, []string{src}); err == nil {
+		t.Error("unknown entry accepted")
+	}
+	if err := run("native-unsafe", "main", 16, 0, []string{src, "notanumber"}); err == nil {
+		t.Error("bad argument accepted")
+	}
+	if err := run("native-unsafe", "main", 2, 0, []string{src, "1", "2"}); err == nil {
+		t.Error("absurd membits accepted")
+	}
+	if err := run("native-unsafe", "main", 16, 0, []string{"/nonexistent.gel"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Compiled-class technologies need a hand-written implementation;
+	// loading arbitrary source under them must fail cleanly.
+	if err := run("compiled-unsafe", "main", 16, 0, []string{src, "1", "2"}); err == nil {
+		t.Error("compiled class accepted arbitrary source")
+	}
+}
+
+func TestDomainClassRunsHipecSource(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "sum.hasm")
+	os.WriteFile(src, []byte(`
+	movi r1, 0
+	movi r2, 1
+loop:
+	jlt r0, r2, done
+	add r1, r1, r2
+	addi r2, r2, 1
+	jmp loop
+done:
+	ret r1
+`), 0o644)
+	if err := run("domain", "main", 16, 0, []string{src, "100"}); err != nil {
+		t.Fatalf("domain run: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.hasm")
+	os.WriteFile(bad, []byte("jmp nowhere"), 0o644)
+	if err := run("domain", "main", 16, 0, []string{bad}); err == nil {
+		t.Error("bad hipec accepted")
+	}
+}
+
+func TestFuelFlag(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "spin.gel")
+	os.WriteFile(src, []byte(`func main() { while (1) { } return 0; }`), 0o644)
+	if err := run("bytecode", "main", 16, 10000, []string{src}); err == nil {
+		t.Error("runaway graft not preempted")
+	}
+}

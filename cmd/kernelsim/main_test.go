@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"graftlab/internal/tech"
+)
+
+func TestScenarios(t *testing.T) {
+	if err := run(tech.NativeUnsafe, 64, 1, 2); err != nil {
+		t.Fatalf("pageevict: %v", err)
+	}
+	if err := runSched(tech.Bytecode); err != nil {
+		t.Fatalf("sched: %v", err)
+	}
+	if err := runCache(tech.CompiledUnsafe); err != nil {
+		t.Fatalf("cache: %v", err)
+	}
+	if err := runReadahead(); err != nil {
+		t.Fatalf("readahead: %v", err)
+	}
+}

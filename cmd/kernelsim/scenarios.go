@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graftlab/internal/grafts"
+	"graftlab/internal/kernel"
+	"graftlab/internal/mem"
+	"graftlab/internal/stats"
+	"graftlab/internal/tech"
+	"graftlab/internal/vclock"
+	"graftlab/internal/workload"
+)
+
+// runSched demonstrates the scheduler Prioritization hook: a client-server
+// mix where the graft keeps the servers ahead of the clients (§3.1).
+func runSched(id tech.ID) error {
+	build := func(withGraft bool) (*kernel.Scheduler, []*kernel.Proc, error) {
+		s := kernel.NewScheduler(time.Millisecond, &vclock.Clock{})
+		procs := []*kernel.Proc{
+			s.Spawn("client-a", 1),
+			s.Spawn("client-b", 1),
+			s.Spawn("server-1", 2),
+			s.Spawn("server-2", 2),
+		}
+		if withGraft {
+			g, err := tech.Load(id, grafts.SchedPolicy, mem.New(grafts.SCMemSize), tech.Options{})
+			if err != nil {
+				return nil, nil, err
+			}
+			s.SetPolicy(grafts.NewGraftSchedPolicy(g))
+		}
+		return s, procs, nil
+	}
+
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Scheduler hook (%s): 100 quanta over 2 clients + 2 servers", id),
+		Header: []string{"configuration", "client time", "server time", "overrides"},
+	}
+	for _, withGraft := range []bool{false, true} {
+		s, procs, err := build(withGraft)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := s.Tick(); err != nil {
+				return err
+			}
+		}
+		var client, server time.Duration
+		for _, p := range procs {
+			if p.Tag == 2 {
+				server += p.Runtime
+			} else {
+				client += p.Runtime
+			}
+		}
+		name := "round-robin"
+		overrides := "-"
+		if withGraft {
+			name = "server-priority graft"
+			overrides = fmt.Sprint(s.Stats().PolicyOverrides)
+		}
+		t.AddRow(name, client.String(), server.String(), overrides)
+	}
+	fmt.Println(t)
+	fmt.Println("The graft starves clients in favor of servers — §3.1's client-server")
+	fmt.Println("scheduling example, enforced by downloaded policy instead of kernel code.")
+	return nil
+}
+
+// runCache demonstrates the Cao-style buffer cache: the policy menu
+// (LRU, MRU) against the graft hook on a hot-set-plus-scans workload.
+func runCache(id tech.ID) error {
+	hot := []uint32{9001, 9002, 9003, 9004}
+	workloadAccesses := func() []uint32 {
+		var acc []uint32
+		rng := workload.NewRNG(5)
+		for burst := 0; burst < 200; burst++ {
+			acc = append(acc, hot...)
+			for i := 0; i < 12; i++ {
+				acc = append(acc, rng.Uint32n(2000))
+			}
+		}
+		return acc
+	}()
+
+	run := func(policy kernel.CachePolicy, useGraft bool) (kernel.CacheStats, error) {
+		c, err := kernel.NewBufferCache(8)
+		if err != nil {
+			return kernel.CacheStats{}, err
+		}
+		c.SetPolicy(policy)
+		if useGraft {
+			m := mem.New(grafts.BCMemSize)
+			g, err := tech.Load(id, grafts.CacheHook, m, tech.Options{})
+			if err != nil {
+				return kernel.CacheStats{}, err
+			}
+			grafts.NewPinSet(m).Set(hot)
+			c.SetHook(grafts.NewGraftCacheHook(g))
+		}
+		for _, b := range workloadAccesses {
+			if _, _, err := c.Get(b); err != nil {
+				return kernel.CacheStats{}, err
+			}
+		}
+		return c.Stats(), nil
+	}
+
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Buffer cache (%s): hot set revisited between scan bursts, 8-block cache", id),
+		Header: []string{"policy", "hits", "misses", "hit rate"},
+		Caption: "LRU and MRU are the Cao-style compiled-in menu; the graft pins the hot\n" +
+			"set — the policy the menu could not have anticipated (§2).",
+	}
+	for _, cfg := range []struct {
+		name   string
+		policy kernel.CachePolicy
+		graft  bool
+	}{
+		{"menu: LRU", kernel.CacheLRU, false},
+		{"menu: MRU", kernel.CacheMRU, false},
+		{"graft: pin hot set", kernel.CacheLRU, true},
+	} {
+		st, err := run(cfg.policy, cfg.graft)
+		if err != nil {
+			return err
+		}
+		total := st.Hits + st.Misses
+		t.AddRow(cfg.name, fmt.Sprint(st.Hits), fmt.Sprint(st.Misses),
+			fmt.Sprintf("%.1f%%", 100*float64(st.Hits)/float64(total)))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+// runReadahead demonstrates the Black Box read-ahead hook from §3.3 and
+// Table 3's caption.
+func runReadahead() error {
+	scan := func(withHint bool) (kernel.PagerStats, kernel.ReadAheadStats, time.Duration, error) {
+		clock := &vclock.Clock{}
+		p, err := kernel.NewPager(kernel.PagerConfig{Frames: 64, FaultTime: 14 * time.Millisecond}, clock)
+		if err != nil {
+			return kernel.PagerStats{}, kernel.ReadAheadStats{}, 0, err
+		}
+		if withHint {
+			p.SetReadAhead(kernel.ReadAheadFunc(func(f kernel.PageID) []kernel.PageID {
+				out := make([]kernel.PageID, 15)
+				for i := range out {
+					out[i] = f + kernel.PageID(i) + 1
+				}
+				return out
+			}), time.Millisecond)
+		}
+		for pg := kernel.PageID(0); pg < 2048; pg++ {
+			if _, err := p.Access(pg); err != nil {
+				return kernel.PagerStats{}, kernel.ReadAheadStats{}, 0, err
+			}
+		}
+		return p.Stats(), p.ReadAheadStats(), clock.Now(), nil
+	}
+
+	t := &stats.Table{
+		Title:  "Read-ahead hook: sequential scan of 2048 pages, 64 frames",
+		Header: []string{"configuration", "faults", "prefetched", "useful", "I/O time"},
+	}
+	for _, withHint := range []bool{false, true} {
+		st, ra, vt, err := scan(withHint)
+		if err != nil {
+			return err
+		}
+		name := "no read-ahead"
+		if withHint {
+			name = "sequential-hint graft"
+		}
+		t.AddRow(name, fmt.Sprint(st.Faults), fmt.Sprint(ra.Prefetched),
+			fmt.Sprint(ra.Useful), stats.FormatDuration(vt))
+	}
+	fmt.Println(t)
+	fmt.Println("With application knowledge of the access order, one 14ms fault amortizes")
+	fmt.Println("fifteen 1ms prefetches — Table 3's read-ahead observation, graftable.")
+	return nil
+}

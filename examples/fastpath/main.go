@@ -1,0 +1,139 @@
+// Example fastpath: §3.2's second Stream-graft shape — "a stream graft
+// that takes its input and directs it to an output connection" — and the
+// work it cites (the x-kernel fast paths, SPIN's video server, Fall's
+// in-kernel data paths). A server streams a 4 MB file from the disk to
+// the network. Per 64 KB block the architectures differ in protection-
+// boundary crossings and copies:
+//
+//	user-level copy loop:   2 crossings + 2 copies
+//	in-kernel fast path:    0 crossings + 1 copy
+//
+// and optionally run an MD5 fingerprint graft in the stream. Crossing,
+// copy, and graft costs are measured; wire and disk time come from the
+// era models. The point the numbers make: on a 1995 wire everything
+// hides under I/O (the paper's Table 5 conclusion), while on a modern
+// wire the copy loop's crossings are the bottleneck — which is why fast
+// paths moved into the kernel.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graftlab/internal/disk"
+	"graftlab/internal/grafts"
+	"graftlab/internal/kernel"
+	"graftlab/internal/md5x"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/upcall"
+	"graftlab/internal/vclock"
+	"graftlab/internal/workload"
+)
+
+const (
+	fileSize  = 4 << 20
+	blockSize = 64 << 10
+	blocks    = fileSize / blockSize
+)
+
+func wireTime(bitsPerSec int64, n int) time.Duration {
+	return time.Duration(int64(n) * 8 * int64(time.Second) / bitsPerSec)
+}
+
+func main() {
+	data := make([]byte, fileSize)
+	workload.FillPattern(data, 0xF5)
+	want := md5x.Of(data)
+
+	// Disk time from the 1990s model; two wire generations.
+	clock := &vclock.Clock{}
+	dev := disk.New(disk.DefaultGeometry(), clock)
+	if _, err := dev.Read(0, uint32(fileSize)/dev.Geometry().BlockSize); err != nil {
+		panic(err)
+	}
+	diskTime := clock.Now()
+	oldIO := diskTime + wireTime(10_000_000, fileSize) // 10 Mb/s Ethernet
+	newIO := wireTime(10_000_000_000, fileSize)        // 10 Gb/s, disk ≈ NVMe noise
+
+	// Measured per-block costs.
+	crossing, err := upcall.MeasureCrossing(5000)
+	if err != nil {
+		panic(err)
+	}
+	src, dst := make([]byte, blockSize), make([]byte, blockSize)
+	t0 := time.Now()
+	const copies = 5000
+	for i := 0; i < copies; i++ {
+		copy(dst, src)
+	}
+	copyTime := time.Since(t0) / copies
+
+	g, err := tech.Load(tech.CompiledSFI, grafts.MD5, mem.New(grafts.MDMemSize), tech.Options{})
+	if err != nil {
+		panic(err)
+	}
+	h, err := grafts.NewMD5Graft(g)
+	if err != nil {
+		panic(err)
+	}
+	f := grafts.NewMD5Filter(h)
+	chain := kernel.NewChain(nil, f)
+	t0 = time.Now()
+	for off := 0; off < fileSize; off += blockSize {
+		if _, err := chain.Write(data[off : off+blockSize]); err != nil {
+			panic(err)
+		}
+	}
+	if err := chain.Close(); err != nil {
+		panic(err)
+	}
+	graftPerBlock := time.Since(t0) / blocks
+	if d, _ := f.Digest(); d != want {
+		panic("fast path corrupted the stream")
+	}
+
+	fmt.Printf("streaming %d MB in %d blocks; measured per block: crossing %v, copy %v, MD5 graft %v\n",
+		fileSize>>20, blocks, crossing, copyTime.Round(100*time.Nanosecond), graftPerBlock.Round(time.Microsecond))
+	fmt.Printf("I/O time: 1995 disk+10Mb/s wire %v; modern 10Gb/s wire %v\n\n",
+		oldIO.Round(time.Millisecond), newIO.Round(time.Millisecond))
+
+	type arch struct {
+		name      string
+		crossings int
+		copyCount int
+		graft     time.Duration
+	}
+	scenarios := []struct {
+		title string
+		archs []arch
+	}{
+		{"plain relay (no graft)", []arch{
+			{"user-level copy loop", 2, 2, 0},
+			{"in-kernel fast path", 0, 1, 0},
+		}},
+		{"fingerprinting relay (MD5 in stream)", []arch{
+			{"user-level copy loop", 2, 2, graftPerBlock},
+			{"in-kernel fast path + SFI graft", 0, 1, graftPerBlock},
+			{"fast path + upcall fingerprint", 1, 1, graftPerBlock},
+		}},
+	}
+	for _, sc := range scenarios {
+		fmt.Println(sc.title + ":")
+		fmt.Printf("  %-34s %12s %16s %16s\n", "architecture", "CPU/block", "% of 1995 I/O", "% of modern I/O")
+		for _, a := range sc.archs {
+			perBlock := time.Duration(a.crossings)*crossing +
+				time.Duration(a.copyCount)*copyTime + a.graft
+			cpu := perBlock * blocks
+			fmt.Printf("  %-34s %12v %15.2f%% %15.1f%%\n",
+				a.name, perBlock.Round(100*time.Nanosecond),
+				100*float64(cpu)/float64(oldIO),
+				100*float64(cpu)/float64(newIO))
+		}
+		fmt.Println()
+	}
+	fmt.Println("1995: every architecture hides under I/O (the paper's MD5 conclusion).")
+	fmt.Println("Modern wire: the plain user-level loop spends 3x the CPU of the in-kernel")
+	fmt.Println("path on crossings and copies — §3.2's fast-path case — and a compute-heavy")
+	fmt.Println("filter can no longer hide under I/O at all, inverting Table 5's verdict.")
+}

@@ -1,0 +1,84 @@
+// Example logicaldisk: the paper's Black Box graft. A log-structured
+// Logical Disk layer converts an 80/20-skewed random write stream into
+// sequential segment writes; the mapping bookkeeping runs as a graft. The
+// example shows the I/O time the batching saves on the modeled disk and
+// the CPU time each technology spends earning it.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graftlab/internal/disk"
+	"graftlab/internal/grafts"
+	"graftlab/internal/ld"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/vclock"
+	"graftlab/internal/workload"
+)
+
+const writes = 32768
+
+func main() {
+	geo := disk.DefaultGeometry()
+
+	// Baseline: the same stream written in place (random I/O).
+	clock := &vclock.Clock{}
+	dev := disk.New(geo, clock)
+	stream := workload.NewSkewed(geo.Blocks, 42)
+	for i := 0; i < writes; i++ {
+		if _, err := ld.DirectWrite(dev, stream.Next()); err != nil {
+			panic(err)
+		}
+	}
+	directTime := clock.Now()
+	fmt.Printf("%d skewed block writes, direct (random I/O): %v of disk time\n\n", writes, directTime)
+
+	fmt.Printf("%-16s %14s %14s %14s %12s\n",
+		"technology", "disk time", "I/O saved", "bookkeeping", "CPU/block")
+	for _, id := range []tech.ID{
+		tech.CompiledUnsafe, tech.CompiledSafe, tech.CompiledSFI,
+		tech.NativeUnsafe, tech.Bytecode, tech.Script,
+	} {
+		n := writes
+		scale := 1.0
+		if id == tech.Script {
+			n = writes / 32
+			scale = float64(writes) / float64(n)
+		}
+		g, err := tech.Load(id, grafts.LDMap, mem.New(grafts.LDMemSize), tech.Options{})
+		if err != nil {
+			panic(err)
+		}
+		mapper, err := grafts.NewGraftMapper(g, geo.Blocks)
+		if err != nil {
+			panic(err)
+		}
+		clock := &vclock.Clock{}
+		l := ld.New(disk.New(geo, clock), mapper, true)
+		stream := workload.NewSkewed(geo.Blocks, 42)
+		for i := 0; i < n; i++ {
+			if err := l.Write(stream.Next()); err != nil {
+				panic(err)
+			}
+		}
+		st := l.Stats()
+		diskTime := time.Duration(float64(clock.Now()) * scale)
+		mapTime := time.Duration(float64(st.MapTime) * scale)
+		mark := ""
+		if scale != 1 {
+			mark = "~"
+		}
+		fmt.Printf("%-16s %13s%v %14v %13s%v %12v\n",
+			id,
+			mark, diskTime.Round(time.Millisecond),
+			(directTime - diskTime).Round(time.Millisecond),
+			mark, mapTime.Round(time.Microsecond),
+			(mapTime / writes).Round(time.Nanosecond))
+	}
+
+	fmt.Println("\nThe log layer turns ~13ms random writes into ~1ms/16-block sequential")
+	fmt.Println("flushes; even interpreted bookkeeping costs microseconds per block —")
+	fmt.Println("the paper's point that coarse-grained I/O grafts tolerate slow technologies.")
+}

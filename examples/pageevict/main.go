@@ -1,0 +1,94 @@
+// Example pageevict: the paper's Prioritization graft end to end. A
+// TPC-B-style database server scans b-tree subtrees whose working set
+// slightly exceeds physical memory — the access pattern that defeats pure
+// LRU — and installs a hot-list eviction graft to protect the pages it is
+// about to need. The example prints fault counts and virtual I/O time for
+// every extension technology carrying the same graft.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graftlab/internal/btree"
+	"graftlab/internal/grafts"
+	"graftlab/internal/kernel"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/vclock"
+)
+
+const (
+	frames   = 200
+	subtrees = 2
+	passes   = 4
+	faultSvc = 14 * time.Millisecond
+)
+
+func runScan(id tech.ID, useGraft bool) (kernel.PagerStats, time.Duration, error) {
+	tree := btree.MustBuild(btree.TPCBConfig())
+	m := mem.New(grafts.PEMemSize)
+	clock := &vclock.Clock{}
+	pager, err := kernel.NewPager(kernel.PagerConfig{
+		Frames:    frames,
+		FaultTime: faultSvc,
+		Mem:       m,
+		NodeBase:  grafts.PELRUNodeBase,
+	}, clock)
+	if err != nil {
+		return kernel.PagerStats{}, 0, err
+	}
+	hot := grafts.NewHotList(m)
+	if useGraft {
+		g, err := tech.Load(id, grafts.PageEvict, m, tech.Options{})
+		if err != nil {
+			return kernel.PagerStats{}, 0, err
+		}
+		pager.SetPolicy(grafts.NewGraftEvictionPolicy(g))
+	}
+	for p := 0; p < passes; p++ {
+		err := tree.Scan(0, subtrees, func(a btree.Access) error {
+			if a.HotList != nil {
+				hot.Set(a.HotList)
+			}
+			if _, err := pager.Access(a.Page); err != nil {
+				return err
+			}
+			hot.Remove(a.Page)
+			return nil
+		})
+		if err != nil {
+			return kernel.PagerStats{}, 0, err
+		}
+	}
+	return pager.Stats(), clock.Now(), nil
+}
+
+func main() {
+	fmt.Printf("TPC-B scan: %d passes over %d subtrees, %d frames, %v per fault\n\n",
+		passes, subtrees, frames, faultSvc)
+
+	base, baseTime, err := runScan(tech.NativeUnsafe, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-16s %8s %8s %10s %12s %8s\n",
+		"policy", "faults", "hits", "overrides", "I/O time", "saved")
+	fmt.Printf("%-16s %8d %8d %10s %12v %8s\n",
+		"default LRU", base.Faults, base.Hits, "-", baseTime, "-")
+
+	for _, id := range tech.All {
+		st, vt, err := runScan(id, true)
+		if err != nil {
+			fmt.Printf("%-16s error: %v\n", id, err)
+			continue
+		}
+		saved := float64(base.Faults-st.Faults) / float64(base.Faults) * 100
+		fmt.Printf("%-16s %8d %8d %10d %12v %7.1f%%\n",
+			id, st.Faults, st.Hits, st.PolicyOverrides, vt, saved)
+	}
+
+	fmt.Println("\nEvery technology enforces the same policy — the kernel validates each")
+	fmt.Println("proposal — so fault counts match; only the CPU cost of deciding differs")
+	fmt.Println("(measure it with: go run ./cmd/graftbench -experiment table2).")
+}

@@ -1,0 +1,3 @@
+module graftlab
+
+go 1.22

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Report is the machine-readable form of a full evaluation run, written
+// by graftbench -json so results can be archived, diffed between
+// machines, or plotted without scraping the text tables.
+type Report struct {
+	// GeneratedNote describes scale ("paper" or "quick").
+	GeneratedNote string          `json:"note,omitempty"`
+	Signal        *SignalResult   `json:"table1,omitempty"`
+	Evict         *EvictResult    `json:"table2,omitempty"`
+	Fault         *FaultResult    `json:"table3,omitempty"`
+	Disk          *DiskResult     `json:"table4,omitempty"`
+	MD5           *MD5Result      `json:"table5,omitempty"`
+	LD            *LDResult       `json:"table6,omitempty"`
+	Figure1       *Figure1Result  `json:"figure1,omitempty"`
+	PacketFilter  *PFResult       `json:"pktfilter,omitempty"`
+	Ablation      *AblationResult `json:"ablation,omitempty"`
+}
+
+// MarshalJSON flattens time.Durations to nanoseconds implicitly (the
+// standard library already encodes them as integers), so the default
+// marshaling is fine; this wrapper exists to pin the indentation policy
+// in one place.
+func (r *Report) Encode() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// DurationsNote documents the unit convention for consumers.
+const DurationsNote = "all durations are nanoseconds"
+
+var _ = time.Nanosecond // keep the time import tied to the convention above

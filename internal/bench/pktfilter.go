@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graftlab/internal/grafts"
+	"graftlab/internal/mem"
+	"graftlab/internal/netsim"
+	"graftlab/internal/stats"
+	"graftlab/internal/tech"
+	"graftlab/internal/upcall"
+)
+
+// PFRow is one technology's line in the packet-filter experiment.
+type PFRow struct {
+	Tech       string
+	PaperName  string
+	PerPacket  time.Duration
+	RelStd     float64
+	Normalized float64
+	// PacketsPerSec is the demultiplexing rate one endpoint sustains.
+	PacketsPerSec float64
+}
+
+// PFResult is the packet-filter experiment: not a numbered table in the
+// paper, but the extension domain its related work leads with (§2's
+// packet filters, "implemented in a simple interpreted language ... the
+// performance of interpreted packet filters is close to that of compiled
+// code" — a claim this experiment puts to the test across technology
+// classes).
+type PFResult struct {
+	Packets int
+	Rows    []PFRow
+}
+
+var pfBenchTechs = []tech.ID{
+	tech.CompiledUnsafe, tech.Bytecode, tech.CompiledSafe, tech.CompiledSFI,
+	tech.Script, tech.NativeUnsafe, tech.Domain,
+}
+
+// RunPacketFilter measures per-packet filter cost per technology over the
+// standard trace.
+func RunPacketFilter(cfg Config) (*PFResult, error) {
+	nPackets := cfg.EvictIters / 10
+	if nPackets < 200 {
+		nPackets = 200
+	}
+	trace, err := netsim.GenerateTrace(netsim.DefaultTrace(nPackets))
+	if err != nil {
+		return nil, err
+	}
+	ref := grafts.ReferencePacketFilter(5001)
+	wantMatches := 0
+	for _, p := range trace {
+		if ref(p) {
+			wantMatches++
+		}
+	}
+
+	res := &PFResult{Packets: nPackets}
+	var base time.Duration
+
+	measure := func(name, paper string, g tech.Graft, closer func(), packets []netsim.Packet) error {
+		if closer != nil {
+			defer closer()
+		}
+		m := g.Memory()
+		grafts.ConfigurePacketFilter(m, 5001)
+		call := tech.ResolveDirect(g, "filter")
+		args := make([]uint32, 1)
+		want := 0
+		for _, p := range packets {
+			if ref(p) {
+				want++
+			}
+		}
+		times := make([]time.Duration, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			matches := 0
+			t0 := time.Now()
+			for _, p := range packets {
+				m.WriteAt(grafts.PFBufAddr, p)
+				args[0] = uint32(len(p))
+				v, err := call(args)
+				if err != nil {
+					return err
+				}
+				if v != 0 {
+					matches++
+				}
+			}
+			times[r] = time.Since(t0) / time.Duration(len(packets))
+			if matches != want {
+				return fmt.Errorf("bench: %s matched %d packets, want %d", name, matches, want)
+			}
+		}
+		s := stats.Summarize(times)
+		if base == 0 {
+			base = s.Mean
+		}
+		row := PFRow{
+			Tech: name, PaperName: paper,
+			PerPacket: s.Mean, RelStd: s.RelStd,
+			Normalized: float64(s.Mean) / float64(base),
+		}
+		if s.Mean > 0 {
+			row.PacketsPerSec = float64(time.Second) / float64(s.Mean)
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+
+	for _, id := range pfBenchTechs {
+		packets := trace
+		runs := cfg.Runs
+		switch id {
+		case tech.Script:
+			packets = trace[:min(len(trace), 200)]
+			runs = min(cfg.Runs, 3)
+		case tech.Bytecode:
+			runs = min(cfg.Runs, 10)
+		}
+		g, err := tech.Load(id, grafts.PacketFilter, mem.New(grafts.PFMemSize), tech.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("pktfilter %s: %w", id, err)
+		}
+		saved := cfg.Runs
+		cfg.Runs = runs
+		err = measure(string(id), tech.PaperName(id), g, nil, packets)
+		cfg.Runs = saved
+		if err != nil {
+			return nil, fmt.Errorf("pktfilter %s: %w", id, err)
+		}
+	}
+
+	// Upcall row: one crossing per packet — the configuration whose cost
+	// motivated in-kernel packet filters in the first place [MOGUL87].
+	inner, err := tech.Load(tech.CompiledUnsafe, grafts.PacketFilter, mem.New(grafts.PFMemSize), tech.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d := upcall.NewDomain(inner, 0)
+	saved := cfg.Runs
+	cfg.Runs = min(cfg.Runs, 5)
+	err = measure("upcall-server", "user-level packet filter", d, d.Close, trace[:min(len(trace), 2000)])
+	cfg.Runs = saved
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the experiment.
+func (r *PFResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Packet Filter (%d-frame trace, UDP port endpoint)", r.Packets),
+		Header: []string{"technology", "stands in for", "per packet", "normalized", "pkts/sec"},
+		Caption: "The §2 extension domain: a BPF-style demultiplexing filter. The paper notes\n" +
+			"interpreted packet filters historically ran 'close to compiled code' because\n" +
+			"their domain language was tiny; a general-purpose script class does not.",
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Tech, row.PaperName,
+			fmt.Sprintf("%s(%.1f%%)", stats.FormatDuration(row.PerPacket), row.RelStd*100),
+			stats.Ratio(row.Normalized),
+			fmt.Sprintf("%.0f", row.PacketsPerSec))
+	}
+	return t
+}

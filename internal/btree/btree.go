@@ -1,0 +1,133 @@
+// Package btree models the TPC-B database of the paper's VM page eviction
+// benchmark (§3.1): 1,000,000 records in a four-level b-tree that is 50%
+// full — one root page, four second-level pages, 391 third-level pages,
+// and ~50,000 fourth-level data pages, each third-level page pointing at
+// up to 128 data pages. A non-keyed lookup traverses the tree depth-first;
+// on reaching a third-level page the server knows exactly which 128 data
+// pages it will touch next, and that knowledge is the eviction graft's
+// hot list.
+package btree
+
+import (
+	"fmt"
+
+	"graftlab/internal/kernel"
+)
+
+// Config sizes the tree.
+type Config struct {
+	L2Pages  int    // pages at level two
+	L3Pages  int    // pages at level three
+	Fanout   int    // data pages per third-level page
+	DataBase uint32 // first data PageID; internal pages are numbered below it
+}
+
+// TPCBConfig reproduces the paper's numbers: 1 root + 4 + 391 internal
+// pages (≈400) and 391×128 ≈ 50,000 data pages.
+func TPCBConfig() Config {
+	return Config{L2Pages: 4, L3Pages: 391, Fanout: 128, DataBase: 1000}
+}
+
+// Tree is the page-level shape of the database.
+type Tree struct {
+	cfg  Config
+	Root kernel.PageID
+	L2   []kernel.PageID
+	// L3[i] belongs to parent L2[i / l3PerL2].
+	L3 []kernel.PageID
+	// Data[i] holds the children of L3[i].
+	Data [][]kernel.PageID
+}
+
+// Build lays out the page numbering for cfg.
+func Build(cfg Config) (*Tree, error) {
+	if cfg.L2Pages <= 0 || cfg.L3Pages <= 0 || cfg.Fanout <= 0 {
+		return nil, fmt.Errorf("btree: bad config %+v", cfg)
+	}
+	internal := 1 + cfg.L2Pages + cfg.L3Pages
+	if uint64(cfg.DataBase) < uint64(internal) {
+		return nil, fmt.Errorf("btree: DataBase %d collides with %d internal pages", cfg.DataBase, internal)
+	}
+	t := &Tree{cfg: cfg, Root: 0}
+	next := kernel.PageID(1)
+	for i := 0; i < cfg.L2Pages; i++ {
+		t.L2 = append(t.L2, next)
+		next++
+	}
+	for i := 0; i < cfg.L3Pages; i++ {
+		t.L3 = append(t.L3, next)
+		next++
+	}
+	data := cfg.DataBase
+	for i := 0; i < cfg.L3Pages; i++ {
+		kids := make([]kernel.PageID, cfg.Fanout)
+		for j := range kids {
+			kids[j] = kernel.PageID(data)
+			data++
+		}
+		t.Data = append(t.Data, kids)
+	}
+	return t, nil
+}
+
+// MustBuild builds or panics; for known-good configs.
+func MustBuild(cfg Config) *Tree {
+	t, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumDataPages reports the number of fourth-level pages.
+func (t *Tree) NumDataPages() int { return t.cfg.L3Pages * t.cfg.Fanout }
+
+// NumInternalPages reports root + L2 + L3.
+func (t *Tree) NumInternalPages() int { return 1 + len(t.L2) + len(t.L3) }
+
+// l2Parent returns the index into L2 of L3 page i's parent.
+func (t *Tree) l2Parent(i int) int {
+	per := (len(t.L3) + len(t.L2) - 1) / len(t.L2)
+	return min(i/per, len(t.L2)-1)
+}
+
+// Access is one page reference in a scan. HotList is non-nil exactly when
+// the reference is a third-level page: it lists the 128 data pages the
+// server will touch next.
+type Access struct {
+	Page    kernel.PageID
+	HotList []kernel.PageID
+}
+
+// Scan invokes visit for every page reference of a depth-first non-keyed
+// traversal of subtrees [startL3, endL3). The root and level-two pages are
+// re-referenced as the traversal descends, as a real b-tree walk would.
+func (t *Tree) Scan(startL3, endL3 int, visit func(a Access) error) error {
+	if startL3 < 0 || endL3 > len(t.L3) || startL3 > endL3 {
+		return fmt.Errorf("btree: scan range [%d,%d) out of [0,%d]", startL3, endL3, len(t.L3))
+	}
+	for i := startL3; i < endL3; i++ {
+		if err := visit(Access{Page: t.Root}); err != nil {
+			return err
+		}
+		if err := visit(Access{Page: t.L2[t.l2Parent(i)]}); err != nil {
+			return err
+		}
+		if err := visit(Access{Page: t.L3[i], HotList: t.Data[i]}); err != nil {
+			return err
+		}
+		for _, d := range t.Data[i] {
+			if err := visit(Access{Page: d}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

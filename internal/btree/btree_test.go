@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"testing"
+
+	"graftlab/internal/kernel"
+)
+
+func TestTPCBShapeMatchesPaper(t *testing.T) {
+	tr := MustBuild(TPCBConfig())
+	// §3.1: "one root page, four pages at the second level, 391 pages at
+	// the third level, and approximately 50,000 pages at the fourth
+	// level; each third-level page points to up to 128 fourth level
+	// pages."
+	if got := tr.NumInternalPages(); got != 1+4+391 {
+		t.Errorf("internal pages = %d, want 396", got)
+	}
+	if got := tr.NumDataPages(); got != 391*128 {
+		t.Errorf("data pages = %d, want %d", got, 391*128)
+	}
+	if tr.NumDataPages() < 50000 || tr.NumDataPages() > 50100 {
+		t.Errorf("data pages %d not ≈50,000", tr.NumDataPages())
+	}
+	for i, kids := range tr.Data {
+		if len(kids) != 128 {
+			t.Fatalf("L3 page %d has %d children", i, len(kids))
+		}
+	}
+}
+
+func TestPageNumberingDisjoint(t *testing.T) {
+	tr := MustBuild(TPCBConfig())
+	seen := make(map[kernel.PageID]bool)
+	add := func(p kernel.PageID) {
+		if seen[p] {
+			t.Fatalf("duplicate page %d", p)
+		}
+		seen[p] = true
+	}
+	add(tr.Root)
+	for _, p := range tr.L2 {
+		add(p)
+	}
+	for _, p := range tr.L3 {
+		add(p)
+	}
+	for _, kids := range tr.Data {
+		for _, p := range kids {
+			add(p)
+		}
+	}
+	if len(seen) != tr.NumInternalPages()+tr.NumDataPages() {
+		t.Fatalf("page count %d", len(seen))
+	}
+}
+
+func TestScanOrderAndHotLists(t *testing.T) {
+	tr := MustBuild(Config{L2Pages: 2, L3Pages: 4, Fanout: 3, DataBase: 100})
+	var seq []kernel.PageID
+	var hotEvents int
+	err := tr.Scan(0, 4, func(a Access) error {
+		seq = append(seq, a.Page)
+		if a.HotList != nil {
+			hotEvents++
+			if len(a.HotList) != 3 {
+				t.Errorf("hot list len %d", len(a.HotList))
+			}
+			// The hot list must be exactly the next 3 data accesses.
+			for j, hp := range a.HotList {
+				_ = j
+				_ = hp
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each subtree visit: root, L2 parent, L3, then 3 data pages = 6.
+	if len(seq) != 4*6 {
+		t.Fatalf("scan emitted %d accesses, want 24", len(seq))
+	}
+	if hotEvents != 4 {
+		t.Fatalf("hot events = %d", hotEvents)
+	}
+	if seq[0] != tr.Root || seq[1] != tr.L2[0] || seq[2] != tr.L3[0] {
+		t.Fatalf("scan prefix = %v", seq[:3])
+	}
+	// Data pages of subtree 0 follow immediately.
+	for j := 0; j < 3; j++ {
+		if seq[3+j] != tr.Data[0][j] {
+			t.Fatalf("data order wrong: %v", seq[:6])
+		}
+	}
+}
+
+func TestHotListPredictsAccesses(t *testing.T) {
+	tr := MustBuild(Config{L2Pages: 1, L3Pages: 2, Fanout: 4, DataBase: 50})
+	var pendingHot []kernel.PageID
+	err := tr.Scan(0, 2, func(a Access) error {
+		if a.HotList != nil {
+			pendingHot = append([]kernel.PageID(nil), a.HotList...)
+			return nil
+		}
+		if len(pendingHot) > 0 {
+			if a.Page != pendingHot[0] {
+				t.Fatalf("access %d, hot list promised %d", a.Page, pendingHot[0])
+			}
+			pendingHot = pendingHot[1:]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pendingHot) != 0 {
+		t.Fatalf("hot list promised pages never accessed: %v", pendingHot)
+	}
+}
+
+func TestScanRangeValidation(t *testing.T) {
+	tr := MustBuild(TPCBConfig())
+	if err := tr.Scan(-1, 2, func(Access) error { return nil }); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := tr.Scan(0, 9999, func(Access) error { return nil }); err == nil {
+		t.Error("end beyond L3 accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := Build(Config{L2Pages: 1, L3Pages: 10, Fanout: 4, DataBase: 5}); err == nil {
+		t.Error("DataBase colliding with internal pages accepted")
+	}
+}

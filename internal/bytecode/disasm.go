@@ -1,0 +1,33 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders m as human-readable text, one function per section.
+func Disassemble(m *Module) string {
+	var b strings.Builder
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&b, "func %s (args=%d locals=%d)\n", f.Name, f.NArgs, f.NLocals)
+		for pc, in := range f.Code {
+			switch in.Op {
+			case OpCall:
+				callee := "?"
+				if int(in.A) < len(m.Funcs) {
+					callee = m.Funcs[in.A].Name
+				}
+				fmt.Fprintf(&b, "  %4d  %-10s %d    ; %s\n", pc, in.Op, in.A, callee)
+			case OpJmp, OpJz, OpJnz:
+				fmt.Fprintf(&b, "  %4d  %-10s -> %d\n", pc, in.Op, in.A)
+			default:
+				if in.Op.HasOperand() {
+					fmt.Fprintf(&b, "  %4d  %-10s %d\n", pc, in.Op, in.A)
+				} else {
+					fmt.Fprintf(&b, "  %4d  %s\n", pc, in.Op)
+				}
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary module format ("GBC1"):
+//
+//	magic   [4]byte "GBC1"
+//	nfuncs  u32
+//	per function:
+//	  namelen u32, name [namelen]byte
+//	  nargs   u32
+//	  nlocals u32
+//	  ninstr  u32
+//	  per instruction: op u8, operand u32 (always present; 0 if unused)
+//
+// Fixed-width operands keep decode trivially linear; graft modules are
+// small, so density is not worth variable-length encoding.
+
+var magic = [4]byte{'G', 'B', 'C', '1'}
+
+// ErrBadModule is wrapped by all decode failures.
+var ErrBadModule = errors.New("bytecode: malformed module")
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadModule, fmt.Sprintf(format, args...))
+}
+
+// Encode serializes m to the binary module format.
+func Encode(m *Module) []byte {
+	size := 8
+	for _, f := range m.Funcs {
+		size += 4 + len(f.Name) + 12 + 5*len(f.Code)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Name)))
+		out = append(out, f.Name...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(f.NArgs))
+		out = binary.LittleEndian.AppendUint32(out, uint32(f.NLocals))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Code)))
+		for _, in := range f.Code {
+			out = append(out, byte(in.Op))
+			out = binary.LittleEndian.AppendUint32(out, in.A)
+		}
+	}
+	return out
+}
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.b) {
+		return 0, badf("truncated at offset %d", d.off)
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, badf("truncated at offset %d", d.off)
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) bytes(n uint32) ([]byte, error) {
+	if uint64(d.off)+uint64(n) > uint64(len(d.b)) {
+		return nil, badf("truncated string at offset %d", d.off)
+	}
+	v := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v, nil
+}
+
+// maxFuncs and maxInstrs bound decode-time allocation so a hostile module
+// cannot make the loader allocate unboundedly before verification.
+const (
+	maxFuncs  = 1 << 16
+	maxInstrs = 1 << 22
+	maxName   = 1 << 10
+	maxLocals = 1 << 16
+)
+
+// Decode parses a binary module. Decode performs only structural
+// validation; call Verify for the semantic load-time check.
+func Decode(b []byte) (*Module, error) {
+	d := &decoder{b: b}
+	mg, err := d.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(mg) != magic {
+		return nil, badf("bad magic %q", mg)
+	}
+	nfuncs, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nfuncs > maxFuncs {
+		return nil, badf("function count %d exceeds limit", nfuncs)
+	}
+	m := &Module{Funcs: make([]*Func, 0, nfuncs)}
+	for i := uint32(0); i < nfuncs; i++ {
+		namelen, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if namelen > maxName {
+			return nil, badf("function %d: name length %d exceeds limit", i, namelen)
+		}
+		name, err := d.bytes(namelen)
+		if err != nil {
+			return nil, err
+		}
+		nargs, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		nlocals, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nlocals > maxLocals || nargs > nlocals {
+			return nil, badf("function %q: bad arg/local counts %d/%d", name, nargs, nlocals)
+		}
+		ninstr, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if ninstr > maxInstrs {
+			return nil, badf("function %q: instruction count %d exceeds limit", name, ninstr)
+		}
+		f := &Func{
+			Name:    string(name),
+			NArgs:   int(nargs),
+			NLocals: int(nlocals),
+			Code:    make([]Instr, ninstr),
+		}
+		for j := uint32(0); j < ninstr; j++ {
+			op, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			a, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			f.Code[j] = Instr{Op: Op(op), A: a}
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	if d.off != len(b) {
+		return nil, badf("%d trailing bytes", len(b)-d.off)
+	}
+	m.Index()
+	return m, nil
+}

@@ -1,0 +1,175 @@
+// Package bytecode defines the stack-machine instruction set that the
+// interpreted technology class executes (the paper's Java analogue), a
+// compact binary module format, and a linear-time load-time verifier (the
+// paper's SFI load-time check analogue).
+//
+// The machine is a pure stack machine over u32 words. A function owns
+// NLocals local slots; its arguments arrive in slots [0, NArgs). Calls
+// push arguments left to right; OpCall transfers them into the callee's
+// locals. Every function returns exactly one word.
+package bytecode
+
+import "fmt"
+
+// Op is an opcode.
+type Op byte
+
+const (
+	OpNop Op = iota
+	OpConst
+	OpLocalGet
+	OpLocalSet
+	OpDrop
+
+	// binary ALU ops: pop y, pop x, push x·y
+	OpAdd
+	OpSub
+	OpMul
+	OpDivU
+	OpRemU
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShrU
+	OpRotl
+	OpRotr
+	OpMinU
+	OpMaxU
+
+	// comparisons: pop y, pop x, push 0/1
+	OpEq
+	OpNe
+	OpLtU
+	OpLeU
+	OpGtU
+	OpGeU
+
+	// unary: pop x, push op x
+	OpEqz // logical not
+
+	// memory: addresses are u32 byte offsets into the linear memory
+	OpLd32 // pop addr, push word
+	OpLd8  // pop addr, push byte
+	OpSt32 // pop value, pop addr
+	OpSt8  // pop value, pop addr
+
+	// control: targets are absolute instruction indices in this function
+	OpJmp
+	OpJz  // pop cond, jump if zero
+	OpJnz // pop cond, jump if nonzero
+
+	OpCall // A = function index; pops callee args, pushes result
+	OpRet  // pop return value, leave function
+
+	OpMemSize // push memory size in bytes
+	OpAbort   // pop code, trap
+
+	opCount // sentinel
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(opCount)
+
+type opInfo struct {
+	name string
+	// pop/push are net stack effects, excluding OpCall which is variable.
+	pop, push  int
+	hasOperand bool
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:      {"nop", 0, 0, false},
+	OpConst:    {"const", 0, 1, true},
+	OpLocalGet: {"local.get", 0, 1, true},
+	OpLocalSet: {"local.set", 1, 0, true},
+	OpDrop:     {"drop", 1, 0, false},
+	OpAdd:      {"add", 2, 1, false},
+	OpSub:      {"sub", 2, 1, false},
+	OpMul:      {"mul", 2, 1, false},
+	OpDivU:     {"div_u", 2, 1, false},
+	OpRemU:     {"rem_u", 2, 1, false},
+	OpAnd:      {"and", 2, 1, false},
+	OpOr:       {"or", 2, 1, false},
+	OpXor:      {"xor", 2, 1, false},
+	OpShl:      {"shl", 2, 1, false},
+	OpShrU:     {"shr_u", 2, 1, false},
+	OpRotl:     {"rotl", 2, 1, false},
+	OpRotr:     {"rotr", 2, 1, false},
+	OpMinU:     {"min_u", 2, 1, false},
+	OpMaxU:     {"max_u", 2, 1, false},
+	OpEq:       {"eq", 2, 1, false},
+	OpNe:       {"ne", 2, 1, false},
+	OpLtU:      {"lt_u", 2, 1, false},
+	OpLeU:      {"le_u", 2, 1, false},
+	OpGtU:      {"gt_u", 2, 1, false},
+	OpGeU:      {"ge_u", 2, 1, false},
+	OpEqz:      {"eqz", 1, 1, false},
+	OpLd32:     {"ld32", 1, 1, false},
+	OpLd8:      {"ld8", 1, 1, false},
+	OpSt32:     {"st32", 2, 0, false},
+	OpSt8:      {"st8", 2, 0, false},
+	OpJmp:      {"jmp", 0, 0, true},
+	OpJz:       {"jz", 1, 0, true},
+	OpJnz:      {"jnz", 1, 0, true},
+	OpCall:     {"call", 0, 0, true}, // stack effect resolved by verifier
+	OpRet:      {"ret", 1, 0, false},
+	OpMemSize:  {"memsize", 0, 1, false},
+	OpAbort:    {"abort", 1, 0, false},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < opCount }
+
+func (op Op) String() string {
+	if op.Valid() {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", byte(op))
+}
+
+// HasOperand reports whether op carries an immediate operand.
+func (op Op) HasOperand() bool { return op.Valid() && opTable[op].hasOperand }
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op Op
+	A  uint32 // immediate operand (constant, local slot, target, func index)
+}
+
+func (in Instr) String() string {
+	if in.Op.HasOperand() {
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	}
+	return in.Op.String()
+}
+
+// Func is one function body.
+type Func struct {
+	Name    string
+	NArgs   int
+	NLocals int // includes NArgs
+	Code    []Instr
+}
+
+// Module is a compiled unit of graft code.
+type Module struct {
+	Funcs  []*Func
+	ByName map[string]int
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	if i, ok := m.ByName[name]; ok {
+		return m.Funcs[i]
+	}
+	return nil
+}
+
+// Index rebuilds the ByName map; call after constructing a Module by hand.
+func (m *Module) Index() {
+	m.ByName = make(map[string]int, len(m.Funcs))
+	for i, f := range m.Funcs {
+		m.ByName[f.Name] = i
+	}
+}

@@ -1,0 +1,196 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify is the load-time check the kernel runs before accepting a module,
+// the analogue of the paper's "linear-time algorithm ... to guarantee that
+// all memory references in a piece of object code have been correctly
+// sandboxed" (§4.2). It guarantees, in time linear in code size, that a
+// verified module cannot:
+//
+//   - execute an undefined opcode,
+//   - jump outside its own function,
+//   - read or write a local slot it does not own,
+//   - call a function index that does not exist,
+//   - underflow or overflow the operand stack (stack depth at every
+//     instruction is computed by abstract interpretation and must be
+//     consistent across all control-flow edges),
+//   - fall off the end of a function (the last reachable instruction on
+//     every path is a terminator).
+//
+// Memory accesses are NOT statically bounded here; they are guarded at run
+// time by the executing technology's policy. That split mirrors the paper:
+// the verifier checks structure, the policy checks data.
+
+// ErrVerify is wrapped by all verification failures.
+var ErrVerify = errors.New("bytecode: verification failed")
+
+func vErrf(fn string, pc int, format string, args ...any) error {
+	return fmt.Errorf("%w: %s+%d: %s", ErrVerify, fn, pc, fmt.Sprintf(format, args...))
+}
+
+// MaxStackDepth bounds the operand stack a verified function may need.
+const MaxStackDepth = 1 << 16
+
+// Verify checks every function in m.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(m, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Func) error {
+	if f.NArgs > f.NLocals {
+		return vErrf(f.Name, 0, "NArgs %d > NLocals %d", f.NArgs, f.NLocals)
+	}
+	if len(f.Code) == 0 {
+		return vErrf(f.Name, 0, "empty function body")
+	}
+
+	// depth[pc] is the operand stack depth on entry to pc; -1 = not yet seen.
+	depth := make([]int, len(f.Code))
+	for i := range depth {
+		depth[i] = -1
+	}
+	// Worklist of instruction indices to (re)visit. Each pc enters the
+	// worklist at most once because a conflicting second depth is an error,
+	// so the pass is linear.
+	work := []int{0}
+	depth[0] = 0
+
+	propagate := func(from, to, d int) error {
+		if to < 0 || to >= len(f.Code) {
+			return vErrf(f.Name, from, "jump target %d out of range [0,%d)", to, len(f.Code))
+		}
+		if depth[to] == -1 {
+			depth[to] = d
+			work = append(work, to)
+			return nil
+		}
+		if depth[to] != d {
+			return vErrf(f.Name, from, "inconsistent stack depth at join %d: %d vs %d", to, depth[to], d)
+		}
+		return nil
+	}
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := f.Code[pc]
+		if !in.Op.Valid() {
+			return vErrf(f.Name, pc, "undefined opcode %d", byte(in.Op))
+		}
+		d := depth[pc]
+		info := opTable[in.Op]
+
+		pop, push := info.pop, info.push
+		switch in.Op {
+		case OpLocalGet, OpLocalSet:
+			if in.A >= uint32(f.NLocals) {
+				return vErrf(f.Name, pc, "local slot %d out of range [0,%d)", in.A, f.NLocals)
+			}
+		case OpCall:
+			if in.A >= uint32(len(m.Funcs)) {
+				return vErrf(f.Name, pc, "call to undefined function index %d", in.A)
+			}
+			pop = m.Funcs[in.A].NArgs
+			push = 1
+		}
+		if d < pop {
+			return vErrf(f.Name, pc, "stack underflow: %s needs %d, depth is %d", in.Op, pop, d)
+		}
+		nd := d - pop + push
+		if nd > MaxStackDepth {
+			return vErrf(f.Name, pc, "stack depth %d exceeds limit", nd)
+		}
+
+		switch in.Op {
+		case OpJmp:
+			if err := propagate(pc, int(in.A), nd); err != nil {
+				return err
+			}
+		case OpJz, OpJnz:
+			if err := propagate(pc, int(in.A), nd); err != nil {
+				return err
+			}
+			if err := propagate(pc, pc+1, nd); err != nil {
+				return err
+			}
+		case OpRet:
+			// terminator; nothing to propagate. The pop==1 check above
+			// guarantees a return value was present.
+		case OpAbort:
+			// terminator.
+		default:
+			if pc+1 >= len(f.Code) {
+				return vErrf(f.Name, pc, "control falls off end of function after %s", in.Op)
+			}
+			if err := propagate(pc, pc+1, nd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MaxStack computes the maximum operand stack depth any reachable point of
+// f needs, for preallocating interpreter stacks. Requires a verified
+// function; returns 0 for unverifiable code.
+func MaxStack(m *Module, f *Func) int {
+	// Re-run the same abstract interpretation, tracking the max.
+	depth := make([]int, len(f.Code))
+	for i := range depth {
+		depth[i] = -1
+	}
+	if len(f.Code) == 0 {
+		return 0
+	}
+	depth[0] = 0
+	work := []int{0}
+	maxd := 0
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := f.Code[pc]
+		if !in.Op.Valid() {
+			return 0
+		}
+		d := depth[pc]
+		info := opTable[in.Op]
+		pop, push := info.pop, info.push
+		if in.Op == OpCall {
+			if in.A >= uint32(len(m.Funcs)) {
+				return 0
+			}
+			pop = m.Funcs[in.A].NArgs
+			push = 1
+		}
+		nd := d - pop + push
+		if nd > maxd {
+			maxd = nd
+		}
+		visit := func(t int) {
+			if t >= 0 && t < len(f.Code) && depth[t] == -1 {
+				depth[t] = nd
+				work = append(work, t)
+			}
+		}
+		switch in.Op {
+		case OpJmp:
+			visit(int(in.A))
+		case OpJz, OpJnz:
+			visit(int(in.A))
+			visit(pc + 1)
+		case OpRet, OpAbort:
+		default:
+			visit(pc + 1)
+		}
+	}
+	return maxd
+}

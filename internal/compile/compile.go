@@ -1,0 +1,307 @@
+// Package compile lowers checked GEL programs to bytecode modules for the
+// interpreted technology class. The lowering is a direct syntax-directed
+// walk: expressions leave exactly one word on the stack, statements leave
+// none, and control flow is patched with absolute jump targets.
+package compile
+
+import (
+	"fmt"
+
+	"graftlab/internal/bytecode"
+	"graftlab/internal/gel"
+)
+
+// Compile lowers a checked program to a bytecode module. The module is
+// verified before being returned, so a Compile result is always loadable.
+func Compile(prog *gel.Program) (*bytecode.Module, error) {
+	m := &bytecode.Module{}
+	for _, fd := range prog.Funcs {
+		fc := &funcCompiler{prog: prog}
+		if err := fc.compileFunc(fd); err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, fc.out)
+	}
+	m.Index()
+	if err := bytecode.Verify(m); err != nil {
+		return nil, fmt.Errorf("compile: generated unverifiable code: %w", err)
+	}
+	return m, nil
+}
+
+// MustCompile compiles a program that is known-good (compiled-in graft
+// sources); it panics on error.
+func MustCompile(prog *gel.Program) *bytecode.Module {
+	m, err := Compile(prog)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type loopCtx struct {
+	breakPatches []int // Jmp instructions to patch to loop exit
+	continueTo   int   // pc of the loop condition
+}
+
+type funcCompiler struct {
+	prog  *gel.Program
+	out   *bytecode.Func
+	loops []loopCtx
+}
+
+func (c *funcCompiler) emit(op bytecode.Op, a uint32) int {
+	c.out.Code = append(c.out.Code, bytecode.Instr{Op: op, A: a})
+	return len(c.out.Code) - 1
+}
+
+func (c *funcCompiler) patch(pc int, target int) {
+	c.out.Code[pc].A = uint32(target)
+}
+
+func (c *funcCompiler) here() int { return len(c.out.Code) }
+
+func (c *funcCompiler) compileFunc(fd *gel.FuncDecl) error {
+	c.out = &bytecode.Func{
+		Name:    fd.Name,
+		NArgs:   len(fd.Params),
+		NLocals: fd.NLocals,
+	}
+	if err := c.block(fd.Body); err != nil {
+		return err
+	}
+	// Implicit `return 0` so control cannot fall off the end.
+	c.emit(bytecode.OpConst, 0)
+	c.emit(bytecode.OpRet, 0)
+	return nil
+}
+
+func (c *funcCompiler) block(b *gel.Block) error {
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *funcCompiler) stmt(s gel.Stmt) error {
+	switch st := s.(type) {
+	case *gel.Block:
+		return c.block(st)
+	case *gel.VarDecl:
+		if err := c.expr(st.Init); err != nil {
+			return err
+		}
+		c.emit(bytecode.OpLocalSet, uint32(st.Slot))
+		return nil
+	case *gel.Assign:
+		if err := c.expr(st.Val); err != nil {
+			return err
+		}
+		c.emit(bytecode.OpLocalSet, uint32(st.Slot))
+		return nil
+	case *gel.If:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(bytecode.OpJz, 0)
+		if err := c.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			c.patch(jz, c.here())
+			return nil
+		}
+		jend := c.emit(bytecode.OpJmp, 0)
+		c.patch(jz, c.here())
+		if err := c.stmt(st.Else); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+	case *gel.While:
+		top := c.here()
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		jexit := c.emit(bytecode.OpJz, 0)
+		c.loops = append(c.loops, loopCtx{continueTo: top})
+		if err := c.block(st.Body); err != nil {
+			return err
+		}
+		lc := c.loops[len(c.loops)-1]
+		c.loops = c.loops[:len(c.loops)-1]
+		c.emit(bytecode.OpJmp, uint32(top))
+		exit := c.here()
+		c.patch(jexit, exit)
+		for _, pc := range lc.breakPatches {
+			c.patch(pc, exit)
+		}
+		return nil
+	case *gel.Break:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("compile: %s: break outside loop escaped the checker", st.Pos)
+		}
+		pc := c.emit(bytecode.OpJmp, 0)
+		c.loops[len(c.loops)-1].breakPatches = append(c.loops[len(c.loops)-1].breakPatches, pc)
+		return nil
+	case *gel.Continue:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("compile: %s: continue outside loop escaped the checker", st.Pos)
+		}
+		c.emit(bytecode.OpJmp, uint32(c.loops[len(c.loops)-1].continueTo))
+		return nil
+	case *gel.Return:
+		if st.Val != nil {
+			if err := c.expr(st.Val); err != nil {
+				return err
+			}
+		} else {
+			c.emit(bytecode.OpConst, 0)
+		}
+		c.emit(bytecode.OpRet, 0)
+		return nil
+	case *gel.ExprStmt:
+		if err := c.expr(st.X); err != nil {
+			return err
+		}
+		c.emit(bytecode.OpDrop, 0)
+		return nil
+	}
+	return fmt.Errorf("compile: %s: unknown statement %T", s.Position(), s)
+}
+
+var binOpTable = map[gel.BinOp]bytecode.Op{
+	gel.BAdd: bytecode.OpAdd, gel.BSub: bytecode.OpSub, gel.BMul: bytecode.OpMul,
+	gel.BDiv: bytecode.OpDivU, gel.BRem: bytecode.OpRemU,
+	gel.BAnd: bytecode.OpAnd, gel.BOr: bytecode.OpOr, gel.BXor: bytecode.OpXor,
+	gel.BShl: bytecode.OpShl, gel.BShr: bytecode.OpShrU,
+	gel.BEq: bytecode.OpEq, gel.BNe: bytecode.OpNe,
+	gel.BLt: bytecode.OpLtU, gel.BLe: bytecode.OpLeU,
+	gel.BGt: bytecode.OpGtU, gel.BGe: bytecode.OpGeU,
+}
+
+func (c *funcCompiler) expr(e gel.Expr) error {
+	switch ex := e.(type) {
+	case *gel.NumberLit:
+		c.emit(bytecode.OpConst, ex.Val)
+		return nil
+	case *gel.VarRef:
+		c.emit(bytecode.OpLocalGet, uint32(ex.Slot))
+		return nil
+	case *gel.Unary:
+		switch ex.Op {
+		case gel.UNeg:
+			// 0 - x
+			c.emit(bytecode.OpConst, 0)
+			if err := c.expr(ex.X); err != nil {
+				return err
+			}
+			c.emit(bytecode.OpSub, 0)
+		case gel.UNot:
+			if err := c.expr(ex.X); err != nil {
+				return err
+			}
+			c.emit(bytecode.OpEqz, 0)
+		case gel.UCpl:
+			if err := c.expr(ex.X); err != nil {
+				return err
+			}
+			c.emit(bytecode.OpConst, 0xFFFFFFFF)
+			c.emit(bytecode.OpXor, 0)
+		}
+		return nil
+	case *gel.Binary:
+		switch ex.Op {
+		case gel.BLAnd:
+			// x && y  =>  if x == 0 then 0 else (y != 0)
+			if err := c.expr(ex.X); err != nil {
+				return err
+			}
+			jz := c.emit(bytecode.OpJz, 0)
+			if err := c.expr(ex.Y); err != nil {
+				return err
+			}
+			c.emit(bytecode.OpConst, 0)
+			c.emit(bytecode.OpNe, 0)
+			jend := c.emit(bytecode.OpJmp, 0)
+			c.patch(jz, c.here())
+			c.emit(bytecode.OpConst, 0)
+			c.patch(jend, c.here())
+			return nil
+		case gel.BLOr:
+			// x || y  =>  if x != 0 then 1 else (y != 0)
+			if err := c.expr(ex.X); err != nil {
+				return err
+			}
+			jnz := c.emit(bytecode.OpJnz, 0)
+			if err := c.expr(ex.Y); err != nil {
+				return err
+			}
+			c.emit(bytecode.OpConst, 0)
+			c.emit(bytecode.OpNe, 0)
+			jend := c.emit(bytecode.OpJmp, 0)
+			c.patch(jnz, c.here())
+			c.emit(bytecode.OpConst, 1)
+			c.patch(jend, c.here())
+			return nil
+		}
+		if err := c.expr(ex.X); err != nil {
+			return err
+		}
+		if err := c.expr(ex.Y); err != nil {
+			return err
+		}
+		op, ok := binOpTable[ex.Op]
+		if !ok {
+			return fmt.Errorf("compile: %s: no lowering for operator %s", ex.Pos, ex.Op)
+		}
+		c.emit(op, 0)
+		return nil
+	case *gel.Call:
+		for _, a := range ex.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		if ex.Builtin != gel.NotBuiltin {
+			switch ex.Builtin {
+			case gel.BILd32:
+				c.emit(bytecode.OpLd32, 0)
+			case gel.BILd8:
+				c.emit(bytecode.OpLd8, 0)
+			case gel.BISt32:
+				c.emit(bytecode.OpSt32, 0)
+				c.emit(bytecode.OpConst, 0) // builtins yield a value
+			case gel.BISt8:
+				c.emit(bytecode.OpSt8, 0)
+				c.emit(bytecode.OpConst, 0)
+			case gel.BIRotl:
+				c.emit(bytecode.OpRotl, 0)
+			case gel.BIRotr:
+				c.emit(bytecode.OpRotr, 0)
+			case gel.BIMin:
+				c.emit(bytecode.OpMinU, 0)
+			case gel.BIMax:
+				c.emit(bytecode.OpMaxU, 0)
+			case gel.BIMemSize:
+				c.emit(bytecode.OpMemSize, 0)
+			case gel.BIAbort:
+				c.emit(bytecode.OpAbort, 0)
+				// OpAbort is a terminator; emit an unreachable placeholder
+				// value so the abstract stack stays consistent on the
+				// (never-taken) fallthrough edge the expression grammar
+				// implies. The verifier treats OpAbort as terminal, so this
+				// constant is dead code but keeps pc+1 well-formed.
+				c.emit(bytecode.OpConst, 0)
+			default:
+				return fmt.Errorf("compile: %s: unknown builtin %q", ex.Pos, ex.Name)
+			}
+			return nil
+		}
+		c.emit(bytecode.OpCall, uint32(ex.FuncIdx))
+		return nil
+	}
+	return fmt.Errorf("compile: %s: unknown expression %T", e.Position(), e)
+}

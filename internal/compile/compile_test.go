@@ -1,0 +1,182 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"graftlab/internal/bytecode"
+	"graftlab/internal/gel"
+	"graftlab/internal/mem"
+	"graftlab/internal/vm"
+)
+
+func run(t *testing.T, src, entry string, args ...uint32) uint32 {
+	t.Helper()
+	prog, err := gel.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(mod, mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Invoke(entry, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCompileAlwaysVerifies(t *testing.T) {
+	sources := []string{
+		"func main() {}",
+		"func main() { return 1; }",
+		"func main(a) { if (a) { return 1; } return 2; }",
+		"func main(a) { while (a) { a = a - 1; } return a; }",
+		`func main(a) {
+			var i = 0;
+			while (1) {
+				i = i + 1;
+				if (i == a) { break; }
+				if (i > 100) { break; }
+				continue;
+			}
+			return i;
+		}`,
+		"func f(x) { return x; } func main() { return f(1) && f(0) || f(1); }",
+	}
+	for _, src := range sources {
+		prog, err := gel.ParseAndCheck(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		mod, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if err := bytecode.Verify(mod); err != nil {
+			t.Errorf("%q: generated unverifiable code: %v", src, err)
+		}
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	if got := run(t, "func main() { var x = 5; x = x; }", "main"); got != 0 {
+		t.Fatalf("implicit return = %d", got)
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `
+	func bump() { st32(256, ld32(256) + 1); return 1; }
+	func main(a) {
+		var r = a && bump();
+		r = a || bump();
+		return ld32(256);
+	}`
+	// a=0: && short-circuits (no bump), || evaluates bump once => 1.
+	if got := run(t, src, "main", 0); got != 1 {
+		t.Fatalf("a=0: bumps = %d, want 1", got)
+	}
+	// a=1: && evaluates bump once, || short-circuits => 1.
+	if got := run(t, src, "main", 1); got != 1 {
+		t.Fatalf("a=1: bumps = %d, want 1", got)
+	}
+}
+
+func TestNestedLoopsBreakInnermost(t *testing.T) {
+	src := `func main() {
+		var total = 0;
+		var i = 0;
+		while (i < 3) {
+			var j = 0;
+			while (1) {
+				j = j + 1;
+				if (j == 4) { break; }
+				total = total + 1;
+			}
+			i = i + 1;
+		}
+		return total;
+	}`
+	if got := run(t, src, "main"); got != 9 {
+		t.Fatalf("total = %d, want 9", got)
+	}
+}
+
+func TestContinueReevaluatesCondition(t *testing.T) {
+	src := `func main() {
+		var i = 0;
+		var n = 0;
+		while (i < 10) {
+			i = i + 1;
+			if (i % 2) { continue; }
+			n = n + 1;
+		}
+		return n;
+	}`
+	if got := run(t, src, "main"); got != 5 {
+		t.Fatalf("n = %d", got)
+	}
+}
+
+func TestUnaryLowering(t *testing.T) {
+	cases := []struct {
+		expr string
+		arg  uint32
+		want uint32
+	}{
+		{"-a", 5, 0xFFFFFFFB},
+		{"!a", 0, 1},
+		{"!a", 7, 0},
+		{"~a", 0, 0xFFFFFFFF},
+		{"~a", 0xF0F0F0F0, 0x0F0F0F0F},
+	}
+	for _, c := range cases {
+		src := "func main(a) { return " + c.expr + "; }"
+		if got := run(t, src, "main", c.arg); got != c.want {
+			t.Errorf("%s with a=%d: got %#x, want %#x", c.expr, c.arg, got, c.want)
+		}
+	}
+}
+
+func TestDisassemblyShowsStructure(t *testing.T) {
+	prog, err := gel.ParseAndCheck(`func main(a) { while (a) { a = a - 1; } return a; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := bytecode.Disassemble(mod)
+	for _, want := range []string{"func main", "jz", "jmp", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEncodedModuleRoundTripsAndRuns(t *testing.T) {
+	prog, err := gel.ParseAndCheck(`func main(a, b) { return a * 10 + b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := MustCompile(prog)
+	decoded, err := bytecode.Decode(bytecode.Encode(mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(decoded, mem.New(1<<12), mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Invoke("main", 4, 2)
+	if err != nil || got != 42 {
+		t.Fatalf("decoded module: %d, %v", got, err)
+	}
+}

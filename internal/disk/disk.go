@@ -1,0 +1,155 @@
+// Package disk models a mid-1990s SCSI disk on the simulation's virtual
+// clock: seek, rotational latency, and transfer time per request, with
+// sequential accesses paying no seek. The Logical Disk experiment
+// (Table 6) and the disk-bandwidth table (Table 4) run against this
+// model; the lmb package additionally measures the real disk under the
+// paper's lmdd methodology so both worlds appear in EXPERIMENTS.md.
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"graftlab/internal/vclock"
+)
+
+// Geometry describes the performance envelope of the modeled disk.
+type Geometry struct {
+	// Blocks is the disk capacity in blocks.
+	Blocks uint32
+	// BlockSize is bytes per block.
+	BlockSize uint32
+	// AvgSeek is the average seek time paid by a non-adjacent access.
+	AvgSeek time.Duration
+	// TrackSeek is the track-to-track seek paid by a near access.
+	TrackSeek time.Duration
+	// NearBlocks is the distance (in blocks) under which a seek counts
+	// as track-to-track.
+	NearBlocks uint32
+	// HalfRotation is the average rotational latency.
+	HalfRotation time.Duration
+	// TransferRate is the media transfer rate in bytes per second.
+	TransferRate int64
+}
+
+// DefaultGeometry approximates the disks in the paper's Table 4 (1.7-4.4
+// MB/s delivered bandwidth): 1 GB, 4 KB blocks, 9 ms average seek, 4.2 ms
+// half rotation (7200 RPM), 5 MB/s media rate.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Blocks:       262144, // 1 GB / 4 KB
+		BlockSize:    4096,
+		AvgSeek:      9 * time.Millisecond,
+		TrackSeek:    1 * time.Millisecond,
+		NearBlocks:   64,
+		HalfRotation: 4200 * time.Microsecond,
+		TransferRate: 5 << 20,
+	}
+}
+
+// Stats counts what the disk did.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	Seeks      uint64
+	TrackSeeks uint64
+	BytesMoved uint64
+	BusyTime   time.Duration
+}
+
+// Disk is the simulated device. It is not safe for concurrent use; the
+// simulated kernel serializes requests, as a single-spindle driver would.
+type Disk struct {
+	geo   Geometry
+	clock *vclock.Clock
+	head  uint32 // current head position in blocks
+	stats Stats
+}
+
+// New creates a disk with the given geometry on clock.
+func New(geo Geometry, clock *vclock.Clock) *Disk {
+	if geo.Blocks == 0 || geo.BlockSize == 0 || geo.TransferRate <= 0 {
+		panic(fmt.Sprintf("disk: invalid geometry %+v", geo))
+	}
+	return &Disk{geo: geo, clock: clock}
+}
+
+// Geometry returns the disk's geometry.
+func (d *Disk) Geometry() Geometry { return d.geo }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats clears the statistics without moving the head.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// access charges the virtual clock for an n-block request at block.
+func (d *Disk) access(block, nblocks uint32, write bool) (time.Duration, error) {
+	if nblocks == 0 {
+		return 0, fmt.Errorf("disk: zero-length access")
+	}
+	if uint64(block)+uint64(nblocks) > uint64(d.geo.Blocks) {
+		return 0, fmt.Errorf("disk: access [%d,%d) beyond capacity %d", block, block+nblocks, d.geo.Blocks)
+	}
+	var cost time.Duration
+	switch dist := absDiff(block, d.head); {
+	case dist == 0:
+		// sequential: head already there, no seek, no extra rotation
+	case dist <= d.geo.NearBlocks:
+		cost += d.geo.TrackSeek + d.geo.HalfRotation
+		d.stats.TrackSeeks++
+	default:
+		cost += d.geo.AvgSeek + d.geo.HalfRotation
+		d.stats.Seeks++
+	}
+	bytes := int64(nblocks) * int64(d.geo.BlockSize)
+	cost += time.Duration(bytes * int64(time.Second) / d.geo.TransferRate)
+	d.head = block + nblocks
+	d.stats.BytesMoved += uint64(bytes)
+	d.stats.BusyTime += cost
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.clock.Advance(cost)
+	return cost, nil
+}
+
+// Read charges a read of nblocks at block and returns its service time.
+func (d *Disk) Read(block, nblocks uint32) (time.Duration, error) {
+	return d.access(block, nblocks, false)
+}
+
+// Write charges a write of nblocks at block and returns its service time.
+func (d *Disk) Write(block, nblocks uint32) (time.Duration, error) {
+	return d.access(block, nblocks, true)
+}
+
+// SequentialBandwidth reports the delivered bandwidth (bytes/s) of a
+// sequential write of total bytes in chunks of chunkBlocks, computed
+// analytically from the geometry. Used for the Table 4 model column.
+func (d *Disk) SequentialBandwidth(total int64, chunkBlocks uint32) int64 {
+	if chunkBlocks == 0 {
+		return 0
+	}
+	chunkBytes := int64(chunkBlocks) * int64(d.geo.BlockSize)
+	chunks := total / chunkBytes
+	if chunks == 0 {
+		chunks = 1
+	}
+	// First chunk pays a full seek; subsequent chunks stream.
+	cost := time.Duration(chunks * chunkBytes * int64(time.Second) / d.geo.TransferRate)
+	cost += d.geo.AvgSeek + d.geo.HalfRotation
+	if cost <= 0 {
+		return 0
+	}
+	return int64(float64(chunks*chunkBytes) / cost.Seconds())
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

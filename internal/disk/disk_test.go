@@ -1,0 +1,141 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"graftlab/internal/vclock"
+)
+
+func newTestDisk() (*Disk, *vclock.Clock) {
+	clock := &vclock.Clock{}
+	return New(DefaultGeometry(), clock), clock
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	d, clock := newTestDisk()
+	// Sequential: 64 blocks in order.
+	for b := uint32(0); b < 64; b++ {
+		if _, err := d.Write(b, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := clock.Now()
+
+	d2, clock2 := newTestDisk()
+	// Random: same 64 blocks, far apart.
+	for i := uint32(0); i < 64; i++ {
+		if _, err := d2.Write((i*40009)%d2.Geometry().Blocks, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rnd := clock2.Now()
+	if rnd < 10*seq {
+		t.Errorf("random %v not >> sequential %v", rnd, seq)
+	}
+}
+
+func TestSeekClassification(t *testing.T) {
+	d, _ := newTestDisk()
+	d.Write(0, 1)      // first access seeks (head at 0? head starts 0: dist 0 => sequential)
+	d.Write(1, 1)      // sequential
+	d.Write(3, 1)      // near => track seek
+	d.Write(100000, 1) // far => full seek
+	st := d.Stats()
+	if st.Seeks != 1 {
+		t.Errorf("full seeks = %d, want 1", st.Seeks)
+	}
+	if st.TrackSeeks != 1 {
+		t.Errorf("track seeks = %d, want 1", st.TrackSeeks)
+	}
+	if st.Writes != 4 {
+		t.Errorf("writes = %d", st.Writes)
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	d, _ := newTestDisk()
+	one, err := d.Write(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sixteen, err := d.Write(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are sequential (no seek); 16 blocks should cost ~16x.
+	lo := 15 * one
+	hi := 17 * one
+	if sixteen < lo || sixteen > hi {
+		t.Errorf("16-block transfer %v not ~16x 1-block %v", sixteen, one)
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	d, _ := newTestDisk()
+	if _, err := d.Read(0, 0); err == nil {
+		t.Error("zero-length read accepted")
+	}
+	geo := d.Geometry()
+	if _, err := d.Write(geo.Blocks-1, 2); err == nil {
+		t.Error("overrun accepted")
+	}
+	if _, err := d.Read(geo.Blocks, 1); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	d, clock := newTestDisk()
+	d.Write(0, 4)
+	d.Read(500000%d.Geometry().Blocks, 2)
+	st := d.Stats()
+	if st.BytesMoved != 6*4096 {
+		t.Errorf("bytes = %d", st.BytesMoved)
+	}
+	if st.BusyTime != clock.Now() {
+		t.Errorf("busy %v != clock %v", st.BusyTime, clock.Now())
+	}
+	d.ResetStats()
+	if d.Stats().BytesMoved != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestSequentialBandwidthIsPlausible(t *testing.T) {
+	d, _ := newTestDisk()
+	bw := d.SequentialBandwidth(8<<20, 16)
+	// Must be positive and below the raw media rate.
+	if bw <= 0 || bw > d.Geometry().TransferRate {
+		t.Errorf("bandwidth = %d", bw)
+	}
+	// The paper's Table 4 band: rough 1990s disks deliver 1-5 MB/s.
+	if bw < 1<<20 {
+		t.Errorf("bandwidth %d below 1 MB/s band", bw)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted zero geometry")
+		}
+	}()
+	New(Geometry{}, &vclock.Clock{})
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	d, clock := newTestDisk()
+	before := clock.Now()
+	cost, err := d.Write(200000%d.Geometry().Blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-before != cost {
+		t.Errorf("clock advanced %v, cost %v", clock.Now()-before, cost)
+	}
+	if cost < d.Geometry().AvgSeek {
+		t.Errorf("far write cost %v less than seek time", cost)
+	}
+	_ = time.Duration(0)
+}

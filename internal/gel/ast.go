@@ -1,0 +1,263 @@
+package gel
+
+// The GEL abstract syntax tree. All values are unsigned 32-bit words with
+// wrapping arithmetic; booleans are 0/1. The checker annotates nodes with
+// resolved local slots, function indices and builtin identities so the
+// back ends never look names up at run time.
+
+// Program is a checked GEL compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+	// ByName maps function name to its index in Funcs.
+	ByName map[string]int
+	// Source is the original text, retained for diagnostics and for
+	// technologies that re-process source (the script class).
+	Source string
+}
+
+// Func returns the declaration of the named function, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	if i, ok := p.ByName[name]; ok {
+		return p.Funcs[i]
+	}
+	return nil
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name    string
+	Params  []string
+	Body    *Block
+	Pos     Pos
+	NLocals int // total local slots including parameters; set by the checker
+	Index   int // position in Program.Funcs
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	Position() Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDecl introduces a local: `var x = expr;`.
+type VarDecl struct {
+	Name string
+	Slot int
+	Init Expr
+	Pos  Pos
+}
+
+// Assign writes a local: `x = expr;`.
+type Assign struct {
+	Name string
+	Slot int
+	Val  Expr
+	Pos  Pos
+}
+
+// If is a conditional; Else is nil, *Block, or *If (for else-if chains).
+type If struct {
+	Cond Expr
+	Then *Block
+	Else Stmt
+	Pos  Pos
+}
+
+// While is the only loop form.
+type While struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// Break exits the innermost loop.
+type Break struct{ Pos Pos }
+
+// Continue re-tests the innermost loop.
+type Continue struct{ Pos Pos }
+
+// Return leaves the function; Val may be nil (returns 0).
+type Return struct {
+	Val Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Return) stmtNode()   {}
+func (*ExprStmt) stmtNode() {}
+
+func (s *Block) Position() Pos    { return s.Pos }
+func (s *VarDecl) Position() Pos  { return s.Pos }
+func (s *Assign) Position() Pos   { return s.Pos }
+func (s *If) Position() Pos       { return s.Pos }
+func (s *While) Position() Pos    { return s.Pos }
+func (s *Break) Position() Pos    { return s.Pos }
+func (s *Continue) Position() Pos { return s.Pos }
+func (s *Return) Position() Pos   { return s.Pos }
+func (s *ExprStmt) Position() Pos { return s.Pos }
+
+// NumberLit is a u32 literal.
+type NumberLit struct {
+	Val uint32
+	Pos Pos
+}
+
+// VarRef reads a local.
+type VarRef struct {
+	Name string
+	Slot int
+	Pos  Pos
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+const (
+	UNeg UnaryOp = iota // - (two's complement)
+	UNot                // ! (logical: 0 -> 1, nonzero -> 0)
+	UCpl                // ~ (bitwise complement)
+)
+
+func (op UnaryOp) String() string {
+	switch op {
+	case UNeg:
+		return "-"
+	case UNot:
+		return "!"
+	case UCpl:
+		return "~"
+	}
+	return "?"
+}
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// BinOp enumerates binary operators. Comparisons are unsigned and yield
+// 0/1. Div and Rem trap on zero divisors. LAnd/LOr short-circuit.
+type BinOp int
+
+const (
+	BAdd BinOp = iota
+	BSub
+	BMul
+	BDiv
+	BRem
+	BAnd
+	BOr
+	BXor
+	BShl
+	BShr
+	BEq
+	BNe
+	BLt
+	BLe
+	BGt
+	BGe
+	BLAnd
+	BLOr
+)
+
+var binOpNames = [...]string{
+	BAdd: "+", BSub: "-", BMul: "*", BDiv: "/", BRem: "%", BAnd: "&",
+	BOr: "|", BXor: "^", BShl: "<<", BShr: ">>", BEq: "==", BNe: "!=",
+	BLt: "<", BLe: "<=", BGt: ">", BGe: ">=", BLAnd: "&&", BLOr: "||",
+}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return "?"
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	X, Y Expr
+	Pos  Pos
+}
+
+// BuiltinID enumerates the host builtins a graft may call.
+type BuiltinID int
+
+const (
+	NotBuiltin BuiltinID = iota
+	BILd32               // ld32(addr) -> u32
+	BILd8                // ld8(addr) -> u32
+	BISt32               // st32(addr, v) -> 0
+	BISt8                // st8(addr, v) -> 0
+	BIRotl               // rotl(x, n) -> u32
+	BIRotr               // rotr(x, n) -> u32
+	BIMin                // min(a, b) -> unsigned min
+	BIMax                // max(a, b) -> unsigned max
+	BIMemSize            // memsize() -> bytes of linear memory
+	BIAbort              // abort(code): traps, never returns
+)
+
+// Builtins maps builtin name to (id, arity).
+var Builtins = map[string]struct {
+	ID    BuiltinID
+	Arity int
+}{
+	"ld32":    {BILd32, 1},
+	"ld8":     {BILd8, 1},
+	"st32":    {BISt32, 2},
+	"st8":     {BISt8, 2},
+	"rotl":    {BIRotl, 2},
+	"rotr":    {BIRotr, 2},
+	"min":     {BIMin, 2},
+	"max":     {BIMax, 2},
+	"memsize": {BIMemSize, 0},
+	"abort":   {BIAbort, 1},
+}
+
+// Call invokes a user function or a builtin. Exactly one of Builtin !=
+// NotBuiltin or FuncIdx >= 0 holds after checking.
+type Call struct {
+	Name    string
+	Args    []Expr
+	Builtin BuiltinID
+	FuncIdx int
+	Pos     Pos
+}
+
+func (*NumberLit) exprNode() {}
+func (*VarRef) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Call) exprNode()      {}
+
+func (e *NumberLit) Position() Pos { return e.Pos }
+func (e *VarRef) Position() Pos    { return e.Pos }
+func (e *Unary) Position() Pos     { return e.Pos }
+func (e *Binary) Position() Pos    { return e.Pos }
+func (e *Call) Position() Pos      { return e.Pos }

@@ -1,0 +1,200 @@
+package gel
+
+// Semantic checking: resolves variable references to local slots with
+// block scoping, resolves calls to user functions or builtins, verifies
+// arity, and rejects break/continue outside loops. After Check succeeds a
+// Program is ready for any back end.
+
+type checker struct {
+	prog      *Program
+	fn        *FuncDecl
+	scopes    []map[string]int
+	nextSlot  int
+	loopDepth int
+}
+
+// Check resolves and validates prog in place.
+func Check(prog *Program) error {
+	for i, fd := range prog.Funcs {
+		if prev, ok := prog.ByName[fd.Name]; ok && prev != i {
+			return errf(fd.Pos, "function %q redeclared (first at %s)", fd.Name, prog.Funcs[prev].Pos)
+		}
+		if _, ok := Builtins[fd.Name]; ok {
+			return errf(fd.Pos, "function %q shadows a builtin", fd.Name)
+		}
+		prog.ByName[fd.Name] = i
+	}
+	for _, fd := range prog.Funcs {
+		c := &checker{prog: prog, fn: fd}
+		c.pushScope()
+		for _, pname := range fd.Params {
+			if _, exists := c.scopes[0][pname]; exists {
+				return errf(fd.Pos, "duplicate parameter %q in %q", pname, fd.Name)
+			}
+			c.scopes[0][pname] = c.nextSlot
+			c.nextSlot++
+		}
+		if err := c.block(fd.Body, false); err != nil {
+			return err
+		}
+		fd.NLocals = c.nextSlot
+	}
+	return nil
+}
+
+// MustParse parses and checks src, panicking on error. For graft sources
+// compiled into the binary, where a parse failure is a programming bug.
+func MustParse(src string) *Program {
+	p, err := ParseAndCheck(src)
+	if err != nil {
+		panic("gel: " + err.Error())
+	}
+	return p
+}
+
+// ParseAndCheck parses and semantically checks src.
+func ParseAndCheck(src string) (*Program, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]int)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) (int, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if slot, ok := c.scopes[i][name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// block checks a block; ownScope is false for function bodies, whose scope
+// (holding the parameters) is already open.
+func (c *checker) block(b *Block, ownScope bool) error {
+	if ownScope {
+		c.pushScope()
+		defer c.popScope()
+	}
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.block(st, true)
+	case *VarDecl:
+		if err := c.expr(st.Init); err != nil {
+			return err
+		}
+		top := c.scopes[len(c.scopes)-1]
+		if _, exists := top[st.Name]; exists {
+			return errf(st.Pos, "variable %q redeclared in this scope", st.Name)
+		}
+		st.Slot = c.nextSlot
+		c.nextSlot++
+		top[st.Name] = st.Slot
+		return nil
+	case *Assign:
+		slot, ok := c.lookup(st.Name)
+		if !ok {
+			return errf(st.Pos, "assignment to undeclared variable %q", st.Name)
+		}
+		st.Slot = slot
+		return c.expr(st.Val)
+	case *If:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.block(st.Then, true); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.stmt(st.Else)
+		}
+		return nil
+	case *While:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.block(st.Body, true)
+		c.loopDepth--
+		return err
+	case *Break:
+		if c.loopDepth == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *Continue:
+		if c.loopDepth == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *Return:
+		if st.Val != nil {
+			return c.expr(st.Val)
+		}
+		return nil
+	case *ExprStmt:
+		return c.expr(st.X)
+	}
+	return errf(s.Position(), "unknown statement type")
+}
+
+func (c *checker) expr(e Expr) error {
+	switch ex := e.(type) {
+	case *NumberLit:
+		return nil
+	case *VarRef:
+		slot, ok := c.lookup(ex.Name)
+		if !ok {
+			return errf(ex.Pos, "undeclared variable %q", ex.Name)
+		}
+		ex.Slot = slot
+		return nil
+	case *Unary:
+		return c.expr(ex.X)
+	case *Binary:
+		if err := c.expr(ex.X); err != nil {
+			return err
+		}
+		return c.expr(ex.Y)
+	case *Call:
+		for _, a := range ex.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		if b, ok := Builtins[ex.Name]; ok {
+			if len(ex.Args) != b.Arity {
+				return errf(ex.Pos, "builtin %q takes %d argument(s), got %d", ex.Name, b.Arity, len(ex.Args))
+			}
+			ex.Builtin = b.ID
+			return nil
+		}
+		idx, ok := c.prog.ByName[ex.Name]
+		if !ok {
+			return errf(ex.Pos, "call to undefined function %q", ex.Name)
+		}
+		fd := c.prog.Funcs[idx]
+		if len(ex.Args) != len(fd.Params) {
+			return errf(ex.Pos, "function %q takes %d argument(s), got %d", ex.Name, len(fd.Params), len(ex.Args))
+		}
+		ex.FuncIdx = idx
+		return nil
+	}
+	return errf(e.Position(), "unknown expression type")
+}

@@ -1,0 +1,204 @@
+package gel
+
+import "math/bits"
+
+// Fold performs constant folding on a checked program, in place:
+// arithmetic over literals is evaluated at compile time with the same
+// wrapping/trapping semantics the back ends implement (division by a
+// literal zero is left in place so it still traps at run time), and
+// branches with constant conditions are pruned. Fold never changes
+// observable behaviour — the differential tests run folded and unfolded
+// programs side by side.
+func Fold(p *Program) {
+	for _, fd := range p.Funcs {
+		fd.Body = foldBlock(fd.Body)
+	}
+}
+
+func foldBlock(b *Block) *Block {
+	out := make([]Stmt, 0, len(b.Stmts))
+	for _, s := range b.Stmts {
+		fs := foldStmt(s)
+		if fs != nil {
+			out = append(out, fs)
+		}
+	}
+	b.Stmts = out
+	return b
+}
+
+// foldStmt returns the folded statement, or nil if it can be dropped.
+func foldStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *Block:
+		return foldBlock(st)
+	case *VarDecl:
+		st.Init = foldExpr(st.Init)
+		return st
+	case *Assign:
+		st.Val = foldExpr(st.Val)
+		return st
+	case *If:
+		st.Cond = foldExpr(st.Cond)
+		st.Then = foldBlock(st.Then)
+		if st.Else != nil {
+			st.Else = foldStmt(st.Else)
+		}
+		if n, ok := st.Cond.(*NumberLit); ok {
+			if n.Val != 0 {
+				return st.Then
+			}
+			if st.Else == nil {
+				return nil
+			}
+			return st.Else
+		}
+		return st
+	case *While:
+		st.Cond = foldExpr(st.Cond)
+		st.Body = foldBlock(st.Body)
+		if n, ok := st.Cond.(*NumberLit); ok && n.Val == 0 {
+			return nil // while(0) never runs
+		}
+		return st
+	case *Return:
+		if st.Val != nil {
+			st.Val = foldExpr(st.Val)
+		}
+		return st
+	case *ExprStmt:
+		st.X = foldExpr(st.X)
+		// A pure constant as a statement has no effect.
+		if _, ok := st.X.(*NumberLit); ok {
+			return nil
+		}
+		return st
+	default:
+		return s
+	}
+}
+
+func foldExpr(e Expr) Expr {
+	switch ex := e.(type) {
+	case *Unary:
+		ex.X = foldExpr(ex.X)
+		if n, ok := ex.X.(*NumberLit); ok {
+			switch ex.Op {
+			case UNeg:
+				return &NumberLit{Val: -n.Val, Pos: ex.Pos}
+			case UNot:
+				return &NumberLit{Val: b2uFold(n.Val == 0), Pos: ex.Pos}
+			case UCpl:
+				return &NumberLit{Val: ^n.Val, Pos: ex.Pos}
+			}
+		}
+		return ex
+	case *Binary:
+		ex.X = foldExpr(ex.X)
+		ex.Y = foldExpr(ex.Y)
+		x, xok := ex.X.(*NumberLit)
+		y, yok := ex.Y.(*NumberLit)
+		// Short-circuit operators fold safely when the left side decides.
+		if xok && ex.Op == BLAnd && x.Val == 0 {
+			return &NumberLit{Val: 0, Pos: ex.Pos}
+		}
+		if xok && ex.Op == BLOr && x.Val != 0 {
+			return &NumberLit{Val: 1, Pos: ex.Pos}
+		}
+		if !xok || !yok {
+			return ex
+		}
+		var v uint32
+		switch ex.Op {
+		case BAdd:
+			v = x.Val + y.Val
+		case BSub:
+			v = x.Val - y.Val
+		case BMul:
+			v = x.Val * y.Val
+		case BDiv, BRem:
+			if y.Val == 0 {
+				return ex // keep the runtime trap
+			}
+			if ex.Op == BDiv {
+				v = x.Val / y.Val
+			} else {
+				v = x.Val % y.Val
+			}
+		case BAnd:
+			v = x.Val & y.Val
+		case BOr:
+			v = x.Val | y.Val
+		case BXor:
+			v = x.Val ^ y.Val
+		case BShl:
+			v = x.Val << (y.Val & 31)
+		case BShr:
+			v = x.Val >> (y.Val & 31)
+		case BEq:
+			v = b2uFold(x.Val == y.Val)
+		case BNe:
+			v = b2uFold(x.Val != y.Val)
+		case BLt:
+			v = b2uFold(x.Val < y.Val)
+		case BLe:
+			v = b2uFold(x.Val <= y.Val)
+		case BGt:
+			v = b2uFold(x.Val > y.Val)
+		case BGe:
+			v = b2uFold(x.Val >= y.Val)
+		case BLAnd:
+			v = b2uFold(x.Val != 0 && y.Val != 0)
+		case BLOr:
+			v = b2uFold(x.Val != 0 || y.Val != 0)
+		default:
+			return ex
+		}
+		return &NumberLit{Val: v, Pos: ex.Pos}
+	case *Call:
+		for i, a := range ex.Args {
+			ex.Args[i] = foldExpr(a)
+		}
+		// Pure builtins over constants fold; memory and abort do not.
+		if len(ex.Args) == 2 {
+			x, xok := ex.Args[0].(*NumberLit)
+			y, yok := ex.Args[1].(*NumberLit)
+			if xok && yok {
+				switch ex.Builtin {
+				case BIRotl:
+					return &NumberLit{Val: bits.RotateLeft32(x.Val, int(y.Val&31)), Pos: ex.Pos}
+				case BIRotr:
+					return &NumberLit{Val: bits.RotateLeft32(x.Val, -int(y.Val&31)), Pos: ex.Pos}
+				case BIMin:
+					return &NumberLit{Val: minU(x.Val, y.Val), Pos: ex.Pos}
+				case BIMax:
+					return &NumberLit{Val: maxU(x.Val, y.Val), Pos: ex.Pos}
+				}
+			}
+		}
+		return ex
+	default:
+		return e
+	}
+}
+
+func b2uFold(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minU(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package gel
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("func f(a, b) { return a + b; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KFUNC, IDENT, LPAREN, IDENT, COMMA, IDENT, RPAREN,
+		LBRACE, KRETURN, IDENT, PLUS, IDENT, SEMI, RBRACE, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"4294967295", 0xFFFFFFFF},
+		{"0x0", 0},
+		{"0xdeadBEEF", 0xDEADBEEF},
+		{"0xFFFFFFFF", 0xFFFFFFFF},
+		{"1_000_000", 1000000},
+		{"0xFF_FF", 0xFFFF},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != NUMBER || toks[0].Val != c.want {
+			t.Errorf("Lex(%q) = %v (val %d), want NUMBER %d", c.src, toks[0].Kind, toks[0].Val, c.want)
+		}
+	}
+}
+
+func TestLexNumberErrors(t *testing.T) {
+	for _, src := range []string{"4294967296", "0x100000000", "0x", "0xZ"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "<< >> <= >= < > == != && || & | ^ ~ ! = + - * / %"
+	want := []Kind{SHL, SHR, LE, GE, LT, GT, EQ, NE, LAND, LOR, AMP, PIPE,
+		CARET, TILDE, BANG, ASSIGN, PLUS, MINUS, STAR, SLASH, PERCENT, EOF}
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a // line comment\n b /* block\n comment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens %v, want 4", len(toks), toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("token c line = %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("a /* never closed"); err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	for _, src := range []string{"@", "a # b", "`"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb\n    ccc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPos := []Pos{{1, 1}, {2, 3}, {3, 5}}
+	for i, w := range wantPos {
+		if toks[i].Pos != w {
+			t.Errorf("token %d pos = %v, want %v", i, toks[i].Pos, w)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("func funcs iffy if while whiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KFUNC, IDENT, IDENT, KIF, KWHILE, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package gel
+
+// Recursive-descent parser. Grammar:
+//
+//	program  := funcdecl*
+//	funcdecl := "func" IDENT "(" [IDENT ("," IDENT)*] ")" block
+//	block    := "{" stmt* "}"
+//	stmt     := "var" IDENT "=" expr ";"
+//	          | IDENT "=" expr ";"
+//	          | "if" "(" expr ")" block ["else" (block | if-stmt)]
+//	          | "while" "(" expr ")" block
+//	          | "break" ";" | "continue" ";"
+//	          | "return" [expr] ";"
+//	          | expr ";"
+//
+// Expression precedence, loosest first:
+//
+//	|| , && , | , ^ , & , (== !=) , (< <= > >=) , (<< >>) , (+ -) ,
+//	(* / %) , unary (- ! ~) , primary
+type parser struct {
+	lex *lexer
+	tok Token // current token
+}
+
+// Parse lexes and parses src into an unchecked Program.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{ByName: make(map[string]int), Source: src}
+	for p.tok.Kind != EOF {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		fd.Index = len(prog.Funcs)
+		prog.Funcs = append(prog.Funcs, fd)
+	}
+	return prog, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) accept(k Kind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(KFUNC); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.tok.Kind != RPAREN {
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.Text)
+			ok, err := p.accept(COMMA)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, Params: params, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: pos}
+	for p.tok.Kind != RBRACE {
+		if p.tok.Kind == EOF {
+			return nil, errf(p.tok.Pos, "unexpected end of file inside block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance() // consume }
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case KVAR:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: id.Text, Slot: -1, Init: init, Pos: pos}, nil
+	case KIF:
+		return p.ifStmt()
+	case KWHILE:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Pos: pos}, nil
+	case KBREAK:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Break{Pos: pos}, nil
+	case KCONTINUE:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Continue{Pos: pos}, nil
+	case KRETURN:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var val Expr
+		if p.tok.Kind != SEMI {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Return{Val: val, Pos: pos}, nil
+	case LBRACE:
+		return p.block()
+	case IDENT:
+		// Could be assignment `x = e;` or an expression statement `f(...);`.
+		// One token of lookahead after the identifier distinguishes them.
+		id := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == ASSIGN {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &Assign{Name: id.Text, Slot: -1, Val: val, Pos: pos}, nil
+		}
+		// Re-enter expression parsing with the identifier already consumed.
+		x, err := p.primaryFromIdent(id)
+		if err != nil {
+			return nil, err
+		}
+		x, err = p.binaryRHS(x, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: pos}, nil
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: pos}, nil
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // consume if
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Pos: pos}
+	ok, err := p.accept(KELSE)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if p.tok.Kind == KIF {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+// binary operator precedence levels; higher binds tighter.
+var precedence = map[Kind]int{
+	LOR: 1, LAND: 2, PIPE: 3, CARET: 4, AMP: 5,
+	EQ: 6, NE: 6,
+	LT: 7, LE: 7, GT: 7, GE: 7,
+	SHL: 8, SHR: 8,
+	PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+var tokToBinOp = map[Kind]BinOp{
+	PLUS: BAdd, MINUS: BSub, STAR: BMul, SLASH: BDiv, PERCENT: BRem,
+	AMP: BAnd, PIPE: BOr, CARET: BXor, SHL: BShl, SHR: BShr,
+	EQ: BEq, NE: BNe, LT: BLt, LE: BLe, GT: BGt, GE: BGe,
+	LAND: BLAnd, LOR: BLOr,
+}
+
+func (p *parser) expr() (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	return p.binaryRHS(lhs, 0)
+}
+
+// binaryRHS implements precedence climbing above an already-parsed lhs.
+func (p *parser) binaryRHS(lhs Expr, minPrec int) (Expr, error) {
+	for {
+		prec, ok := precedence[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := tokToBinOp[p.tok.Kind]
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			nextPrec, ok := precedence[p.tok.Kind]
+			if !ok || nextPrec <= prec {
+				break
+			}
+			rhs, err = p.binaryRHS(rhs, nextPrec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		lhs = &Binary{Op: op, X: lhs, Y: rhs, Pos: pos}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case MINUS:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UNeg, X: x, Pos: pos}, nil
+	case BANG:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UNot, X: x, Pos: pos}, nil
+	case TILDE:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UCpl, X: x, Pos: pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch p.tok.Kind {
+	case NUMBER:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumberLit{Val: t.Val, Pos: t.Pos}, nil
+	case IDENT:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.primaryFromIdent(t)
+	case LPAREN:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(p.tok.Pos, "expected expression, found %s", p.tok)
+}
+
+// primaryFromIdent finishes a primary whose leading identifier token has
+// already been consumed (call or variable reference).
+func (p *parser) primaryFromIdent(id Token) (Expr, error) {
+	if p.tok.Kind != LPAREN {
+		return &VarRef{Name: id.Text, Slot: -1, Pos: id.Pos}, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	call := &Call{Name: id.Text, FuncIdx: -1, Pos: id.Pos}
+	if p.tok.Kind != RPAREN {
+		for {
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			ok, err := p.accept(COMMA)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

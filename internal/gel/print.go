@@ -1,0 +1,160 @@
+package gel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to canonical GEL source. Printing then
+// re-parsing yields a structurally identical AST (tested by the
+// round-trip property), which makes Print usable for normalizing graft
+// sources, for diagnostics, and as the carrier for AST-level transforms
+// such as constant folding.
+func Print(p *Program) string {
+	var b strings.Builder
+	for i, fd := range p.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printFunc(&b, fd)
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, fd *FuncDecl) {
+	fmt.Fprintf(b, "func %s(%s) ", fd.Name, strings.Join(fd.Params, ", "))
+	printBlock(b, fd.Body, 0)
+	b.WriteString("\n")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("\t")
+	}
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch st := s.(type) {
+	case *Block:
+		printBlock(b, st, depth)
+		b.WriteString("\n")
+	case *VarDecl:
+		fmt.Fprintf(b, "var %s = %s;\n", st.Name, ExprString(st.Init))
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s;\n", st.Name, ExprString(st.Val))
+	case *If:
+		printIf(b, st, depth)
+		b.WriteString("\n")
+	case *While:
+		fmt.Fprintf(b, "while (%s) ", ExprString(st.Cond))
+		printBlock(b, st.Body, depth)
+		b.WriteString("\n")
+	case *Break:
+		b.WriteString("break;\n")
+	case *Continue:
+		b.WriteString("continue;\n")
+	case *Return:
+		if st.Val == nil {
+			b.WriteString("return;\n")
+		} else {
+			fmt.Fprintf(b, "return %s;\n", ExprString(st.Val))
+		}
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;\n", ExprString(st.X))
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */;\n", s)
+	}
+}
+
+func printIf(b *strings.Builder, st *If, depth int) {
+	fmt.Fprintf(b, "if (%s) ", ExprString(st.Cond))
+	printBlock(b, st.Then, depth)
+	switch els := st.Else.(type) {
+	case nil:
+	case *If:
+		b.WriteString(" else ")
+		printIf(b, els, depth)
+	case *Block:
+		b.WriteString(" else ")
+		printBlock(b, els, depth)
+	default:
+		b.WriteString(" else { /* unknown */ }")
+	}
+}
+
+// ExprString renders an expression with minimal parentheses (every
+// binary subexpression is parenthesized when its operator binds less
+// tightly than its parent's, which keeps the output unambiguous without
+// re-deriving the whole precedence table in reverse).
+func ExprString(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e, 0)
+	return b.String()
+}
+
+// binPrec mirrors the parser's precedence levels.
+var binPrec = map[BinOp]int{
+	BLOr: 1, BLAnd: 2, BOr: 3, BXor: 4, BAnd: 5,
+	BEq: 6, BNe: 6,
+	BLt: 7, BLe: 7, BGt: 7, BGe: 7,
+	BShl: 8, BShr: 8,
+	BAdd: 9, BSub: 9,
+	BMul: 10, BDiv: 10, BRem: 10,
+}
+
+const unaryPrec = 11
+
+func printExpr(b *strings.Builder, e Expr, parentPrec int) {
+	switch ex := e.(type) {
+	case *NumberLit:
+		if ex.Val >= 1<<16 {
+			fmt.Fprintf(b, "0x%x", ex.Val)
+		} else {
+			fmt.Fprintf(b, "%d", ex.Val)
+		}
+	case *VarRef:
+		b.WriteString(ex.Name)
+	case *Unary:
+		if parentPrec > unaryPrec {
+			b.WriteString("(")
+		}
+		b.WriteString(ex.Op.String())
+		printExpr(b, ex.X, unaryPrec)
+		if parentPrec > unaryPrec {
+			b.WriteString(")")
+		}
+	case *Binary:
+		prec := binPrec[ex.Op]
+		if parentPrec >= prec {
+			b.WriteString("(")
+		}
+		printExpr(b, ex.X, prec-1) // left-assoc: left child may tie
+		fmt.Fprintf(b, " %s ", ex.Op)
+		printExpr(b, ex.Y, prec) // right child must bind tighter
+		if parentPrec >= prec {
+			b.WriteString(")")
+		}
+	case *Call:
+		b.WriteString(ex.Name)
+		b.WriteString("(")
+		for i, a := range ex.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a, 0)
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,201 @@
+package gel
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripPositions zeroes Pos fields so structural comparison ignores
+// layout differences between original and round-tripped sources.
+func stripPositions(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Ptr:
+		if !v.IsNil() {
+			stripPositions(v.Elem())
+		}
+	case reflect.Interface:
+		if !v.IsNil() {
+			stripPositions(v.Elem())
+		}
+	case reflect.Struct:
+		if v.Type() == reflect.TypeOf(Pos{}) {
+			v.Set(reflect.Zero(v.Type()))
+			return
+		}
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() || v.Field(i).Kind() == reflect.Ptr ||
+				v.Field(i).Kind() == reflect.Slice || v.Field(i).Kind() == reflect.Interface ||
+				v.Field(i).Kind() == reflect.Struct {
+				stripPositions(v.Field(i))
+			}
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			stripPositions(v.Index(i))
+		}
+	case reflect.Map:
+		// ByName maps are rebuilt identically; skip.
+	}
+}
+
+func normalize(p *Program) *Program {
+	p.Source = ""
+	stripPositions(reflect.ValueOf(p))
+	return p
+}
+
+func TestPrintRoundTripFixed(t *testing.T) {
+	sources := []string{
+		`func main() { return 1 + 2 * 3; }`,
+		`func main(a, b) { return (a + b) * (a - b); }`,
+		`func main(a) {
+			var x = 0;
+			while (a > 0) { x = x + a; a = a - 1; if (x > 100) { break; } }
+			return x;
+		}`,
+		`func f(n) { if (n == 0) { return 1; } else if (n == 1) { return 2; } else { return f(n - 1); } }
+		 func main() { return f(5); }`,
+		`func main(a) { return !a && ~a || -a; }`,
+		`func main() { st32(0x1000, rotl(5, 2)); return ld32(0x1000); }`,
+		`func main(a) { return a << 2 >> 1 ^ a & 3 | 7; }`,
+		`func main() { { var x = 1; x = x; } return 0; }`,
+	}
+	for _, src := range sources {
+		p1, err := ParseAndCheck(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		printed := Print(p1)
+		p2, err := ParseAndCheck(printed)
+		if err != nil {
+			t.Fatalf("reparse: %v\noriginal:\n%s\nprinted:\n%s", err, src, printed)
+		}
+		if !reflect.DeepEqual(normalize(p1), normalize(p2)) {
+			t.Errorf("round trip changed the AST\noriginal:\n%s\nprinted:\n%s", src, printed)
+		}
+	}
+}
+
+// TestPrintRoundTripRandom is the property test: print∘parse is identity
+// on random programs.
+func TestPrintRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		src := randomPrintable(rng)
+		p1, err := ParseAndCheck(src)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v\n%s", i, err, src)
+		}
+		printed := Print(p1)
+		p2, err := ParseAndCheck(printed)
+		if err != nil {
+			t.Fatalf("case %d: reparse: %v\nprinted:\n%s", i, err, printed)
+		}
+		if !reflect.DeepEqual(normalize(p1), normalize(p2)) {
+			t.Fatalf("case %d: AST changed\noriginal:\n%s\nprinted:\n%s", i, src, printed)
+		}
+	}
+}
+
+func randomPrintable(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("func main(a, b) {\n var x = a;\n")
+	for i := 0; i < 4; i++ {
+		sb.WriteString(randStmt(rng, 2))
+	}
+	sb.WriteString(" return x;\n}\n")
+	return sb.String()
+}
+
+func randStmt(rng *rand.Rand, depth int) string {
+	switch r := rng.Intn(6); {
+	case r == 0 && depth > 0:
+		return fmt.Sprintf(" if (%s) {\n%s } else {\n%s }\n",
+			randExpr(rng, depth-1), randStmt(rng, depth-1), randStmt(rng, depth-1))
+	case r == 1 && depth > 0:
+		return fmt.Sprintf(" while (%s) {\n x = x - 1;\n%s break;\n }\n",
+			randExpr(rng, depth-1), randStmt(rng, depth-1))
+	case r == 2:
+		return fmt.Sprintf(" st32((%s) %% 64 * 4, %s);\n", randExpr(rng, depth), randExpr(rng, depth))
+	default:
+		return fmt.Sprintf(" x = %s;\n", randExpr(rng, depth))
+	}
+}
+
+func randExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return []string{"a", "b", "x", "1", "42", "0xDEAD"}[rng.Intn(6)]
+	}
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+		"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+	if rng.Intn(6) == 0 {
+		return fmt.Sprintf("%s(%s)", []string{"-", "!", "~"}[rng.Intn(3)], randExpr(rng, depth-1))
+	}
+	if rng.Intn(8) == 0 {
+		return fmt.Sprintf("rotl(%s, %s)", randExpr(rng, depth-1), randExpr(rng, depth-1))
+	}
+	return fmt.Sprintf("%s %s %s", randExpr(rng, depth-1), ops[rng.Intn(len(ops))], randExpr(rng, depth-1))
+}
+
+func TestFoldPreservesSemantics(t *testing.T) {
+	// Folding of pure constant programs yields literals.
+	p := MustParse(`func main() { return 2 + 3 * 4 - rotl(1, 4) + min(5, 3) + max(1, 2); }`)
+	Fold(p)
+	ret := p.Func("main").Body.Stmts[0].(*Return)
+	n, ok := ret.Val.(*NumberLit)
+	if !ok {
+		t.Fatalf("not folded: %s", ExprString(ret.Val))
+	}
+	if want := uint32(2 + 12 - 16 + 3 + 2); n.Val != want {
+		t.Fatalf("folded to %d, want %d", n.Val, want)
+	}
+}
+
+func TestFoldPrunesBranches(t *testing.T) {
+	p := MustParse(`func main(a) {
+		if (1) { a = a + 1; } else { a = a + 100; }
+		if (0) { a = a + 1000; }
+		while (0) { a = 0; }
+		return a;
+	}`)
+	Fold(p)
+	// After folding: one block (from if(1)), return.
+	stmts := p.Func("main").Body.Stmts
+	if len(stmts) != 2 {
+		t.Fatalf("stmts after fold = %d: %s", len(stmts), Print(p))
+	}
+}
+
+func TestFoldKeepsRuntimeTraps(t *testing.T) {
+	p := MustParse(`func main() { return 1 / 0; }`)
+	Fold(p)
+	ret := p.Func("main").Body.Stmts[0].(*Return)
+	if _, ok := ret.Val.(*NumberLit); ok {
+		t.Fatal("division by zero folded away; must trap at run time")
+	}
+}
+
+func TestFoldShortCircuit(t *testing.T) {
+	p := MustParse(`func main(a) { return 0 && abort(1) || 1; }`)
+	Fold(p)
+	// 0 && abort(1) folds to 0 without touching abort; 0 || 1 needs the
+	// right side, which is constant, so the whole thing folds to 1.
+	ret := p.Func("main").Body.Stmts[0].(*Return)
+	n, ok := ret.Val.(*NumberLit)
+	if !ok || n.Val != 1 {
+		t.Fatalf("folded to %s", ExprString(ret.Val))
+	}
+}
+
+func TestPrintHexHeuristic(t *testing.T) {
+	s := ExprString(&NumberLit{Val: 0xDEADBEEF})
+	if s != "0xdeadbeef" {
+		t.Errorf("big literal printed %q", s)
+	}
+	if got := ExprString(&NumberLit{Val: 42}); got != "42" {
+		t.Errorf("small literal printed %q", got)
+	}
+}

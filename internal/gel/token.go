@@ -1,0 +1,99 @@
+package gel
+
+import "fmt"
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// punctuation and operators
+	LPAREN  // (
+	RPAREN  // )
+	LBRACE  // {
+	RBRACE  // }
+	COMMA   // ,
+	SEMI    // ;
+	ASSIGN  // =
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	AMP     // &
+	PIPE    // |
+	CARET   // ^
+	TILDE   // ~
+	BANG    // !
+	SHL     // <<
+	SHR     // >>
+	EQ      // ==
+	NE      // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	LAND    // &&
+	LOR     // ||
+
+	// keywords
+	KFUNC
+	KVAR
+	KIF
+	KELSE
+	KWHILE
+	KBREAK
+	KCONTINUE
+	KRETURN
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", COMMA: ",",
+	SEMI: ";", ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	PERCENT: "%", AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", BANG: "!",
+	SHL: "<<", SHR: ">>", EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">",
+	GE: ">=", LAND: "&&", LOR: "||",
+	KFUNC: "func", KVAR: "var", KIF: "if", KELSE: "else", KWHILE: "while",
+	KBREAK: "break", KCONTINUE: "continue", KRETURN: "return",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"func": KFUNC, "var": KVAR, "if": KIF, "else": KELSE, "while": KWHILE,
+	"break": KBREAK, "continue": KCONTINUE, "return": KRETURN,
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // identifier or number text
+	Val  uint32 // numeric value for NUMBER
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,151 @@
+package grafts
+
+import (
+	"bytes"
+	"testing"
+
+	"graftlab/internal/kernel"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/workload"
+)
+
+// xorGraft is a user-written stream transformation: XOR every byte with
+// a configured key (config word at 0x1000, data window from 0x2000).
+var xorGraft = tech.Source{
+	Name: "xor-block",
+	GEL: `
+func process(addr, len) {
+	var key = ld32(0x1000);
+	var i = 0;
+	while (i < len) {
+		st8(addr + i, ld8(addr + i) ^ key);
+		i = i + 1;
+	}
+	return len;
+}
+`,
+	Tcl: `
+proc process {addr len} {
+	set key [ld32 0x1000]
+	set i 0
+	while {$i < $len} {
+		st8 [expr {$addr + $i}] [expr {[ld8 [expr {$addr + $i}]] ^ $key}]
+		incr i
+	}
+	return $len
+}
+`,
+}
+
+func newXORBlockFilter(t *testing.T, id tech.ID, key uint32) *BlockFilter {
+	t.Helper()
+	m := mem.New(1 << 14)
+	g, err := tech.Load(id, xorGraft, m, tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.St32U(0x1000, key)
+	f, err := NewBlockFilter("xor", g, "process", 0x2000, 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBlockFilterTransformsAcrossTechnologies(t *testing.T) {
+	data := make([]byte, 3000)
+	workload.FillPattern(data, 11)
+	want := make([]byte, len(data))
+	for i, b := range data {
+		want[i] = b ^ 0x5A
+	}
+	for _, id := range []tech.ID{tech.NativeUnsafe, tech.NativeSafe, tech.SFI, tech.Bytecode} {
+		f := newXORBlockFilter(t, id, 0x5A)
+		var out bytes.Buffer
+		c := kernel.NewChain(func(p []byte) error { out.Write(p); return nil }, f)
+		// Blocks larger than the window exercise re-chunking.
+		if _, err := c.Write(data); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("%s: transform wrong", id)
+		}
+	}
+}
+
+func TestBlockFilterScriptClass(t *testing.T) {
+	data := []byte("the quick brown fox")
+	f := newXORBlockFilter(t, tech.Script, 7)
+	out, err := f.Process(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if out[i] != data[i]^7 {
+			t.Fatalf("byte %d: %x", i, out[i])
+		}
+	}
+}
+
+func TestBlockFilterSelfInverse(t *testing.T) {
+	data := make([]byte, 1000)
+	workload.FillPattern(data, 1)
+	f1 := newXORBlockFilter(t, tech.NativeUnsafe, 0xC3)
+	f2 := newXORBlockFilter(t, tech.Bytecode, 0xC3)
+	var out bytes.Buffer
+	c := kernel.NewChain(func(p []byte) error { out.Write(p); return nil }, f1, f2)
+	if _, err := c.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("xor twice is not identity")
+	}
+}
+
+func TestBlockFilterValidation(t *testing.T) {
+	m := mem.New(1 << 14)
+	g, err := tech.Load(tech.NativeUnsafe, xorGraft, m, tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBlockFilter("x", g, "process", 1<<14, 16); err == nil {
+		t.Fatal("window outside memory accepted")
+	}
+	// A graft lying about its output length is caught.
+	liar, err := tech.Load(tech.NativeUnsafe, tech.Source{
+		Name: "liar", GEL: `func process(addr, len) { return 0xFFFFFFFF; }`,
+	}, mem.New(1<<14), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := NewBlockFilter("liar", liar, "process", 0x2000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.Process([]byte("data")); err == nil {
+		t.Fatal("oversized output length accepted")
+	}
+}
+
+func TestBlockFilterTrappingGraftSurfacesError(t *testing.T) {
+	bad, err := tech.Load(tech.NativeSafe, tech.Source{
+		Name: "bad", GEL: `func process(addr, len) { return ld32(0x70000000); }`,
+	}, mem.New(1<<14), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewBlockFilter("bad", bad, "process", 0x2000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Process([]byte("x")); err == nil {
+		t.Fatal("trap not surfaced")
+	}
+}

@@ -1,0 +1,141 @@
+package grafts
+
+import (
+	"testing"
+
+	"graftlab/internal/kernel"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/workload"
+)
+
+func newCacheWithGraftHook(t *testing.T, id tech.ID, capacity int) (*kernel.BufferCache, *PinSet) {
+	t.Helper()
+	m := mem.New(BCMemSize)
+	g, err := tech.Load(id, CacheHook, m, tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := kernel.NewBufferCache(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetHook(NewGraftCacheHook(g))
+	return c, NewPinSet(m)
+}
+
+func TestCacheHookPinsBlocksAcrossTechnologies(t *testing.T) {
+	for _, id := range hookTechs {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			c, pins := newCacheWithGraftHook(t, id, 3)
+			for b := uint32(1); b <= 3; b++ {
+				c.Get(b)
+			}
+			pins.Set([]uint32{1, 2})
+			// Inserting 4 must evict 3 (LRU non-pinned), not 1.
+			_, ev, err := c.Get(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev != 3 {
+				t.Fatalf("evicted %d, want 3 (order %v)", ev, c.UseOrder())
+			}
+			if !c.Contains(1) || !c.Contains(2) {
+				t.Fatal("pinned block evicted")
+			}
+		})
+	}
+}
+
+func TestCacheHookDeclinesWhenAllPinned(t *testing.T) {
+	c, pins := newCacheWithGraftHook(t, tech.CompiledUnsafe, 2)
+	c.Get(1)
+	c.Get(2)
+	pins.Set([]uint32{1, 2})
+	// Everything pinned: graft declines, built-in LRU evicts 1.
+	_, ev, err := c.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != 1 {
+		t.Fatalf("evicted %d, want LRU fallback 1", ev)
+	}
+}
+
+func TestCacheHookMatchesNativeHookRandomized(t *testing.T) {
+	mkNative := func(pins *PinSet) kernel.CacheHook {
+		return func(order []uint32) uint32 {
+			for _, b := range order {
+				if !pins.Contains(b) {
+					return b
+				}
+			}
+			return kernel.NoBlock
+		}
+	}
+	cG, pinsG := newCacheWithGraftHook(t, tech.Bytecode, 8)
+	cN, err := kernel.NewBufferCache(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinsN := NewPinSet(mem.New(BCMemSize))
+	cN.SetHook(mkNative(pinsN))
+
+	rng := workload.NewRNG(31)
+	for i := 0; i < 3000; i++ {
+		if rng.Uint32n(16) == 0 {
+			var ps []uint32
+			for j := uint32(0); j < rng.Uint32n(4); j++ {
+				ps = append(ps, rng.Uint32n(32))
+			}
+			pinsG.Set(ps)
+			pinsN.Set(ps)
+		}
+		b := rng.Uint32n(32)
+		hitG, evG, errG := cG.Get(b)
+		hitN, evN, errN := cN.Get(b)
+		if errG != nil || errN != nil {
+			t.Fatal(errG, errN)
+		}
+		if hitG != hitN || evG != evN {
+			t.Fatalf("iter %d: graft (hit %v ev %d) vs native (hit %v ev %d)",
+				i, hitG, evG, hitN, evN)
+		}
+	}
+}
+
+func TestCacheHookImprovesHitRateOnScanWorkload(t *testing.T) {
+	// The Cao argument, executed: a hot set revisited between scan
+	// bursts. The graft-pinned cache must beat unhooked LRU.
+	hot := []uint32{100, 101, 102, 103}
+	run := func(withGraft bool) uint64 {
+		var c *kernel.BufferCache
+		var pins *PinSet
+		if withGraft {
+			c, pins = newCacheWithGraftHook(t, tech.CompiledUnsafe, 8)
+			pins.Set(hot)
+		} else {
+			var err error
+			c, err = kernel.NewBufferCache(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := workload.NewRNG(5)
+		for burst := 0; burst < 50; burst++ {
+			for _, h := range hot {
+				c.Get(h)
+			}
+			for i := 0; i < 10; i++ {
+				c.Get(rng.Uint32n(500))
+			}
+		}
+		return c.Stats().Hits
+	}
+	plain := run(false)
+	grafted := run(true)
+	if grafted <= plain {
+		t.Fatalf("graft hook hits %d not better than LRU %d", grafted, plain)
+	}
+}

@@ -1,0 +1,171 @@
+package grafts
+
+import (
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+func init() { LDMap.Compiled = newCompiledLDMap }
+
+// newCompiledLDMap is the hand-written compiled-class Logical Disk
+// bookkeeping graft, one write/read pair per policy.
+func newCompiledLDMap(cfg mem.Config, m *mem.Memory) (tech.Graft, error) {
+	g := NewCompiledGraft(m)
+	d := m.Data
+	mask := m.Mask()
+
+	var write, read func(lblock uint32) uint32
+	switch {
+	case cfg.Policy == mem.PolicyChecked && cfg.NilCheck:
+		write = func(lb uint32) uint32 { return ldWriteNil(d, lb) }
+		read = func(lb uint32) uint32 { return ldReadNil(d, lb) }
+	case cfg.Policy == mem.PolicyChecked:
+		write = func(lb uint32) uint32 { return ldWriteChk(d, lb) }
+		read = func(lb uint32) uint32 { return ldReadChk(d, lb) }
+	case cfg.Policy == mem.PolicySandbox && cfg.ReadProtect:
+		write = func(lb uint32) uint32 { return ldWriteSFIFull(d, lb, mask) }
+		read = func(lb uint32) uint32 { return ldReadSFIFull(d, lb, mask) }
+	case cfg.Policy == mem.PolicySandbox:
+		write = func(lb uint32) uint32 { return ldWriteSFI(d, lb, mask) }
+		read = func(lb uint32) uint32 { return ldReadRaw(d, lb) } // loads unprotected
+	default:
+		write = func(lb uint32) uint32 { return ldWriteRaw(d, lb) }
+		read = func(lb uint32) uint32 { return ldReadRaw(d, lb) }
+	}
+	g.Register("ld_init", 0, func([]uint32) uint32 {
+		se32(d, LDSegAddr, 0)
+		se32(d, LDFillAddr, 0)
+		return 0
+	})
+	g.Register("ld_write", 1, func(a []uint32) uint32 { return write(a[0]) })
+	g.Register("ld_read", 1, func(a []uint32) uint32 { return read(a[0]) })
+	return g, nil
+}
+
+func ldReadSFIFull(d []byte, lb, mask uint32) uint32 {
+	if lb >= ld32sfi(d, LDBlocksAddr, mask) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	return ld32sfi(d, LDMapBase+lb*4, mask)
+}
+
+func ldWriteRaw(d []byte, lb uint32) uint32 {
+	if lb >= le32(d, LDBlocksAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	seg := le32(d, LDSegAddr)
+	if seg >= le32(d, LDSegCountAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 2})
+	}
+	fill := le32(d, LDFillAddr)
+	p := seg*16 + fill
+	se32(d, LDMapBase+lb*4, p)
+	fill++
+	if fill == 16 {
+		fill = 0
+		se32(d, LDSegAddr, seg+1)
+	}
+	se32(d, LDFillAddr, fill)
+	return p
+}
+
+func ldReadRaw(d []byte, lb uint32) uint32 {
+	if lb >= le32(d, LDBlocksAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	return le32(d, LDMapBase+lb*4)
+}
+
+func ldWriteChk(d []byte, lb uint32) uint32 {
+	if lb >= ld32chk(d, LDBlocksAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	seg := ld32chk(d, LDSegAddr)
+	if seg >= ld32chk(d, LDSegCountAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 2})
+	}
+	fill := ld32chk(d, LDFillAddr)
+	p := seg*16 + fill
+	st32chk(d, LDMapBase+lb*4, p)
+	fill++
+	if fill == 16 {
+		fill = 0
+		st32chk(d, LDSegAddr, seg+1)
+	}
+	st32chk(d, LDFillAddr, fill)
+	return p
+}
+
+func ldReadChk(d []byte, lb uint32) uint32 {
+	if lb >= ld32chk(d, LDBlocksAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	return ld32chk(d, LDMapBase+lb*4)
+}
+
+func ldWriteNil(d []byte, lb uint32) uint32 {
+	if lb >= ld32nil(d, LDBlocksAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	seg := ld32nil(d, LDSegAddr)
+	if seg >= ld32nil(d, LDSegCountAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 2})
+	}
+	fill := ld32nil(d, LDFillAddr)
+	p := seg*16 + fill
+	st32nil(d, LDMapBase+lb*4, p)
+	fill++
+	if fill == 16 {
+		fill = 0
+		st32nil(d, LDSegAddr, seg+1)
+	}
+	st32nil(d, LDFillAddr, fill)
+	return p
+}
+
+func ldReadNil(d []byte, lb uint32) uint32 {
+	if lb >= ld32nil(d, LDBlocksAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	return ld32nil(d, LDMapBase+lb*4)
+}
+
+func ldWriteSFI(d []byte, lb, mask uint32) uint32 {
+	if lb >= le32(d, LDBlocksAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	seg := le32(d, LDSegAddr)
+	if seg >= le32(d, LDSegCountAddr) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 2})
+	}
+	fill := le32(d, LDFillAddr)
+	p := seg*16 + fill
+	st32sfi(d, LDMapBase+lb*4, p, mask)
+	fill++
+	if fill == 16 {
+		fill = 0
+		st32sfi(d, LDSegAddr, seg+1, mask)
+	}
+	st32sfi(d, LDFillAddr, fill, mask)
+	return p
+}
+
+func ldWriteSFIFull(d []byte, lb, mask uint32) uint32 {
+	if lb >= ld32sfi(d, LDBlocksAddr, mask) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 1})
+	}
+	seg := ld32sfi(d, LDSegAddr, mask)
+	if seg >= ld32sfi(d, LDSegCountAddr, mask) {
+		panic(&mem.Trap{Kind: mem.TrapAbort, Code: 2})
+	}
+	fill := ld32sfi(d, LDFillAddr, mask)
+	p := seg*16 + fill
+	st32sfi(d, LDMapBase+lb*4, p, mask)
+	fill++
+	if fill == 16 {
+		fill = 0
+		st32sfi(d, LDSegAddr, seg+1, mask)
+	}
+	st32sfi(d, LDFillAddr, fill, mask)
+	return p
+}

@@ -1,0 +1,283 @@
+package grafts
+
+import (
+	"math/bits"
+
+	"graftlab/internal/md5x"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+func init() { MD5.Compiled = newCompiledMD5 }
+
+// newCompiledMD5 is the hand-written compiled-class MD5 graft: the RFC
+// 1321 streaming algorithm over graft memory, with one block-transform
+// per policy so each technology's per-access cost is in the compiled
+// loop. The K and S tables are compiled-in constants, exactly as in the
+// paper's C implementation (the marshaled tables in graft memory exist
+// for the GEL/Tcl versions and are ignored here).
+func newCompiledMD5(cfg mem.Config, m *mem.Memory) (tech.Graft, error) {
+	c := &md5Compiled{d: m.Data, mask: m.Mask()}
+	switch {
+	case cfg.Policy == mem.PolicyChecked && cfg.NilCheck:
+		c.transform = md5TransformNil
+		c.ld8, c.st8 = ld8nil, st8nil
+		c.ld32, c.st32 = ld32nil, st32nil
+	case cfg.Policy == mem.PolicyChecked:
+		c.transform = md5TransformChk
+		c.ld8, c.st8 = ld8chk, st8chk
+		c.ld32, c.st32 = ld32chk, st32chk
+	case cfg.Policy == mem.PolicySandbox && cfg.ReadProtect:
+		c.transform = func(d []byte, b uint32) { md5TransformSFIFull(d, b, c.mask) }
+		mask := c.mask
+		c.ld8 = func(d []byte, a uint32) uint32 { return uint32(d[a&mask]) }
+		c.st8 = func(d []byte, a, v uint32) { d[a&mask] = byte(v) }
+		c.ld32 = func(d []byte, a uint32) uint32 { return ld32sfi(d, a, mask) }
+		c.st32 = func(d []byte, a, v uint32) { st32sfi(d, a, v, mask) }
+	case cfg.Policy == mem.PolicySandbox:
+		c.transform = func(d []byte, b uint32) { md5TransformSFI(d, b, c.mask) }
+		mask := c.mask
+		c.ld8 = func(d []byte, a uint32) uint32 { return uint32(d[a]) }
+		c.st8 = func(d []byte, a, v uint32) { d[a&mask] = byte(v) }
+		c.ld32 = le32
+		c.st32 = func(d []byte, a, v uint32) { st32sfi(d, a, v, mask) }
+	default:
+		c.transform = md5TransformRaw
+		c.ld8 = func(d []byte, a uint32) uint32 { return uint32(d[a]) }
+		c.st8 = func(d []byte, a, v uint32) { d[a] = byte(v) }
+		c.ld32, c.st32 = le32, se32
+	}
+	g := NewCompiledGraft(m)
+	g.Register("md5_init", 0, func([]uint32) uint32 { return c.init() })
+	g.Register("md5_update", 2, func(a []uint32) uint32 { return c.update(a[0], a[1]) })
+	g.Register("md5_final", 1, func(a []uint32) uint32 { return c.final(a[0]) })
+	return g, nil
+}
+
+type md5Compiled struct {
+	d         []byte
+	mask      uint32
+	transform func(d []byte, block uint32)
+	ld8       func(d []byte, a uint32) uint32
+	st8       func(d []byte, a, v uint32)
+	ld32      func(d []byte, a uint32) uint32
+	st32      func(d []byte, a, v uint32)
+}
+
+func (c *md5Compiled) init() uint32 {
+	c.st32(c.d, MDStateAddr+0, 0x67452301)
+	c.st32(c.d, MDStateAddr+4, 0xefcdab89)
+	c.st32(c.d, MDStateAddr+8, 0x98badcfe)
+	c.st32(c.d, MDStateAddr+12, 0x10325476)
+	c.st32(c.d, MDLenLoAddr, 0)
+	c.st32(c.d, MDLenHiAddr, 0)
+	c.st32(c.d, MDTailCount, 0)
+	return 0
+}
+
+func (c *md5Compiled) update(addr, n uint32) uint32 {
+	d := c.d
+	// 64-bit bit-length bookkeeping in two u32 words.
+	lo := c.ld32(d, MDLenLoAddr)
+	nlo := lo + n*8
+	if nlo < lo {
+		c.st32(d, MDLenHiAddr, c.ld32(d, MDLenHiAddr)+1)
+	}
+	c.st32(d, MDLenHiAddr, c.ld32(d, MDLenHiAddr)+(n>>29))
+	c.st32(d, MDLenLoAddr, nlo)
+
+	tc := c.ld32(d, MDTailCount)
+	if tc != 0 {
+		for tc < 64 && n != 0 {
+			c.st8(d, MDTailBuf+tc, c.ld8(d, addr))
+			tc++
+			addr++
+			n--
+		}
+		if tc == 64 {
+			c.transform(d, MDTailBuf)
+			tc = 0
+		}
+		c.st32(d, MDTailCount, tc)
+	}
+	for n >= 64 {
+		c.transform(d, addr)
+		addr += 64
+		n -= 64
+	}
+	for n != 0 {
+		c.st8(d, MDTailBuf+tc, c.ld8(d, addr))
+		tc++
+		addr++
+		n--
+	}
+	c.st32(d, MDTailCount, tc)
+	return 0
+}
+
+func (c *md5Compiled) final(out uint32) uint32 {
+	d := c.d
+	lenlo := c.ld32(d, MDLenLoAddr)
+	lenhi := c.ld32(d, MDLenHiAddr)
+	tc := c.ld32(d, MDTailCount)
+	c.st8(d, MDTailBuf+tc, 0x80)
+	tc++
+	if tc > 56 {
+		for tc < 64 {
+			c.st8(d, MDTailBuf+tc, 0)
+			tc++
+		}
+		c.transform(d, MDTailBuf)
+		tc = 0
+	}
+	for tc < 56 {
+		c.st8(d, MDTailBuf+tc, 0)
+		tc++
+	}
+	c.st32(d, MDTailBuf+56, lenlo)
+	c.st32(d, MDTailBuf+60, lenhi)
+	c.transform(d, MDTailBuf)
+	c.st32(d, out+0, c.ld32(d, MDStateAddr+0))
+	c.st32(d, out+4, c.ld32(d, MDStateAddr+4))
+	c.st32(d, out+8, c.ld32(d, MDStateAddr+8))
+	c.st32(d, out+12, c.ld32(d, MDStateAddr+12))
+	return 0
+}
+
+// md5Round computes one step's f and g; shared by every variant (pure
+// register arithmetic, no memory policy involved).
+func md5Round(i, b, cc, dd uint32) (f, g uint32) {
+	switch {
+	case i < 16:
+		return (b & cc) | (^b & dd), i
+	case i < 32:
+		return (dd & b) | (^dd & cc), (5*i + 1) % 16
+	case i < 48:
+		return b ^ cc ^ dd, (3*i + 5) % 16
+	default:
+		return cc ^ (b | ^dd), (7 * i) % 16
+	}
+}
+
+// md5TransformRaw is the C-class transform: unchecked loads and stores,
+// message indices masked the way C's fixed-size arrays need no checks.
+func md5TransformRaw(d []byte, block uint32) {
+	var m [16]uint32
+	for i := uint32(0); i < 16; i++ {
+		m[i] = le32(d, block+i*4)
+	}
+	oa, ob, oc, od := le32(d, MDStateAddr), le32(d, MDStateAddr+4), le32(d, MDStateAddr+8), le32(d, MDStateAddr+12)
+	a, b, cc, dd := oa, ob, oc, od
+	for i := uint32(0); i < 64; i++ {
+		f, g := md5Round(i, b, cc, dd)
+		f += a + md5x.K[i] + m[g&15]
+		a, dd, cc = dd, cc, b
+		b += bits.RotateLeft32(f, int(md5x.S[(i/16)*4+i%4]))
+	}
+	se32(d, MDStateAddr, oa+a)
+	se32(d, MDStateAddr+4, ob+b)
+	se32(d, MDStateAddr+8, oc+cc)
+	se32(d, MDStateAddr+12, od+dd)
+}
+
+// md5TransformChk is the Modula-3-class transform: every memory access
+// bounds-checked, every dynamic array index explicitly range-checked (the
+// paper attributes the M3/C gap on MD5 to "run-time array bounds
+// checking", §5.5).
+func md5TransformChk(d []byte, block uint32) {
+	var m [16]uint32
+	for i := uint32(0); i < 16; i++ {
+		m[i] = ld32chk(d, block+i*4)
+	}
+	oa, ob := ld32chk(d, MDStateAddr), ld32chk(d, MDStateAddr+4)
+	oc, od := ld32chk(d, MDStateAddr+8), ld32chk(d, MDStateAddr+12)
+	a, b, cc, dd := oa, ob, oc, od
+	for i := uint32(0); i < 64; i++ {
+		f, g := md5Round(i, b, cc, dd)
+		if g >= 16 {
+			mem.Throw(mem.TrapOOBLoad, g)
+		}
+		f += a + md5x.K[i] + m[g]
+		a, dd, cc = dd, cc, b
+		si := (i/16)*4 + i%4
+		if si >= 16 {
+			mem.Throw(mem.TrapOOBLoad, si)
+		}
+		b += bits.RotateLeft32(f, int(md5x.S[si]))
+	}
+	st32chk(d, MDStateAddr, oa+a)
+	st32chk(d, MDStateAddr+4, ob+b)
+	st32chk(d, MDStateAddr+8, oc+cc)
+	st32chk(d, MDStateAddr+12, od+dd)
+}
+
+// md5TransformNil adds the explicit NIL compare per memory access.
+func md5TransformNil(d []byte, block uint32) {
+	var m [16]uint32
+	for i := uint32(0); i < 16; i++ {
+		m[i] = ld32nil(d, block+i*4)
+	}
+	oa, ob := ld32nil(d, MDStateAddr), ld32nil(d, MDStateAddr+4)
+	oc, od := ld32nil(d, MDStateAddr+8), ld32nil(d, MDStateAddr+12)
+	a, b, cc, dd := oa, ob, oc, od
+	for i := uint32(0); i < 64; i++ {
+		f, g := md5Round(i, b, cc, dd)
+		if g >= 16 {
+			mem.Throw(mem.TrapOOBLoad, g)
+		}
+		f += a + md5x.K[i] + m[g]
+		a, dd, cc = dd, cc, b
+		si := (i/16)*4 + i%4
+		if si >= 16 {
+			mem.Throw(mem.TrapOOBLoad, si)
+		}
+		b += bits.RotateLeft32(f, int(md5x.S[si]))
+	}
+	st32nil(d, MDStateAddr, oa+a)
+	st32nil(d, MDStateAddr+4, ob+b)
+	st32nil(d, MDStateAddr+8, oc+cc)
+	st32nil(d, MDStateAddr+12, od+dd)
+}
+
+// md5TransformSFI is the Omniware-beta transform: stores masked, loads
+// unprotected (the read-protection gap the paper flags twice).
+func md5TransformSFI(d []byte, block uint32, mask uint32) {
+	var m [16]uint32
+	for i := uint32(0); i < 16; i++ {
+		m[i] = le32(d, block+i*4)
+	}
+	oa, ob, oc, od := le32(d, MDStateAddr), le32(d, MDStateAddr+4), le32(d, MDStateAddr+8), le32(d, MDStateAddr+12)
+	a, b, cc, dd := oa, ob, oc, od
+	for i := uint32(0); i < 64; i++ {
+		f, g := md5Round(i, b, cc, dd)
+		f += a + md5x.K[i] + m[g&15]
+		a, dd, cc = dd, cc, b
+		b += bits.RotateLeft32(f, int(md5x.S[(i/16)*4+i%4]))
+	}
+	st32sfi(d, MDStateAddr, oa+a, mask)
+	st32sfi(d, MDStateAddr+4, ob+b, mask)
+	st32sfi(d, MDStateAddr+8, oc+cc, mask)
+	st32sfi(d, MDStateAddr+12, od+dd, mask)
+}
+
+// md5TransformSFIFull masks loads too: the "SFI with full protection"
+// candidate of §6.
+func md5TransformSFIFull(d []byte, block uint32, mask uint32) {
+	var m [16]uint32
+	for i := uint32(0); i < 16; i++ {
+		m[i] = ld32sfi(d, block+i*4, mask)
+	}
+	oa, ob := ld32sfi(d, MDStateAddr, mask), ld32sfi(d, MDStateAddr+4, mask)
+	oc, od := ld32sfi(d, MDStateAddr+8, mask), ld32sfi(d, MDStateAddr+12, mask)
+	a, b, cc, dd := oa, ob, oc, od
+	for i := uint32(0); i < 64; i++ {
+		f, g := md5Round(i, b, cc, dd)
+		f += a + md5x.K[i] + m[g&15]
+		a, dd, cc = dd, cc, b
+		b += bits.RotateLeft32(f, int(md5x.S[(i/16)*4+i%4]))
+	}
+	st32sfi(d, MDStateAddr, oa+a, mask)
+	st32sfi(d, MDStateAddr+4, ob+b, mask)
+	st32sfi(d, MDStateAddr+8, oc+cc, mask)
+	st32sfi(d, MDStateAddr+12, od+dd, mask)
+}

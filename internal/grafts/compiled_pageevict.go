@@ -1,0 +1,110 @@
+package grafts
+
+import (
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+func init() { PageEvict.Compiled = newCompiledPageEvict }
+
+// newCompiledPageEvict is the hand-written compiled-class page-eviction
+// graft: the same hot-list walk as the GEL version, with the policy's
+// access checks compiled into the loop. The eviction graft performs no
+// stores, so the write/jump-only SFI variant runs at unsafe speed — the
+// paper's Omniware beta, by contrast, showed 1.4x here because it lacked
+// an SFI optimizer (see EXPERIMENTS.md).
+func newCompiledPageEvict(cfg mem.Config, m *mem.Memory) (tech.Graft, error) {
+	g := NewCompiledGraft(m)
+	d := m.Data
+	mask := m.Mask()
+
+	var evict func(head uint32) uint32
+	switch {
+	case cfg.Policy == mem.PolicyChecked && cfg.NilCheck:
+		evict = func(head uint32) uint32 { return evictNil(d, head) }
+	case cfg.Policy == mem.PolicyChecked:
+		evict = func(head uint32) uint32 { return evictChk(d, head) }
+	case cfg.Policy == mem.PolicySandbox && cfg.ReadProtect:
+		evict = func(head uint32) uint32 { return evictSFIFull(d, head, mask) }
+	default: // unsafe, and write/jump-only SFI (no loads to mask)
+		evict = func(head uint32) uint32 { return evictRaw(d, head) }
+	}
+	g.Register("evict", 1, func(args []uint32) uint32 { return evict(args[0]) })
+	return g, nil
+}
+
+func hotRaw(d []byte, page uint32) bool {
+	for n := le32(d, PEHotHeadAddr); n != 0; n = le32(d, n+4) {
+		if le32(d, n) == page {
+			return true
+		}
+	}
+	return false
+}
+
+func evictRaw(d []byte, head uint32) uint32 {
+	for n := head; n != 0; n = le32(d, n+4) {
+		page := le32(d, n)
+		if !hotRaw(d, page) {
+			return page
+		}
+	}
+	return le32(d, head)
+}
+
+func hotChk(d []byte, page uint32) bool {
+	for n := ld32chk(d, PEHotHeadAddr); n != 0; n = ld32chk(d, n+4) {
+		if ld32chk(d, n) == page {
+			return true
+		}
+	}
+	return false
+}
+
+func evictChk(d []byte, head uint32) uint32 {
+	for n := head; n != 0; n = ld32chk(d, n+4) {
+		page := ld32chk(d, n)
+		if !hotChk(d, page) {
+			return page
+		}
+	}
+	return ld32chk(d, head)
+}
+
+func hotNil(d []byte, page uint32) bool {
+	for n := ld32nil(d, PEHotHeadAddr); n != 0; n = ld32nil(d, n+4) {
+		if ld32nil(d, n) == page {
+			return true
+		}
+	}
+	return false
+}
+
+func evictNil(d []byte, head uint32) uint32 {
+	for n := head; n != 0; n = ld32nil(d, n+4) {
+		page := ld32nil(d, n)
+		if !hotNil(d, page) {
+			return page
+		}
+	}
+	return ld32nil(d, head)
+}
+
+func hotSFIFull(d []byte, page, mask uint32) bool {
+	for n := ld32sfi(d, PEHotHeadAddr, mask); n != 0; n = ld32sfi(d, n+4, mask) {
+		if ld32sfi(d, n, mask) == page {
+			return true
+		}
+	}
+	return false
+}
+
+func evictSFIFull(d []byte, head, mask uint32) uint32 {
+	for n := head; n != 0; n = ld32sfi(d, n+4, mask) {
+		page := ld32sfi(d, n, mask)
+		if !hotSFIFull(d, page, mask) {
+			return page
+		}
+	}
+	return ld32sfi(d, head, mask)
+}

@@ -1,0 +1,19 @@
+// Package grafts contains the paper's three representative kernel
+// extensions (§3), each written once in GEL (carried by the compiled and
+// bytecode technology classes) and once in mini-Tcl (carried by the
+// script class), plus the host-side glue that marshals kernel data
+// structures into graft memory:
+//
+//   - pageevict: the Prioritization graft — a VM page-eviction policy
+//     that walks the kernel's LRU chain and rejects candidates on the
+//     application's hot list (§3.1, Table 2).
+//   - md5: the Stream graft — a complete streaming MD5 (RFC 1321) that
+//     fingerprints data as it flows through a kernel filter chain (§3.2,
+//     Table 5).
+//   - ldmap: the Black Box graft — the logical→physical mapping
+//     bookkeeping of a Logical Disk layer (§3.3, Table 6).
+//
+// Each graft also has a hand-written Go reference implementation, used
+// both as the measurement baseline and as the correctness oracle for the
+// GEL and Tcl versions.
+package grafts

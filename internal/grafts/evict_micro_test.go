@@ -1,0 +1,53 @@
+package grafts
+
+import (
+	"graftlab/internal/kernel"
+	"graftlab/internal/mem"
+	"graftlab/internal/vclock"
+	"testing"
+)
+
+func setupEvict(b *testing.B) ([]byte, uint32) {
+	m := mem.New(PEMemSize)
+	clock := &vclock.Clock{}
+	p, _ := kernel.NewPager(kernel.PagerConfig{Frames: 256, Mem: m, NodeBase: PELRUNodeBase}, clock)
+	for i := 0; i < 256; i++ {
+		p.Access(kernel.PageID(100 + i))
+	}
+	hot := NewHotList(m)
+	pages := make([]kernel.PageID, 64)
+	for i := range pages {
+		pages[i] = kernel.PageID(500000 + i)
+	}
+	hot.Set(pages)
+	return m.Data, p.HeadAddr()
+}
+
+func BenchmarkEvictRaw(b *testing.B) {
+	d, head := setupEvict(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = evictRaw(d, head)
+	}
+}
+func BenchmarkEvictChk(b *testing.B) {
+	d, head := setupEvict(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = evictChk(d, head)
+	}
+}
+func BenchmarkEvictNil(b *testing.B) {
+	d, head := setupEvict(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = evictNil(d, head)
+	}
+}
+func BenchmarkEvictSFIFull(b *testing.B) {
+	d, head := setupEvict(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = evictSFIFull(d, head, uint32(PEMemSize-1))
+	}
+}

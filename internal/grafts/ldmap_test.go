@@ -1,0 +1,195 @@
+package grafts
+
+import (
+	"errors"
+	"testing"
+
+	"graftlab/internal/disk"
+	"graftlab/internal/ld"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/vclock"
+	"graftlab/internal/workload"
+)
+
+func loadMapper(t *testing.T, id tech.ID, blocks uint32) *GraftMapper {
+	t.Helper()
+	g, err := tech.Load(id, LDMap, mem.New(LDMemSize), tech.Options{})
+	if err != nil {
+		t.Fatalf("load ldmap under %s: %v", id, err)
+	}
+	gm, err := NewGraftMapper(g, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gm
+}
+
+func TestGraftMapperMatchesNative(t *testing.T) {
+	const blocks = 4096
+	for _, id := range []tech.ID{
+		tech.CompiledUnsafe, tech.CompiledSafe, tech.CompiledSafeNil,
+		tech.CompiledSFI, tech.CompiledSFIFull,
+		tech.NativeUnsafe, tech.NativeSafe, tech.SFI, tech.Bytecode,
+	} {
+		t.Run(string(id), func(t *testing.T) {
+			gm := loadMapper(t, id, blocks)
+			nm := ld.NewNativeMapper(blocks)
+			stream := workload.NewSkewed(blocks, 7)
+			for i := 0; i < 3000; i++ {
+				lb := stream.Next()
+				gp, gerr := gm.MapWrite(lb)
+				np, nerr := nm.MapWrite(lb)
+				if (gerr != nil) != (nerr != nil) {
+					t.Fatalf("write %d: errors diverge: %v vs %v", i, gerr, nerr)
+				}
+				if gp != np {
+					t.Fatalf("write %d: graft=%d native=%d", i, gp, np)
+				}
+			}
+			check := workload.NewUniform(blocks, 8)
+			for i := 0; i < 1000; i++ {
+				lb := check.Next()
+				gp, gerr := gm.MapRead(lb)
+				np, nerr := nm.MapRead(lb)
+				if gerr != nil || nerr != nil {
+					t.Fatalf("read: %v %v", gerr, nerr)
+				}
+				if gp != np {
+					t.Fatalf("read %d: graft=%d native=%d", lb, gp, np)
+				}
+			}
+		})
+	}
+}
+
+func TestGraftMapperScriptClass(t *testing.T) {
+	const blocks = 1024
+	gm := loadMapper(t, tech.Script, blocks)
+	nm := ld.NewNativeMapper(blocks)
+	stream := workload.NewSkewed(blocks, 7)
+	for i := 0; i < 200; i++ {
+		lb := stream.Next()
+		gp, gerr := gm.MapWrite(lb)
+		np, nerr := nm.MapWrite(lb)
+		if gerr != nil || nerr != nil {
+			t.Fatalf("write: %v %v", gerr, nerr)
+		}
+		if gp != np {
+			t.Fatalf("write %d: graft=%d native=%d", i, gp, np)
+		}
+	}
+}
+
+func TestMapperSequentialAssignment(t *testing.T) {
+	gm := loadMapper(t, tech.NativeUnsafe, 256)
+	// Physical blocks are handed out strictly sequentially regardless of
+	// logical block order — that is the log-structuring.
+	for i := uint32(0); i < 64; i++ {
+		lb := (i * 37) % 256 // scattered logical blocks
+		p, err := gm.MapWrite(lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != i {
+			t.Fatalf("write %d: physical %d, want %d", i, p, i)
+		}
+	}
+}
+
+func TestMapperRewriteUpdatesMapping(t *testing.T) {
+	gm := loadMapper(t, tech.NativeUnsafe, 256)
+	p1, err := gm.MapWrite(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := gm.MapWrite(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("rewrite reused a log slot")
+	}
+	got, err := gm.MapRead(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p2 {
+		t.Fatalf("MapRead = %d, want latest %d", got, p2)
+	}
+}
+
+func TestMapperUnmappedRead(t *testing.T) {
+	gm := loadMapper(t, tech.NativeUnsafe, 256)
+	p, err := gm.MapRead(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != ld.Unmapped {
+		t.Fatalf("unwritten block mapped to %d", p)
+	}
+}
+
+func TestMapperTrapsOnBadBlockAndFullLog(t *testing.T) {
+	gm := loadMapper(t, tech.NativeSafe, 64)
+	if _, err := gm.MapWrite(64); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	var trap *mem.Trap
+	_, err := gm.MapRead(9999)
+	if !errors.As(err, &trap) || trap.Kind != mem.TrapAbort {
+		t.Fatalf("out-of-range read: %v", err)
+	}
+	// Fill the log: 64 blocks = 4 segments; the 65th write must abort.
+	for i := 0; i < 64; i++ {
+		if _, err := gm.MapWrite(uint32(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	_, err = gm.MapWrite(0)
+	if !errors.As(err, &trap) || trap.Kind != mem.TrapAbort || trap.Code != 2 {
+		t.Fatalf("full log: %v", err)
+	}
+}
+
+func TestMapperRejectsSmallMemory(t *testing.T) {
+	g, err := tech.Load(tech.NativeUnsafe, LDMap, mem.New(1<<13), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGraftMapper(g, 1<<20); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+// TestLDEndToEndWithGraft runs the full logical-disk stack — graft mapper,
+// segment batching, simulated disk — and checks the batching invariant:
+// one physically sequential flush per 16 writes.
+func TestLDEndToEndWithGraft(t *testing.T) {
+	clock := &vclock.Clock{}
+	geo := disk.DefaultGeometry()
+	geo.Blocks = 16384
+	dev := disk.New(geo, clock)
+	gm := loadMapper(t, tech.NativeUnsafe, geo.Blocks)
+	l := ld.New(dev, gm, false)
+
+	stream := workload.NewSkewed(geo.Blocks, 99)
+	const writes = 16 * 200
+	for i := 0; i < writes; i++ {
+		if err := l.Write(stream.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.SegmentFlush != writes/ld.SegmentBlocks {
+		t.Errorf("flushes = %d, want %d", st.SegmentFlush, writes/ld.SegmentBlocks)
+	}
+	ds := dev.Stats()
+	if ds.Writes != uint64(st.SegmentFlush) {
+		t.Errorf("device writes %d != flushes %d", ds.Writes, st.SegmentFlush)
+	}
+	// Log flushes are sequential: at most the first pays a real seek.
+	if ds.Seeks > 1 {
+		t.Errorf("sequential log paid %d full seeks", ds.Seeks)
+	}
+}

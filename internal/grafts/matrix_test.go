@@ -1,0 +1,126 @@
+package grafts
+
+import (
+	"testing"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+// TestEveryGraftLoadsUnderEveryCarryingTechnology is the living inventory:
+// each graft source must load and answer one invocation under every
+// technology class that can carry it, and must be *refused* (not
+// mishandled) by classes that cannot. Adding a graft or a technology
+// without updating its representations fails here first.
+func TestEveryGraftLoadsUnderEveryCarryingTechnology(t *testing.T) {
+	cases := []struct {
+		src     tech.Source
+		memSize uint32
+		// prep runs after load, before the smoke invocation.
+		prep  func(t *testing.T, g tech.Graft)
+		entry string
+		args  []uint32
+	}{
+		{
+			src: PageEvict, memSize: PEMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				// Empty hot list and empty LRU: evict(0) means an empty
+				// chain; the graft falls through to ld32(0)... avoid NIL
+				// page: hand it a one-node chain instead.
+				m := g.Memory()
+				m.St32U(PEHotHeadAddr, 0)
+				m.St32U(PELRUNodeBase, 1234) // page
+				m.St32U(PELRUNodeBase+4, 0)  // end of chain
+			},
+			entry: "evict", args: []uint32{PELRUNodeBase},
+		},
+		{
+			src: MD5, memSize: MDMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				SetupMD5Memory(g.Memory())
+				if _, err := g.Invoke("md5_init"); err != nil {
+					t.Fatal(err)
+				}
+			},
+			entry: "md5_update", args: []uint32{MDBufAddr, 64},
+		},
+		{
+			src: LDMap, memSize: LDMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				if _, err := NewGraftMapper(g, 1024); err != nil {
+					t.Fatal(err)
+				}
+			},
+			entry: "ld_write", args: []uint32{7},
+		},
+		{
+			src: PacketFilter, memSize: PFMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				ConfigurePacketFilter(g.Memory(), 80)
+			},
+			entry: "filter", args: []uint32{10},
+		},
+		{
+			src: SchedPolicy, memSize: SCMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				g.Memory().St32U(SCCountAddr, 0)
+			},
+			entry: "pick", args: []uint32{0},
+		},
+		{
+			src: ACL, memSize: ACLMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				if _, err := NewACLTable(g); err != nil {
+					t.Fatal(err)
+				}
+			},
+			entry: "check", args: []uint32{1, 2, PermRead},
+		},
+		{
+			src: CacheHook, memSize: BCMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				m := g.Memory()
+				m.St32U(BCCountAddr, 0)
+				m.St32U(BCPinCountAddr, 0)
+			},
+			entry: "pickvictim", args: []uint32{0},
+		},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.src.Name, func(t *testing.T) {
+			for _, id := range tech.All {
+				id := id
+				t.Run(string(id), func(t *testing.T) {
+					carries := true
+					if id == tech.Script && c.src.Tcl == "" {
+						carries = false
+					}
+					if tech.NeedsCompiledImpl(id) && c.src.Compiled == nil {
+						carries = false
+					}
+					if id == tech.Domain && len(c.src.Hipec) == 0 {
+						carries = false
+					}
+					g, err := tech.Load(id, c.src, mem.New(c.memSize), tech.Options{})
+					if !carries {
+						if err == nil {
+							t.Fatalf("%s should refuse %s (missing representation)", id, c.src.Name)
+						}
+						return
+					}
+					if err != nil {
+						t.Fatalf("load: %v", err)
+					}
+					if c.prep != nil {
+						c.prep(t, g)
+					}
+					if _, err := g.Invoke(c.entry, c.args...); err != nil {
+						t.Fatalf("smoke invocation: %v", err)
+					}
+				})
+			}
+		})
+	}
+}

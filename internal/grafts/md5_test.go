@@ -1,0 +1,198 @@
+package grafts
+
+import (
+	"bytes"
+	"testing"
+
+	"graftlab/internal/kernel"
+	"graftlab/internal/md5x"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+func loadMD5(t *testing.T, id tech.ID) *MD5Graft {
+	t.Helper()
+	g, err := tech.Load(id, MD5, mem.New(MDMemSize), tech.Options{})
+	if err != nil {
+		t.Fatalf("load md5 under %s: %v", id, err)
+	}
+	h, err := NewMD5Graft(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// md5TechsFast are the technologies fast enough to hash kilobytes in a
+// unit test; the script class is exercised separately on small inputs.
+var md5TechsFast = []tech.ID{
+	tech.CompiledUnsafe, tech.CompiledSafe, tech.CompiledSafeNil,
+	tech.CompiledSFI, tech.CompiledSFIFull,
+	tech.NativeUnsafe, tech.NativeSafe, tech.NativeSafeNil,
+	tech.SFI, tech.SFIFull, tech.Bytecode,
+}
+
+func TestMD5GraftRFCVectors(t *testing.T) {
+	vectors := []string{
+		"",
+		"a",
+		"abc",
+		"message digest",
+		"abcdefghijklmnopqrstuvwxyz",
+		"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+		"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+	}
+	for _, id := range md5TechsFast {
+		h := loadMD5(t, id)
+		for _, v := range vectors {
+			if err := h.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Write([]byte(v)); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			got, err := h.Sum()
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if want := md5x.Of([]byte(v)); got != want {
+				t.Errorf("%s: MD5(%q) = %x, want %x", id, v, got, want)
+			}
+		}
+	}
+}
+
+func TestMD5GraftScriptClass(t *testing.T) {
+	h := loadMD5(t, tech.Script)
+	for _, v := range []string{"", "abc", "The quick brown fox jumps over the lazy dog"} {
+		if err := h.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := md5x.Of([]byte(v)); got != want {
+			t.Errorf("script: MD5(%q) = %x, want %x", v, got, want)
+		}
+	}
+}
+
+func TestMD5GraftStreamingChunks(t *testing.T) {
+	data := make([]byte, 3000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	want := md5x.Of(data)
+	h := loadMD5(t, tech.NativeUnsafe)
+	for _, chunk := range []int{1, 13, 63, 64, 65, 700} {
+		if err := h.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := h.Write(data[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := h.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("chunk %d: %x != %x", chunk, got, want)
+		}
+	}
+}
+
+func TestMD5GraftLargeInput(t *testing.T) {
+	n := 256 << 10
+	if testing.Short() {
+		n = 16 << 10
+	}
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i>>3 ^ i)
+	}
+	want := md5x.Of(data)
+	for _, id := range md5TechsFast {
+		h := loadMD5(t, id)
+		if _, err := h.Write(data); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		got, err := h.Sum()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if got != want {
+			t.Errorf("%s: digest mismatch on %d bytes", id, n)
+		}
+	}
+}
+
+func TestMD5NotExpressibleInDomainLanguage(t *testing.T) {
+	// §2's trade: HiPEC-class languages "would have to be augmented if
+	// [they] were to be used for other applications." MD5 needs stores
+	// and 64-bit-of-state loops; the domain class cannot carry it, and
+	// the registry says so rather than pretending.
+	_, err := tech.Load(tech.Domain, MD5, mem.New(MDMemSize), tech.Options{})
+	if err == nil {
+		t.Fatal("the domain language should not be able to carry MD5")
+	}
+}
+
+func TestMD5GraftRejectsSmallMemory(t *testing.T) {
+	g, err := tech.Load(tech.NativeUnsafe, MD5, mem.New(4096), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMD5Graft(g); err == nil {
+		t.Fatal("expected error for undersized memory")
+	}
+}
+
+func TestMD5FilterInChain(t *testing.T) {
+	h := loadMD5(t, tech.NativeUnsafe)
+	f := NewMD5Filter(h)
+	var sunk bytes.Buffer
+	chain := kernel.NewChain(func(p []byte) error {
+		sunk.Write(p)
+		return nil
+	}, f)
+
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for off := 0; off < len(data); off += 512 {
+		end := off + 512
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := chain.Write(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sunk.Bytes(), data) {
+		t.Error("MD5 filter altered the stream")
+	}
+	digest, ok := f.Digest()
+	if !ok {
+		t.Fatal("digest not latched")
+	}
+	if want := md5x.Of(data); digest != want {
+		t.Errorf("digest = %x, want %x", digest, want)
+	}
+	if chain.BytesOut() != uint64(len(data)) {
+		t.Errorf("BytesOut = %d", chain.BytesOut())
+	}
+}

@@ -1,0 +1,192 @@
+package grafts
+
+import (
+	"encoding/binary"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/netsim"
+	"graftlab/internal/tech"
+)
+
+// Graft-memory layout for the packet filter.
+const (
+	// PFPortAddr holds the destination port the endpoint listens on
+	// (host-configured; this is how one filter source serves every
+	// endpoint).
+	PFPortAddr = 0x1000
+	// PFBufAddr is where the demultiplexer marshals each frame.
+	PFBufAddr = 0x2000
+	// PFMemSize sizes the filter's memory (frames up to ~56 KB).
+	PFMemSize = 1 << 16
+)
+
+// PacketFilter is the classic in-kernel extension the paper's related
+// work opens with (§2): accept IPv4 UDP frames addressed to the
+// endpoint's port. Entry point:
+//
+//	filter(frameLen) -> 0/1
+//
+// Multi-byte header fields are network order, so the filter assembles
+// them from byte loads exactly as a BPF program would.
+var PacketFilter = tech.Source{
+	Name: "pktfilter",
+	GEL: `
+func filter(len) {
+	if (len < 42) { return 0; }
+	// Ethernet type must be IPv4 (0x0800).
+	if (ld8(0x2000 + 12) * 256 + ld8(0x2000 + 13) != 0x0800) { return 0; }
+	// IP protocol must be UDP (17).
+	if (ld8(0x2000 + 23) != 17) { return 0; }
+	// Destination port must match the configured port.
+	if (ld8(0x2000 + 36) * 256 + ld8(0x2000 + 37) != ld32(0x1000)) { return 0; }
+	return 1;
+}
+`,
+	Tcl: `
+proc filter {len} {
+	if {$len < 42} { return 0 }
+	if {[ld8 [expr {0x2000 + 12}]] * 256 + [ld8 [expr {0x2000 + 13}]] != 0x0800} { return 0 }
+	if {[ld8 [expr {0x2000 + 23}]] != 17} { return 0 }
+	if {[ld8 [expr {0x2000 + 36}]] * 256 + [ld8 [expr {0x2000 + 37}]] != [ld32 0x1000]} { return 0 }
+	return 1
+}
+`,
+	Compiled: newCompiledPacketFilter,
+	// The BPF-style rendering: this is the domain the §2 filter
+	// languages were invented for, ~20 instructions for the whole
+	// classifier.
+	Hipec: map[string]string{
+		"filter": `
+	; r0 = frame length; frame at 0x2000; port config at 0x1000
+		movi r6, 42
+		jlt  r0, r6, reject
+		movi r5, 0x2000
+		ldb  r1, [r5+12]      ; ethertype high byte must be 0x08
+		movi r2, 8
+		jne  r1, r2, reject
+		ldb  r1, [r5+13]      ; ethertype low byte must be 0x00
+		movi r2, 0
+		jne  r1, r2, reject
+		ldb  r1, [r5+23]      ; IP protocol must be UDP (17)
+		movi r2, 17
+		jne  r1, r2, reject
+		ldb  r1, [r5+36]      ; destination port, network order
+		movi r3, 8
+		shl  r1, r1, r3
+		ldb  r2, [r5+37]
+		or   r1, r1, r2
+		movi r4, 0x1000
+		ldw  r4, [r4+0]
+		jne  r1, r4, reject
+		movi r1, 1
+		ret  r1
+	reject:
+		movi r1, 0
+		ret  r1
+`,
+	},
+}
+
+// ConfigurePacketFilter writes the endpoint's port into graft memory.
+func ConfigurePacketFilter(m *mem.Memory, port uint16) {
+	m.St32U(PFPortAddr, uint32(port))
+}
+
+// ReferencePacketFilter is the hand-written host filter used as the
+// correctness oracle.
+func ReferencePacketFilter(port uint16) func(p netsim.Packet) bool {
+	return func(p netsim.Packet) bool {
+		return p.IsUDPv4() && p.DstPort() == port
+	}
+}
+
+// newCompiledPacketFilter is the compiled-class implementation, one
+// variant per policy.
+func newCompiledPacketFilter(cfg mem.Config, m *mem.Memory) (tech.Graft, error) {
+	g := NewCompiledGraft(m)
+	d := m.Data
+	mask := m.Mask()
+
+	var filter func(frameLen uint32) uint32
+	switch {
+	case cfg.Policy == mem.PolicyChecked && cfg.NilCheck:
+		filter = func(n uint32) uint32 { return pfFilterNil(d, n) }
+	case cfg.Policy == mem.PolicyChecked:
+		filter = func(n uint32) uint32 { return pfFilterChk(d, n) }
+	case cfg.Policy == mem.PolicySandbox && cfg.ReadProtect:
+		filter = func(n uint32) uint32 { return pfFilterSFIFull(d, n, mask) }
+	default: // unsafe and write/jump-only SFI: a pure-load filter
+		filter = func(n uint32) uint32 { return pfFilterRaw(d, n) }
+	}
+	g.Register("filter", 1, func(a []uint32) uint32 { return filter(a[0]) })
+	return g, nil
+}
+
+func pfFilterRaw(d []byte, n uint32) uint32 {
+	if n < netsim.MinFrameSize {
+		return 0
+	}
+	if uint32(d[PFBufAddr+netsim.OffEthType])<<8|uint32(d[PFBufAddr+netsim.OffEthType+1]) != netsim.EthTypeIPv4 {
+		return 0
+	}
+	if d[PFBufAddr+netsim.OffIPProto] != netsim.ProtoUDP {
+		return 0
+	}
+	port := uint32(d[PFBufAddr+netsim.OffDstPort])<<8 | uint32(d[PFBufAddr+netsim.OffDstPort+1])
+	if port != binary.LittleEndian.Uint32(d[PFPortAddr:]) {
+		return 0
+	}
+	return 1
+}
+
+func pfFilterChk(d []byte, n uint32) uint32 {
+	if n < netsim.MinFrameSize {
+		return 0
+	}
+	if ld8chk(d, PFBufAddr+netsim.OffEthType)<<8|ld8chk(d, PFBufAddr+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
+		return 0
+	}
+	if ld8chk(d, PFBufAddr+netsim.OffIPProto) != netsim.ProtoUDP {
+		return 0
+	}
+	port := ld8chk(d, PFBufAddr+netsim.OffDstPort)<<8 | ld8chk(d, PFBufAddr+netsim.OffDstPort+1)
+	if port != ld32chk(d, PFPortAddr) {
+		return 0
+	}
+	return 1
+}
+
+func pfFilterNil(d []byte, n uint32) uint32 {
+	if n < netsim.MinFrameSize {
+		return 0
+	}
+	if ld8nil(d, PFBufAddr+netsim.OffEthType)<<8|ld8nil(d, PFBufAddr+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
+		return 0
+	}
+	if ld8nil(d, PFBufAddr+netsim.OffIPProto) != netsim.ProtoUDP {
+		return 0
+	}
+	port := ld8nil(d, PFBufAddr+netsim.OffDstPort)<<8 | ld8nil(d, PFBufAddr+netsim.OffDstPort+1)
+	if port != ld32nil(d, PFPortAddr) {
+		return 0
+	}
+	return 1
+}
+
+func pfFilterSFIFull(d []byte, n, mask uint32) uint32 {
+	if n < netsim.MinFrameSize {
+		return 0
+	}
+	ld8m := func(a uint32) uint32 { return uint32(d[a&mask]) }
+	if ld8m(PFBufAddr+netsim.OffEthType)<<8|ld8m(PFBufAddr+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
+		return 0
+	}
+	if ld8m(PFBufAddr+netsim.OffIPProto) != netsim.ProtoUDP {
+		return 0
+	}
+	port := ld8m(PFBufAddr+netsim.OffDstPort)<<8 | ld8m(PFBufAddr+netsim.OffDstPort+1)
+	if port != ld32sfi(d, PFPortAddr, mask) {
+		return 0
+	}
+	return 1
+}

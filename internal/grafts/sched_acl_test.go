@@ -1,0 +1,228 @@
+package grafts
+
+import (
+	"testing"
+	"time"
+
+	"graftlab/internal/kernel"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/vclock"
+	"graftlab/internal/workload"
+)
+
+var hookTechs = []tech.ID{
+	tech.CompiledUnsafe, tech.CompiledSafe, tech.CompiledSafeNil,
+	tech.CompiledSFI, tech.CompiledSFIFull,
+	tech.NativeUnsafe, tech.NativeSafe, tech.Bytecode, tech.Script,
+	tech.Domain,
+}
+
+func TestSchedGraftPrefersIdleServer(t *testing.T) {
+	for _, id := range hookTechs {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			g, err := tech.Load(id, SchedPolicy, mem.New(SCMemSize), tech.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := kernel.NewScheduler(time.Millisecond, &vclock.Clock{})
+			s.Spawn("client-a", 1)
+			srv1 := s.Spawn("server-1", 2)
+			srv2 := s.Spawn("server-2", 2)
+			s.SetPolicy(NewGraftSchedPolicy(g))
+
+			ticks := 6
+			if id == tech.Script {
+				ticks = 4
+			}
+			counts := map[int]int{}
+			for i := 0; i < ticks; i++ {
+				p, err := s.Tick()
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[p.PID]++
+				if p.Tag != 2 {
+					t.Fatalf("tick %d ran %s (tag %d), want a server", i, p.Name, p.Tag)
+				}
+			}
+			// Least-runtime-first alternates between the two servers.
+			if counts[srv1.PID] == 0 || counts[srv2.PID] == 0 {
+				t.Fatalf("servers not shared fairly: %v", counts)
+			}
+			diff := counts[srv1.PID] - counts[srv2.PID]
+			if diff < -1 || diff > 1 {
+				t.Fatalf("unfair split: %v", counts)
+			}
+		})
+	}
+}
+
+func TestSchedGraftDeclinesWithoutServers(t *testing.T) {
+	g, err := tech.Load(tech.CompiledUnsafe, SchedPolicy, mem.New(SCMemSize), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := kernel.NewScheduler(time.Millisecond, &vclock.Clock{})
+	a := s.Spawn("a", 1)
+	b := s.Spawn("b", 1)
+	s.SetPolicy(NewGraftSchedPolicy(g))
+	// No tag-2 processes: the graft declines, round-robin rules.
+	p1, _ := s.Tick()
+	p2, _ := s.Tick()
+	if p1.PID != a.PID || p2.PID != b.PID {
+		t.Fatalf("fallback order wrong: %d then %d", p1.PID, p2.PID)
+	}
+	if st := s.Stats(); st.PolicyOverrides != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSchedGraftMatchesOracleRandomized(t *testing.T) {
+	g, err := tech.Load(tech.Bytecode, SchedPolicy, mem.New(SCMemSize), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewGraftSchedPolicy(g)
+	oracle := func(run []*kernel.Proc) int {
+		best, bestrt := -1, int64(1)<<62
+		for i, p := range run {
+			if p.Tag == 2 && p.Runtime.Microseconds() < bestrt {
+				best, bestrt = i, p.Runtime.Microseconds()
+			}
+		}
+		return best
+	}
+	rng := workload.NewRNG(17)
+	for trial := 0; trial < 300; trial++ {
+		n := int(rng.Uint32n(20)) + 1
+		run := make([]*kernel.Proc, n)
+		for i := range run {
+			run[i] = &kernel.Proc{
+				PID:     i + 1,
+				Tag:     rng.Uint32n(3),
+				Runtime: time.Duration(rng.Uint32n(1e6)) * time.Microsecond,
+			}
+		}
+		got, err := pol.PickNext(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracle(run); got != want {
+			t.Fatalf("trial %d: graft=%d oracle=%d", trial, got, want)
+		}
+	}
+}
+
+func TestACLGraftMatchesOracleAcrossTechnologies(t *testing.T) {
+	rules := []ACLEntry{
+		{UID: 100, FileID: 1, Perms: PermRead | PermWrite},
+		{UID: 100, FileID: ACLWildcard, Perms: PermRead},
+		{UID: ACLWildcard, FileID: 2, Perms: PermExec},
+		{UID: 200, FileID: 3, Perms: 0}, // explicit deny
+	}
+	queries := []struct {
+		uid, file, op uint32
+		want          bool
+	}{
+		{100, 1, PermWrite, true},
+		{100, 1, PermExec, false},
+		{100, 9, PermRead, true}, // wildcard file rule
+		{100, 9, PermWrite, false},
+		{300, 2, PermExec, true}, // wildcard uid rule
+		{300, 2, PermRead, false},
+		{200, 3, PermRead, false}, // explicit deny beats nothing
+		{999, 999, PermRead, false},
+	}
+	for _, id := range hookTechs {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			g, err := tech.Load(id, ACL, mem.New(ACLMemSize), tech.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := NewACLTable(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl.Set(rules)
+			for _, q := range queries {
+				got, err := tbl.Check(q.uid, q.file, q.op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != q.want {
+					t.Errorf("check(%d,%d,%d) = %v, want %v", q.uid, q.file, q.op, got, q.want)
+				}
+				if ref := tbl.ReferenceCheck(q.uid, q.file, q.op); ref != q.want {
+					t.Errorf("oracle disagrees with table: check(%d,%d,%d) ref=%v", q.uid, q.file, q.op, ref)
+				}
+			}
+		})
+	}
+}
+
+func TestACLGraftRandomizedAgainstOracle(t *testing.T) {
+	g, err := tech.Load(tech.NativeUnsafe, ACL, mem.New(ACLMemSize), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewACLTable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(23)
+	for trial := 0; trial < 100; trial++ {
+		n := int(rng.Uint32n(20))
+		rules := make([]ACLEntry, n)
+		for i := range rules {
+			uid := rng.Uint32n(5)
+			file := rng.Uint32n(5)
+			if rng.Uint32n(4) == 0 {
+				uid = ACLWildcard
+			}
+			if rng.Uint32n(4) == 0 {
+				file = ACLWildcard
+			}
+			rules[i] = ACLEntry{UID: uid, FileID: file, Perms: rng.Uint32n(8)}
+		}
+		tbl.Set(rules)
+		for q := 0; q < 50; q++ {
+			uid, file, op := rng.Uint32n(6), rng.Uint32n(6), uint32(1)<<rng.Uint32n(3)
+			got, err := tbl.Check(uid, file, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tbl.ReferenceCheck(uid, file, op); got != want {
+				t.Fatalf("trial %d: check(%d,%d,%d) = %v, oracle %v (rules %v)",
+					trial, uid, file, op, got, want, rules)
+			}
+		}
+	}
+}
+
+func TestACLEmptyTableDeniesEverything(t *testing.T) {
+	g, err := tech.Load(tech.CompiledSafe, ACL, mem.New(ACLMemSize), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewACLTable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tbl.Check(1, 1, PermRead)
+	if err != nil || ok {
+		t.Fatalf("empty table allowed access: %v %v", ok, err)
+	}
+}
+
+func TestACLRejectsSmallMemory(t *testing.T) {
+	g, err := tech.Load(tech.CompiledUnsafe, ACL, mem.New(1<<12), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewACLTable(g); err == nil {
+		t.Fatal("undersized memory accepted")
+	}
+}

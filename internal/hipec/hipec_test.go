@@ -1,0 +1,229 @@
+package hipec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graftlab/internal/mem"
+)
+
+func run(t *testing.T, src string, m *mem.Memory, args ...uint32) uint32 {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Run(m, 0, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	m := mem.New(1 << 10)
+	cases := []struct {
+		src  string
+		args []uint32
+		want uint32
+	}{
+		{"movi r0, 42\nret r0", nil, 42},
+		{"add r2, r0, r1\nret r2", []uint32{7, 35}, 42},
+		{"sub r2, r0, r1\nret r2", []uint32{1, 2}, 0xFFFFFFFF},
+		{"mul r2, r0, r1\nret r2", []uint32{0x10000, 0x10000}, 0},
+		{"and r2, r0, r1\nret r2", []uint32{0xF0F0, 0x0FF0}, 0x00F0},
+		{"or r2, r0, r1\nret r2", []uint32{0xF000, 0x000F}, 0xF00F},
+		{"xor r2, r0, r1\nret r2", []uint32{0xFF00, 0x0FF0}, 0xF0F0},
+		{"shl r2, r0, r1\nret r2", []uint32{1, 33}, 2}, // count masked
+		{"shr r2, r0, r1\nret r2", []uint32{0x80000000, 31}, 1},
+		{"addi r1, r0, 0x10\nret r1", []uint32{1}, 17},
+		{"mov r5, r0\nret r5", []uint32{9}, 9},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src, m, c.args...); got != c.want {
+			t.Errorf("%q (%v) = %#x, want %#x", c.src, c.args, got, c.want)
+		}
+	}
+}
+
+func TestLoadsAndBranches(t *testing.T) {
+	m := mem.New(1 << 10)
+	m.St32U(64, 0xDEADBEEF)
+	m.St8U(100, 7)
+	src := `
+	; r0 = address
+	ldw r1, [r0+0]
+	ldb r2, [r0+36]
+	ret r1
+	`
+	if got := run(t, src, m, 64); got != 0xDEADBEEF {
+		t.Fatalf("ldw = %#x", got)
+	}
+	// Sum 1..n with a loop.
+	loop := `
+		movi r1, 0      ; sum
+		movi r2, 1      ; i
+	loop:
+		jlt r0, r2, done
+		add r1, r1, r2
+		addi r2, r2, 1
+		jmp loop
+	done:
+		ret r1
+	`
+	if got := run(t, loop, m, 100); got != 5050 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestListWalk(t *testing.T) {
+	// The domain this language exists for: walk a linked list of
+	// {value, next} nodes looking for a value.
+	m := mem.New(1 << 12)
+	addrs := []uint32{0x100, 0x180, 0x200, 0x280}
+	vals := []uint32{10, 20, 30, 40}
+	for i, a := range addrs {
+		m.St32U(a, vals[i])
+		next := uint32(0)
+		if i+1 < len(addrs) {
+			next = addrs[i+1]
+		}
+		m.St32U(a+4, next)
+	}
+	src := `
+	; r0 = list head, r1 = needle; returns 1 if found
+		movi r2, 0
+	loop:
+		jeq r0, r2, miss
+		ldw r3, [r0+0]
+		jeq r3, r1, hit
+		ldw r0, [r0+4]
+		jmp loop
+	hit:
+		movi r4, 1
+		ret r4
+	miss:
+		movi r4, 0
+		ret r4
+	`
+	p := MustAssemble(src)
+	for _, v := range vals {
+		got, err := p.Run(m, 0, addrs[0], v)
+		if err != nil || got != 1 {
+			t.Fatalf("find(%d) = %d, %v", v, got, err)
+		}
+	}
+	if got, _ := p.Run(m, 0, addrs[0], 99); got != 0 {
+		t.Fatal("found a value not in the list")
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		code []Instr
+	}{
+		{"empty", nil},
+		{"bad opcode", []Instr{{Op: numOps}, {Op: RET}}},
+		{"bad register", []Instr{{Op: MOV, A: 99}, {Op: RET}}},
+		{"jump out of range", []Instr{{Op: JMP, Imm: 40}, {Op: RET}}},
+		{"falls off end", []Instr{{Op: MOVI, A: 0, Imm: 1}}},
+		{"too long", make([]Instr, MaxProgram+1)},
+	}
+	for _, c := range cases {
+		if c.name == "too long" {
+			for i := range c.code {
+				c.code[i] = Instr{Op: RET}
+			}
+		}
+		if _, err := New(c.code); err == nil {
+			t.Errorf("%s: verified", c.name)
+		}
+	}
+}
+
+func TestRunSafety(t *testing.T) {
+	m := mem.New(1 << 10)
+	// Out-of-bounds load traps recoverably.
+	p := MustAssemble("ldw r1, [r0+0]\nret r1")
+	_, err := p.Run(m, 0, 1<<30)
+	var trap *mem.Trap
+	if !errors.As(err, &trap) || trap.Kind != mem.TrapOOBLoad {
+		t.Fatalf("oob load: %v", err)
+	}
+	// Infinite loop is preempted by fuel.
+	spin := MustAssemble("loop:\njmp loop")
+	_, err = spin.Run(m, 1000)
+	if !errors.As(err, &trap) || trap.Kind != mem.TrapFuel {
+		t.Fatalf("spin: %v", err)
+	}
+	// Too many args rejected.
+	if _, err := p.Run(m, 0, make([]uint32, NumRegs+1)...); err == nil {
+		t.Fatal("17 args accepted")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"frobnicate r0",
+		"movi r99, 1\nret r0",
+		"movi r0\nret r0",
+		"jmp nowhere\nret r0",
+		"ldw r0, r1\nret r0",
+		"ldw r0, [r1+xyz]\nret r0",
+		"dup:\ndup:\nret r0",
+		"ret r0, r1",
+		"movi r0, 99999999999999\nret r0",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q assembled", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	src := `
+		movi r1, 7
+		ldw r2, [r1+4]
+		ldb r3, [r1]
+		add r4, r2, r3
+		jlt r4, r1, 6
+		jmp 6
+		ret r4
+	`
+	p := MustAssemble(src)
+	text := Disassemble(p)
+	for _, want := range []string{"movi r1, 7", "ldw r2, [r1+4]", "jlt r4, r1, 6", "ret r4"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly lacks %q:\n%s", want, text)
+		}
+	}
+	// Reassembling the disassembly (minus pc prefixes) gives the same code.
+	var rebuilt strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, ": "); i >= 0 {
+			rebuilt.WriteString(line[i+2:])
+		}
+		rebuilt.WriteString("\n")
+	}
+	p2, err := Assemble(rebuilt.String())
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, rebuilt.String())
+	}
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("length changed: %d vs %d", len(p2.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != p2.Code[i] {
+			t.Fatalf("instr %d: %v vs %v", i, p.Code[i], p2.Code[i])
+		}
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	m := mem.New(1 << 10)
+	if got := run(t, "start: movi r0, 3\nret r0", m); got != 3 {
+		t.Fatalf("got %d", got)
+	}
+}

@@ -1,0 +1,192 @@
+package kernel
+
+import (
+	"fmt"
+)
+
+// The buffer cache reproduces the design point of Cao et al. [CAO94] that
+// §2 discusses: the kernel ships a fixed menu of eviction policies and an
+// application *chooses* one per handle — contrasted with grafting, where
+// the application *supplies* policy code. Both arrangements exist here:
+// SetPolicy picks from the menu, SetHook installs a graft-style decision
+// function, and the paper's argument ("it is not possible to determine
+// and implement all policies a priori") can be demonstrated by finding a
+// workload where every menu entry loses to a hook.
+
+// CachePolicy selects a built-in eviction policy.
+type CachePolicy int
+
+const (
+	// CacheLRU evicts the least recently used block (the default).
+	CacheLRU CachePolicy = iota
+	// CacheMRU evicts the most recently used block, the right choice for
+	// sequential scans that will not revisit (§3.1's example).
+	CacheMRU
+)
+
+func (p CachePolicy) String() string {
+	switch p {
+	case CacheLRU:
+		return "lru"
+	case CacheMRU:
+		return "mru"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// CacheHook is the graft-shaped escape hatch: given the blocks in
+// use-order (least recent first), return the block to evict, or
+// 0xFFFFFFFF to defer to the selected built-in policy.
+type CacheHook func(order []uint32) uint32
+
+// NoBlock is the CacheHook "no opinion" sentinel.
+const NoBlock = uint32(0xFFFFFFFF)
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	HookCalls     uint64
+	HookOverrides uint64
+	HookRejected  uint64
+}
+
+// BufferCache is a fixed-capacity block cache.
+type BufferCache struct {
+	capacity int
+	policy   CachePolicy
+	hook     CacheHook
+
+	// use-order list: intrusive doubly linked over entry structs.
+	entries map[uint32]*cacheEntry
+	head    *cacheEntry // least recently used
+	tail    *cacheEntry // most recently used
+	stats   CacheStats
+
+	orderBuf []uint32 // reused for hook marshaling
+}
+
+type cacheEntry struct {
+	block      uint32
+	prev, next *cacheEntry
+}
+
+// NewBufferCache builds a cache with the given capacity in blocks.
+func NewBufferCache(capacity int) (*BufferCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("kernel: cache capacity must be positive, got %d", capacity)
+	}
+	return &BufferCache{
+		capacity: capacity,
+		entries:  make(map[uint32]*cacheEntry, capacity),
+	}, nil
+}
+
+// SetPolicy selects a built-in policy (Cao-style menu choice).
+func (c *BufferCache) SetPolicy(p CachePolicy) { c.policy = p }
+
+// SetHook installs (or clears, with nil) the graft-style hook.
+func (c *BufferCache) SetHook(h CacheHook) { c.hook = h }
+
+// Stats returns a copy of the counters.
+func (c *BufferCache) Stats() CacheStats { return c.stats }
+
+// Len reports the number of cached blocks.
+func (c *BufferCache) Len() int { return len(c.entries) }
+
+// Contains reports whether block is cached, without touching use order.
+func (c *BufferCache) Contains(block uint32) bool {
+	_, ok := c.entries[block]
+	return ok
+}
+
+// UseOrder returns the cached blocks least recent first.
+func (c *BufferCache) UseOrder() []uint32 {
+	c.orderBuf = c.orderBuf[:0]
+	for e := c.head; e != nil; e = e.next {
+		c.orderBuf = append(c.orderBuf, e.block)
+	}
+	return c.orderBuf
+}
+
+func (c *BufferCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *BufferCache) pushTail(e *cacheEntry) {
+	e.prev = c.tail
+	if c.tail != nil {
+		c.tail.next = e
+	} else {
+		c.head = e
+	}
+	c.tail = e
+}
+
+// Get references block, returning whether it was a hit. On a miss the
+// block is brought in, evicting per policy/hook when full.
+func (c *BufferCache) Get(block uint32) (hit bool, evicted uint32, err error) {
+	evicted = NoBlock
+	if e, ok := c.entries[block]; ok {
+		c.stats.Hits++
+		c.unlink(e)
+		c.pushTail(e)
+		return true, evicted, nil
+	}
+	c.stats.Misses++
+	if len(c.entries) >= c.capacity {
+		victim, err := c.chooseVictim()
+		if err != nil {
+			return false, evicted, err
+		}
+		ve := c.entries[victim]
+		c.unlink(ve)
+		delete(c.entries, victim)
+		c.stats.Evictions++
+		evicted = victim
+	}
+	e := &cacheEntry{block: block}
+	c.entries[block] = e
+	c.pushTail(e)
+	return false, evicted, nil
+}
+
+func (c *BufferCache) chooseVictim() (uint32, error) {
+	if c.head == nil {
+		return 0, fmt.Errorf("kernel: cache empty but full?")
+	}
+	var builtin uint32
+	switch c.policy {
+	case CacheMRU:
+		builtin = c.tail.block
+	default:
+		builtin = c.head.block
+	}
+	if c.hook == nil {
+		return builtin, nil
+	}
+	c.stats.HookCalls++
+	proposal := c.hook(c.UseOrder())
+	if proposal == NoBlock {
+		return builtin, nil
+	}
+	if _, ok := c.entries[proposal]; !ok {
+		c.stats.HookRejected++
+		return builtin, nil
+	}
+	if proposal != builtin {
+		c.stats.HookOverrides++
+	}
+	return proposal, nil
+}

@@ -1,0 +1,184 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The filters in this file are the Stream graft examples §3.2 enumerates
+// beyond MD5: "transparently compress a file when it is written and
+// decompress it when it is read, or automatically encrypt a file when
+// written and decrypt it when read", and the journaling filesystem built
+// by "inserting into the request stream a graft that journals the changes
+// made to the metadata".
+
+// XORFilter is a symmetric stream cipher over an LCG keystream — not
+// cryptography, but exactly the shape of one: stateful, byte-oriented,
+// and self-inverse when the same seed is used for both directions.
+type XORFilter struct {
+	state uint64
+	out   []byte
+}
+
+// NewXORFilter builds a cipher filter seeded with key.
+func NewXORFilter(key uint64) *XORFilter {
+	return &XORFilter{state: key | 1}
+}
+
+// Name implements Filter.
+func (x *XORFilter) Name() string { return "xor-cipher" }
+
+// Process implements Filter.
+func (x *XORFilter) Process(p []byte) ([]byte, error) {
+	if cap(x.out) < len(p) {
+		x.out = make([]byte, len(p))
+	}
+	out := x.out[:len(p)]
+	s := x.state
+	for i, b := range p {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = b ^ byte(s>>56)
+	}
+	x.state = s
+	return out, nil
+}
+
+// Finish implements Filter.
+func (x *XORFilter) Finish() ([]byte, error) { return nil, nil }
+
+// RLEFilter run-length encodes its input: output is (count, byte) pairs
+// with counts up to 255. Runs may span Process calls.
+type RLEFilter struct {
+	last  byte
+	count int
+	begun bool
+	out   []byte
+}
+
+// Name implements Filter.
+func (r *RLEFilter) Name() string { return "rle-compress" }
+
+// Process implements Filter.
+func (r *RLEFilter) Process(p []byte) ([]byte, error) {
+	r.out = r.out[:0]
+	for _, b := range p {
+		if r.begun && b == r.last && r.count < 255 {
+			r.count++
+			continue
+		}
+		if r.begun {
+			r.out = append(r.out, byte(r.count), r.last)
+		}
+		r.begun = true
+		r.last = b
+		r.count = 1
+	}
+	return r.out, nil
+}
+
+// Finish implements Filter.
+func (r *RLEFilter) Finish() ([]byte, error) {
+	if !r.begun {
+		return nil, nil
+	}
+	r.begun = false
+	return []byte{byte(r.count), r.last}, nil
+}
+
+// RLEExpand inverts RLEFilter. A trailing odd byte is buffered between
+// Process calls; a stream ending mid-pair is an error at Finish.
+type RLEExpand struct {
+	pending []byte
+	out     []byte
+}
+
+// Name implements Filter.
+func (r *RLEExpand) Name() string { return "rle-expand" }
+
+// Process implements Filter.
+func (r *RLEExpand) Process(p []byte) ([]byte, error) {
+	r.out = r.out[:0]
+	data := p
+	if len(r.pending) > 0 {
+		data = append(r.pending, p...)
+	}
+	i := 0
+	for ; i+1 < len(data); i += 2 {
+		count, b := int(data[i]), data[i+1]
+		for j := 0; j < count; j++ {
+			r.out = append(r.out, b)
+		}
+	}
+	r.pending = append(r.pending[:0], data[i:]...)
+	return r.out, nil
+}
+
+// Finish implements Filter.
+func (r *RLEExpand) Finish() ([]byte, error) {
+	if len(r.pending) != 0 {
+		return nil, fmt.Errorf("kernel: rle stream truncated mid-pair")
+	}
+	return nil, nil
+}
+
+// JournalFilter models the journaling-filesystem graft: each Process call
+// is one write request whose first MetaBytes are metadata; the filter
+// appends {seq, len, metadata} records to its journal and passes the
+// request through unchanged. After a crash, the journal replays what the
+// metadata state should be.
+type JournalFilter struct {
+	MetaBytes int
+	seq       uint32
+	journal   []byte
+}
+
+// NewJournalFilter journals the first metaBytes of every request.
+func NewJournalFilter(metaBytes int) *JournalFilter {
+	return &JournalFilter{MetaBytes: metaBytes}
+}
+
+// Name implements Filter.
+func (j *JournalFilter) Name() string { return "journal" }
+
+// Process implements Filter.
+func (j *JournalFilter) Process(p []byte) ([]byte, error) {
+	n := j.MetaBytes
+	if n > len(p) {
+		n = len(p)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], j.seq)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(n))
+	j.journal = append(j.journal, hdr[:]...)
+	j.journal = append(j.journal, p[:n]...)
+	j.seq++
+	return p, nil
+}
+
+// Finish implements Filter.
+func (j *JournalFilter) Finish() ([]byte, error) { return nil, nil }
+
+// Journal returns the accumulated journal bytes.
+func (j *JournalFilter) Journal() []byte { return j.journal }
+
+// Records parses the journal back into (seq, metadata) records.
+func (j *JournalFilter) Records() ([][]byte, error) {
+	var out [][]byte
+	b := j.journal
+	for len(b) > 0 {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("kernel: truncated journal header")
+		}
+		seq := binary.LittleEndian.Uint32(b)
+		n := binary.LittleEndian.Uint32(b[4:])
+		if uint32(len(b)-8) < n {
+			return nil, fmt.Errorf("kernel: truncated journal record %d", seq)
+		}
+		if int(seq) != len(out) {
+			return nil, fmt.Errorf("kernel: journal sequence gap at %d", seq)
+		}
+		out = append(out, b[8:8+n])
+		b = b[8+n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"graftlab/internal/workload"
+)
+
+func TestXORFilterRoundTrips(t *testing.T) {
+	data := make([]byte, 10000)
+	workload.FillPattern(data, 3)
+
+	enc := NewXORFilter(42)
+	dec := NewXORFilter(42)
+	var cipher, plain bytes.Buffer
+	c1 := NewChain(func(p []byte) error { cipher.Write(p); return nil }, enc)
+	for off := 0; off < len(data); off += 700 {
+		end := off + 700
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c1.Write(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(cipher.Bytes(), data) {
+		t.Fatal("cipher output equals plaintext")
+	}
+	c2 := NewChain(func(p []byte) error { plain.Write(p); return nil }, dec)
+	if _, err := c2.Write(cipher.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), data) {
+		t.Fatal("decryption did not invert encryption")
+	}
+}
+
+func TestXORFilterKeyMatters(t *testing.T) {
+	a, _ := NewXORFilter(1).Process([]byte("hello world"))
+	aCopy := append([]byte(nil), a...)
+	b, _ := NewXORFilter(2).Process([]byte("hello world"))
+	if bytes.Equal(aCopy, b) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		[]byte(""),
+		[]byte("a"),
+		[]byte("aaabbbcccc"),
+		bytes.Repeat([]byte{7}, 1000), // runs longer than 255
+		{1, 2, 3, 4, 5},
+	}
+	for _, data := range cases {
+		var compressed bytes.Buffer
+		c := NewChain(func(p []byte) error { compressed.Write(p); return nil }, &RLEFilter{})
+		if _, err := c.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var restored bytes.Buffer
+		e := NewChain(func(p []byte) error { restored.Write(p); return nil }, &RLEExpand{})
+		// Feed the compressed stream one byte at a time to exercise the
+		// pending-pair buffering.
+		for _, b := range compressed.Bytes() {
+			if _, err := e.Write([]byte{b}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(restored.Bytes(), data) {
+			t.Fatalf("round trip failed for %v: got %v", data, restored.Bytes())
+		}
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	data := bytes.Repeat([]byte{9}, 255)
+	var out bytes.Buffer
+	c := NewChain(func(p []byte) error { out.Write(p); return nil }, &RLEFilter{})
+	c.Write(data)
+	c.Close()
+	if out.Len() != 2 {
+		t.Fatalf("255-byte run compressed to %d bytes, want 2", out.Len())
+	}
+}
+
+func TestRLEExpandTruncatedStream(t *testing.T) {
+	e := NewChain(nil, &RLEExpand{})
+	e.Write([]byte{3}) // count without byte
+	if err := e.Close(); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestJournalFilterRecordsMetadata(t *testing.T) {
+	j := NewJournalFilter(8)
+	var sunk bytes.Buffer
+	c := NewChain(func(p []byte) error { sunk.Write(p); return nil }, j)
+
+	reqs := [][]byte{
+		append([]byte("METADATA"), bytes.Repeat([]byte{1}, 100)...),
+		append([]byte("meta0002"), bytes.Repeat([]byte{2}, 50)...),
+		[]byte("tiny"), // shorter than MetaBytes
+	}
+	var want bytes.Buffer
+	for _, r := range reqs {
+		if _, err := c.Write(r); err != nil {
+			t.Fatal(err)
+		}
+		want.Write(r)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sunk.Bytes(), want.Bytes()) {
+		t.Fatal("journal filter altered the data stream")
+	}
+	recs, err := j.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if string(recs[0]) != "METADATA" || string(recs[1]) != "meta0002" || string(recs[2]) != "tiny" {
+		t.Fatalf("records wrong: %q %q %q", recs[0], recs[1], recs[2])
+	}
+}
+
+func TestFilterChainComposition(t *testing.T) {
+	// journal -> cipher -> rle, then invert: the full §3.2 stack.
+	data := append(bytes.Repeat([]byte("meta"), 2), bytes.Repeat([]byte{0xAA}, 500)...)
+
+	var wire bytes.Buffer
+	enc := NewChain(func(p []byte) error { wire.Write(p); return nil },
+		NewJournalFilter(8), NewXORFilter(99), &RLEFilter{})
+	if _, err := enc.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var restored bytes.Buffer
+	dec := NewChain(func(p []byte) error { restored.Write(p); return nil },
+		&RLEExpand{}, NewXORFilter(99))
+	if _, err := dec.Write(wire.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored.Bytes(), data) {
+		t.Fatal("three-stage chain did not invert")
+	}
+}

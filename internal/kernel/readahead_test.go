@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"graftlab/internal/vclock"
+)
+
+func raTestPager(t *testing.T, frames int) (*Pager, *vclock.Clock) {
+	t.Helper()
+	clock := &vclock.Clock{}
+	p, err := NewPager(PagerConfig{Frames: frames, FaultTime: 8 * time.Millisecond}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, clock
+}
+
+func TestReadAheadReducesFaultsOnSequentialScan(t *testing.T) {
+	runScan := func(withRA bool) (PagerStats, time.Duration) {
+		p, clock := raTestPager(t, 64)
+		if withRA {
+			// Sequential hint: after faulting page n, the next 7 pages.
+			p.SetReadAhead(ReadAheadFunc(func(f PageID) []PageID {
+				out := make([]PageID, 7)
+				for i := range out {
+					out[i] = f + PageID(i) + 1
+				}
+				return out
+			}), time.Millisecond)
+		}
+		for pg := PageID(0); pg < 512; pg++ {
+			if _, err := p.Access(pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.Stats(), clock.Now()
+	}
+
+	base, baseTime := runScan(false)
+	ra, raTime := runScan(true)
+	if base.Faults != 512 {
+		t.Fatalf("baseline faults = %d", base.Faults)
+	}
+	if ra.Faults > base.Faults/6 {
+		t.Errorf("read-ahead faults = %d, want ~%d", ra.Faults, base.Faults/8)
+	}
+	// 8ms per fault vs 1ms per prefetched page: virtual time must drop.
+	if raTime >= baseTime {
+		t.Errorf("read-ahead time %v not better than %v", raTime, baseTime)
+	}
+}
+
+func TestReadAheadStatsUsefulAndWasted(t *testing.T) {
+	p, _ := raTestPager(t, 16)
+	p.SetReadAhead(ReadAheadFunc(func(f PageID) []PageID {
+		return []PageID{f + 1, f + 1000} // one useful, one junk
+	}), time.Millisecond)
+	// Touch 0 (faults; prefetches 1 and 1000), then 1 (useful hit).
+	p.Access(0)
+	p.Access(1)
+	st := p.ReadAheadStats()
+	if st.Prefetched != 2 {
+		t.Fatalf("prefetched = %d", st.Prefetched)
+	}
+	if st.Useful != 1 {
+		t.Fatalf("useful = %d", st.Useful)
+	}
+	// Fill memory with demand pages; the junk page must be evicted first
+	// (it sits at the LRU head) and be counted wasted.
+	for pg := PageID(100); pg < 120; pg++ {
+		p.Access(pg)
+	}
+	if st := p.ReadAheadStats(); st.Wasted == 0 {
+		t.Error("junk prefetch never counted wasted")
+	}
+	if p.Resident(1000) {
+		t.Error("junk prefetch survived demand pressure")
+	}
+}
+
+func TestReadAheadRespectsCapAndValidation(t *testing.T) {
+	p, _ := raTestPager(t, 64)
+	var proposed []PageID
+	for i := 0; i < 100; i++ {
+		proposed = append(proposed, PageID(1000+i))
+	}
+	p.SetReadAhead(ReadAheadFunc(func(f PageID) []PageID {
+		// Includes junk the kernel must skip.
+		return append([]PageID{InvalidPage, f}, proposed...)
+	}), time.Millisecond)
+	p.Access(0)
+	st := p.ReadAheadStats()
+	if st.Prefetched != MaxReadAhead {
+		t.Fatalf("prefetched = %d, want cap %d", st.Prefetched, MaxReadAhead)
+	}
+	if p.Resident(InvalidPage) {
+		t.Fatal("invalid page installed")
+	}
+}
+
+func TestReadAheadPrefetchedEnterAtTail(t *testing.T) {
+	p, _ := raTestPager(t, 8)
+	p.SetReadAhead(ReadAheadFunc(func(f PageID) []PageID {
+		if f == 0 {
+			return []PageID{50, 51}
+		}
+		return nil
+	}), time.Millisecond)
+	p.Access(0)
+	lru := p.LRUPages()
+	// Demand page first (LRU), batch in proposal order after it.
+	want := []PageID{0, 50, 51}
+	for i := range want {
+		if lru[i] != want[i] {
+			t.Fatalf("LRU = %v, want %v", lru, want)
+		}
+	}
+}
+
+func TestReadAheadDefaultCost(t *testing.T) {
+	clock := &vclock.Clock{}
+	p, err := NewPager(PagerConfig{Frames: 8, FaultTime: 8 * time.Millisecond}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetReadAhead(ReadAheadFunc(func(f PageID) []PageID {
+		return []PageID{f + 1}
+	}), 0) // default: FaultTime/8 = 1ms
+	p.Access(0)
+	if got := clock.Now(); got != 9*time.Millisecond {
+		t.Fatalf("clock = %v, want 9ms (8 fault + 1 prefetch)", got)
+	}
+}

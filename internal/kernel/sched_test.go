@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"graftlab/internal/vclock"
+)
+
+func TestSchedulerRoundRobin(t *testing.T) {
+	clock := &vclock.Clock{}
+	s := NewScheduler(10*time.Millisecond, clock)
+	a := s.Spawn("a", 0)
+	b := s.Spawn("b", 0)
+	c := s.Spawn("c", 0)
+	var order []int
+	for i := 0; i < 6; i++ {
+		p, err := s.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, p.PID)
+	}
+	want := []int{a.PID, b.PID, c.PID, a.PID, b.PID, c.PID}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if a.Runtime != 20*time.Millisecond {
+		t.Errorf("a runtime = %v", a.Runtime)
+	}
+	if clock.Now() != 60*time.Millisecond {
+		t.Errorf("clock = %v", clock.Now())
+	}
+}
+
+func TestSchedulerEmptyQueue(t *testing.T) {
+	s := NewScheduler(time.Millisecond, &vclock.Clock{})
+	if _, err := s.Tick(); err == nil {
+		t.Fatal("Tick on empty queue succeeded")
+	}
+}
+
+func TestSchedulerPolicyOverride(t *testing.T) {
+	s := NewScheduler(time.Millisecond, &vclock.Clock{})
+	s.Spawn("client", 1)
+	srv := s.Spawn("server", 2)
+	// Policy: always prefer processes tagged 2 (the "server ahead of any
+	// client" example from §3.1).
+	s.SetPolicy(SchedPolicyFunc(func(run []*Proc) (int, error) {
+		for i, p := range run {
+			if p.Tag == 2 {
+				return i, nil
+			}
+		}
+		return -1, nil
+	}))
+	for i := 0; i < 4; i++ {
+		p, err := s.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PID != srv.PID {
+			t.Fatalf("tick %d ran %s, want server", i, p.Name)
+		}
+	}
+	if st := s.Stats(); st.PolicyCalls != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSchedulerPolicyValidation(t *testing.T) {
+	s := NewScheduler(time.Millisecond, &vclock.Clock{})
+	a := s.Spawn("a", 0)
+	s.Spawn("b", 0)
+
+	s.SetPolicy(SchedPolicyFunc(func(run []*Proc) (int, error) { return 99, nil }))
+	p, err := s.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PID != a.PID {
+		t.Fatal("rejected pick did not fall back to round-robin")
+	}
+	if st := s.Stats(); st.PolicyRejected != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	s.SetPolicy(SchedPolicyFunc(func(run []*Proc) (int, error) {
+		return 0, errors.New("trap")
+	}))
+	if _, err := s.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PolicyErrors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSchedulerExit(t *testing.T) {
+	s := NewScheduler(time.Millisecond, &vclock.Clock{})
+	a := s.Spawn("a", 0)
+	b := s.Spawn("b", 0)
+	if !s.Exit(a.PID) || s.Exit(a.PID) {
+		t.Fatal("Exit bookkeeping broken")
+	}
+	for i := 0; i < 3; i++ {
+		p, err := s.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PID != b.PID {
+			t.Fatal("exited process still scheduled")
+		}
+	}
+	if len(s.Runnable()) != 1 {
+		t.Fatalf("runnable = %d", len(s.Runnable()))
+	}
+}

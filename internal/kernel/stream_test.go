@@ -1,0 +1,120 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// rle is a trivial run-length filter used to exercise transformation and
+// Finish-time output.
+type rle struct {
+	last  byte
+	count int
+	out   []byte
+	begun bool
+}
+
+func (r *rle) Name() string { return "rle" }
+
+func (r *rle) Process(p []byte) ([]byte, error) {
+	r.out = r.out[:0]
+	for _, b := range p {
+		if r.begun && b == r.last && r.count < 255 {
+			r.count++
+			continue
+		}
+		if r.begun {
+			r.out = append(r.out, byte(r.count), r.last)
+		}
+		r.begun = true
+		r.last = b
+		r.count = 1
+	}
+	return r.out, nil
+}
+
+func (r *rle) Finish() ([]byte, error) {
+	if !r.begun {
+		return nil, nil
+	}
+	r.begun = false
+	return []byte{byte(r.count), r.last}, nil
+}
+
+func TestChainPassThrough(t *testing.T) {
+	var sunk bytes.Buffer
+	c := NewChain(func(p []byte) error { sunk.Write(p); return nil })
+	c.Write([]byte("hello "))
+	c.Write([]byte("world"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sunk.String() != "hello world" {
+		t.Fatalf("sunk = %q", sunk.String())
+	}
+	if c.BytesOut() != 11 {
+		t.Fatalf("BytesOut = %d", c.BytesOut())
+	}
+}
+
+func TestChainNilSinkDiscards(t *testing.T) {
+	c := NewChain(nil)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainTransformingFilter(t *testing.T) {
+	var sunk bytes.Buffer
+	c := NewChain(func(p []byte) error { sunk.Write(p); return nil }, &rle{})
+	c.Write([]byte("aaab"))
+	c.Write([]byte("bbbb"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{3, 'a', 5, 'b'}
+	if !bytes.Equal(sunk.Bytes(), want) {
+		t.Fatalf("sunk = %v, want %v", sunk.Bytes(), want)
+	}
+}
+
+func TestChainMultipleFilters(t *testing.T) {
+	upper := FilterFunc{FilterName: "upper", Fn: func(p []byte) ([]byte, error) {
+		out := make([]byte, len(p))
+		for i, b := range p {
+			if b >= 'a' && b <= 'z' {
+				b -= 32
+			}
+			out[i] = b
+		}
+		return out, nil
+	}}
+	var sunk bytes.Buffer
+	c := NewChain(func(p []byte) error { sunk.Write(p); return nil }, upper, &rle{})
+	c.Write([]byte("aAbb"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{2, 'A', 2, 'B'}
+	if !bytes.Equal(sunk.Bytes(), want) {
+		t.Fatalf("sunk = %v, want %v", sunk.Bytes(), want)
+	}
+}
+
+func TestChainFilterError(t *testing.T) {
+	boom := errors.New("boom")
+	bad := FilterFunc{FilterName: "bad", Fn: func(p []byte) ([]byte, error) { return nil, boom }}
+	c := NewChain(nil, bad)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChainSinkError(t *testing.T) {
+	boom := errors.New("sink full")
+	c := NewChain(func(p []byte) error { return boom })
+	if _, err := c.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package ld
+
+import (
+	"strings"
+	"testing"
+
+	"graftlab/internal/disk"
+	"graftlab/internal/vclock"
+	"graftlab/internal/workload"
+)
+
+func smallDisk() (*disk.Disk, *vclock.Clock) {
+	clock := &vclock.Clock{}
+	geo := disk.DefaultGeometry()
+	geo.Blocks = 4096
+	return disk.New(geo, clock), clock
+}
+
+func TestNativeMapperLogStructure(t *testing.T) {
+	m := NewNativeMapper(256)
+	for i := uint32(0); i < 40; i++ {
+		p, err := m.MapWrite((i * 19) % 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != i {
+			t.Fatalf("write %d got physical %d", i, p)
+		}
+	}
+}
+
+func TestNativeMapperReadAfterWrite(t *testing.T) {
+	m := NewNativeMapper(16384) // plenty of log space for 500 writes
+	latest := map[uint32]uint32{}
+	rng := workload.NewRNG(12)
+	for i := 0; i < 500; i++ {
+		lb := rng.Uint32n(128)
+		p, err := m.MapWrite(lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latest[lb] = p
+		// Invariant: every previously written block reads back its
+		// latest location.
+		probe := rng.Uint32n(128)
+		want, written := latest[probe]
+		got, err := m.MapRead(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written && got != want {
+			t.Fatalf("block %d maps to %d, want %d", probe, got, want)
+		}
+		if !written && got != Unmapped {
+			t.Fatalf("unwritten block %d maps to %d", probe, got)
+		}
+	}
+}
+
+func TestNativeMapperErrors(t *testing.T) {
+	m := NewNativeMapper(32) // 2 segments
+	if _, err := m.MapWrite(99); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if _, err := m.MapRead(99); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	for i := uint32(0); i < 32; i++ {
+		if _, err := m.MapWrite(i % 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := m.MapWrite(0)
+	if err == nil || !strings.Contains(err.Error(), "log full") {
+		t.Errorf("full log: %v", err)
+	}
+}
+
+func TestLDBatchesWrites(t *testing.T) {
+	dev, _ := smallDisk()
+	l := New(dev, NewNativeMapper(dev.Geometry().Blocks), false)
+	stream := workload.NewSkewed(dev.Geometry().Blocks, 5)
+	const writes = 320
+	for i := 0; i < writes; i++ {
+		if err := l.Write(stream.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Writes != writes {
+		t.Errorf("writes = %d", st.Writes)
+	}
+	if st.SegmentFlush != writes/SegmentBlocks {
+		t.Errorf("flushes = %d, want %d", st.SegmentFlush, writes/SegmentBlocks)
+	}
+}
+
+func TestLDBeatsDirectWritesOnRandomLoad(t *testing.T) {
+	// The paper's justification: batching must save more time than the
+	// bookkeeping costs. Compare virtual disk time for the same skewed
+	// request stream.
+	devLD, clockLD := smallDisk()
+	l := New(devLD, NewNativeMapper(devLD.Geometry().Blocks), false)
+	s1 := workload.NewSkewed(devLD.Geometry().Blocks, 77)
+	const writes = 2048
+	for i := 0; i < writes; i++ {
+		if err := l.Write(s1.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ldTime := clockLD.Now()
+
+	devDirect, clockDirect := smallDisk()
+	s2 := workload.NewSkewed(devDirect.Geometry().Blocks, 77)
+	for i := 0; i < writes; i++ {
+		if _, err := DirectWrite(devDirect, s2.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	directTime := clockDirect.Now()
+
+	if ldTime*5 > directTime {
+		t.Errorf("LD %v not clearly faster than direct %v", ldTime, directTime)
+	}
+}
+
+func TestLDReads(t *testing.T) {
+	dev, _ := smallDisk()
+	l := New(dev, NewNativeMapper(dev.Geometry().Blocks), false)
+	if err := l.Read(7); err == nil {
+		t.Error("read of unwritten block accepted")
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Write(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Read(7); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Reads != 1 {
+		t.Errorf("reads = %d", l.Stats().Reads)
+	}
+}
+
+func TestLDTimedMapper(t *testing.T) {
+	dev, _ := smallDisk()
+	l := New(dev, NewNativeMapper(dev.Geometry().Blocks), true)
+	for i := uint32(0); i < 64; i++ {
+		if err := l.Write(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().MapTime <= 0 {
+		t.Error("timed mapper recorded no time")
+	}
+}

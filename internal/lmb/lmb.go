@@ -1,0 +1,128 @@
+// Package lmb reimplements the two lmbench measurements the paper relies
+// on [MCVOY96]: lat_pagefault (Table 3) and lmdd write bandwidth
+// (Table 4). Both run against the real OS, as the paper's did; the disk
+// model in package disk supplies the 1990s-calibrated counterpart so
+// EXPERIMENTS.md can report both eras side by side.
+package lmb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// PageFaultResult is one lat_pagefault-style measurement.
+type PageFaultResult struct {
+	Pages    int
+	PageSize int
+	PerFault time.Duration
+}
+
+// MeasurePageFault maps a file of pages pages and touches each page once
+// in a scattered order, timing the faults — the lat_pagefault method: the
+// file is written, the cache is (best-effort) invalidated by remapping,
+// and each first touch takes a minor/major fault.
+func MeasurePageFault(pages int) (PageFaultResult, error) {
+	pageSize := os.Getpagesize()
+	if pages <= 0 {
+		return PageFaultResult{}, fmt.Errorf("lmb: pages must be positive")
+	}
+	f, err := os.CreateTemp("", "lmb-pagefault-")
+	if err != nil {
+		return PageFaultResult{}, err
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+
+	size := pages * pageSize
+	if err := f.Truncate(int64(size)); err != nil {
+		return PageFaultResult{}, err
+	}
+	// Write through the file so pages exist on disk/cache.
+	buf := make([]byte, pageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for p := 0; p < pages; p++ {
+		if _, err := f.WriteAt(buf, int64(p*pageSize)); err != nil {
+			return PageFaultResult{}, err
+		}
+	}
+
+	// Map privately and write-touch each page: every touch takes a
+	// copy-on-write fault that the kernel cannot batch with fault-around,
+	// so the count of faults equals the count of pages — the property
+	// lat_pagefault's strided walk was engineered for.
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return PageFaultResult{}, err
+	}
+	defer syscall.Munmap(data) //nolint:errcheck
+
+	t0 := time.Now()
+	stride := 16
+	for s := 0; s < stride; s++ {
+		for p := s; p < pages; p += stride {
+			data[p*pageSize] = byte(p)
+		}
+	}
+	elapsed := time.Since(t0)
+	return PageFaultResult{
+		Pages:    pages,
+		PageSize: pageSize,
+		PerFault: elapsed / time.Duration(pages),
+	}, nil
+}
+
+// DiskWriteResult is one lmdd-style measurement.
+type DiskWriteResult struct {
+	Bytes       int64
+	Elapsed     time.Duration
+	BytesPerSec int64
+}
+
+// MeasureDiskWrite writes total bytes to a temp file in 64 KB chunks with
+// an fsync at the end, the lmdd write-bandwidth method, and reports
+// delivered bandwidth.
+func MeasureDiskWrite(dir string, total int64) (DiskWriteResult, error) {
+	if total <= 0 {
+		return DiskWriteResult{}, fmt.Errorf("lmb: total must be positive")
+	}
+	f, err := os.CreateTemp(dir, "lmb-lmdd-")
+	if err != nil {
+		return DiskWriteResult{}, err
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = byte(i * 7)
+	}
+	t0 := time.Now()
+	var written int64
+	for written < total {
+		n := int64(len(chunk))
+		if total-written < n {
+			n = total - written
+		}
+		if _, err := f.Write(chunk[:n]); err != nil {
+			return DiskWriteResult{}, err
+		}
+		written += n
+	}
+	if err := f.Sync(); err != nil {
+		return DiskWriteResult{}, err
+	}
+	elapsed := time.Since(t0)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return DiskWriteResult{
+		Bytes:       written,
+		Elapsed:     elapsed,
+		BytesPerSec: int64(float64(written) / elapsed.Seconds()),
+	}, nil
+}

@@ -1,0 +1,49 @@
+package lmb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasurePageFault(t *testing.T) {
+	res, err := MeasurePageFault(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages != 512 || res.PageSize <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.PerFault <= 0 || res.PerFault > 10*time.Millisecond {
+		t.Errorf("per-fault %v outside plausible range", res.PerFault)
+	}
+	t.Logf("page fault: %v per page (page size %d)", res.PerFault, res.PageSize)
+}
+
+func TestMeasurePageFaultValidation(t *testing.T) {
+	if _, err := MeasurePageFault(0); err == nil {
+		t.Fatal("zero pages accepted")
+	}
+}
+
+func TestMeasureDiskWrite(t *testing.T) {
+	res, err := MeasureDiskWrite(t.TempDir(), 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	if res.BytesPerSec <= 0 {
+		t.Fatalf("bandwidth = %d", res.BytesPerSec)
+	}
+	t.Logf("disk write: %d MB/s", res.BytesPerSec>>20)
+}
+
+func TestMeasureDiskWriteValidation(t *testing.T) {
+	if _, err := MeasureDiskWrite(t.TempDir(), 0); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+	if _, err := MeasureDiskWrite("/nonexistent-dir-xyz", 1024); err == nil {
+		t.Fatal("bad dir accepted")
+	}
+}

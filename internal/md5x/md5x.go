@@ -1,0 +1,168 @@
+// Package md5x is a from-scratch implementation of the MD5 Message-Digest
+// Algorithm (RFC 1321), the paper's representative Stream graft (§3.2,
+// §5.5). It exists so that the same algorithm can be expressed in native
+// Go (the measurement baseline), in GEL (for the compiled and interpreted
+// technology classes), and in mini-Tcl, all validated against each other
+// and against the RFC test suite.
+//
+// The implementation follows the reference structure: four rounds of
+// sixteen operations over a 64-byte block, state carried as four u32
+// words, length tracked in bits, and the standard padding (0x80, zeros,
+// 64-bit little-endian length).
+package md5x
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Size is the length of an MD5 digest in bytes.
+const Size = 16
+
+// BlockSize is the MD5 block size in bytes.
+const BlockSize = 64
+
+// K holds the 64 sine-derived constants, K[i] = floor(2^32 * |sin(i+1)|).
+// They are spelled out (rather than computed) so the table can also be
+// marshaled into graft memory for the GEL and Tcl implementations.
+var K = [64]uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+	0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+	0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+	0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+	0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+	0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+	0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+	0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+	0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+// S holds the per-round rotation amounts, S[round*4 + step%4].
+var S = [16]uint32{
+	7, 12, 17, 22,
+	5, 9, 14, 20,
+	4, 11, 16, 23,
+	6, 10, 15, 21,
+}
+
+// Digest computes MD5 incrementally. The zero value is not ready; use New.
+type Digest struct {
+	a, b, c, d uint32
+	lenBits    uint64
+	buf        [BlockSize]byte
+	nbuf       int
+}
+
+// New returns an initialized MD5 state.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset returns the state to the RFC 1321 initialization vector.
+func (d *Digest) Reset() {
+	d.a, d.b, d.c, d.d = 0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476
+	d.lenBits = 0
+	d.nbuf = 0
+}
+
+// Write absorbs p; it never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.lenBits += uint64(n) * 8
+	if d.nbuf > 0 {
+		c := copy(d.buf[d.nbuf:], p)
+		d.nbuf += c
+		p = p[c:]
+		if d.nbuf == BlockSize {
+			d.transform(d.buf[:])
+			d.nbuf = 0
+		}
+	}
+	for len(p) >= BlockSize {
+		d.transform(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nbuf = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the digest of everything written so far to b. The state is
+// copied, so Sum may be called mid-stream.
+func (d *Digest) Sum(b []byte) []byte {
+	dd := *d
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	// Pad to 56 mod 64, then append the bit length.
+	rem := (BlockSize + 56 - 1 - int(dd.lenBits/8)%BlockSize) % BlockSize
+	padding := pad[:rem+1+8]
+	binary.LittleEndian.PutUint64(padding[rem+1:], dd.lenBits)
+	dd.Write(padding) //nolint:errcheck // cannot fail
+	var out [Size]byte
+	binary.LittleEndian.PutUint32(out[0:], dd.a)
+	binary.LittleEndian.PutUint32(out[4:], dd.b)
+	binary.LittleEndian.PutUint32(out[8:], dd.c)
+	binary.LittleEndian.PutUint32(out[12:], dd.d)
+	return append(b, out[:]...)
+}
+
+// Sum16 is Sum as a fixed array.
+func (d *Digest) Sum16() [Size]byte {
+	var out [Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// Of is the one-shot convenience: MD5 of data.
+func Of(data []byte) [Size]byte {
+	d := New()
+	d.Write(data) //nolint:errcheck // cannot fail
+	return d.Sum16()
+}
+
+// transform absorbs one 64-byte block, following RFC 1321's loop-rolled
+// formulation: round r selects message word g(r, i) and auxiliary
+// function F/G/H/I.
+func (d *Digest) transform(block []byte) {
+	var m [16]uint32
+	for i := 0; i < 16; i++ {
+		m[i] = binary.LittleEndian.Uint32(block[i*4:])
+	}
+	a, b, c, dd := d.a, d.b, d.c, d.d
+	for i := uint32(0); i < 64; i++ {
+		var f, g uint32
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & dd)
+			g = i
+		case i < 32:
+			f = (dd & b) | (^dd & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ dd
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^dd)
+			g = (7 * i) % 16
+		}
+		f += a + K[i] + m[g]
+		a = dd
+		dd = c
+		c = b
+		b += bits.RotateLeft32(f, int(S[(i/16)*4+i%4]))
+	}
+	d.a += a
+	d.b += b
+	d.c += c
+	d.d += dd
+}

@@ -1,0 +1,121 @@
+package md5x
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 1321 appendix A.5 test suite.
+var rfcVectors = []struct {
+	in   string
+	want string
+}{
+	{"", "d41d8cd98f00b204e9800998ecf8427e"},
+	{"a", "0cc175b9c0f1b6a831c399e269772661"},
+	{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+	{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+	{"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+	{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+		"d174ab98d277d9f5a5611c2c9f419d9f"},
+	{"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+		"57edf4a22be3c955ac49da2e2107b67a"},
+}
+
+func TestRFCVectors(t *testing.T) {
+	for _, v := range rfcVectors {
+		got := Of([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("MD5(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestMatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Of(data) == md5.Sum(data)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingEqualsOneShot(t *testing.T) {
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	want := Of(data)
+	// Feed in awkward chunk sizes straddling block boundaries.
+	for _, chunk := range []int{1, 3, 63, 64, 65, 127, 1000} {
+		d := New()
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Write(data[off:end])
+		}
+		if got := d.Sum16(); got != want {
+			t.Errorf("chunk %d: %x != %x", chunk, got, want)
+		}
+	}
+}
+
+func TestSumIsNonDestructive(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello "))
+	mid := d.Sum16()
+	mid2 := d.Sum16()
+	if mid != mid2 {
+		t.Fatal("Sum changed state")
+	}
+	d.Write([]byte("world"))
+	if got, want := d.Sum16(), Of([]byte("hello world")); got != want {
+		t.Errorf("continued stream: %x != %x", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("junk"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	if got := d.Sum16(); hex.EncodeToString(got[:]) != "900150983cd24fb0d6963f7d28e17f72" {
+		t.Errorf("after Reset: %x", got)
+	}
+}
+
+func TestLengthBoundaries(t *testing.T) {
+	// Padding edge cases: lengths around the 56-byte pad boundary.
+	for _, n := range []int{54, 55, 56, 57, 63, 64, 65, 119, 120, 128} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if got, want := Of(data), md5.Sum(data); got != want {
+			t.Errorf("len %d: %x != %x", n, got, want)
+		}
+	}
+}
+
+func TestSumAppends(t *testing.T) {
+	d := New()
+	d.Write([]byte("abc"))
+	prefix := []byte{1, 2, 3}
+	out := d.Sum(prefix)
+	if len(out) != 3+Size || out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("Sum did not append: %x", out)
+	}
+}
+
+func BenchmarkTransform1MB(b *testing.B) {
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Of(data)
+	}
+}

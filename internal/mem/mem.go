@@ -1,0 +1,214 @@
+// Package mem defines the linear graft memory, the protection policies the
+// extension technologies apply to it, and the trap values raised when a
+// graft violates its policy.
+//
+// A graft sees a flat array of bytes, addressed from zero, like a Wasm
+// linear memory. The kernel marshals inputs into that memory before
+// invoking a graft and reads results back afterwards. Each technology
+// guards accesses differently:
+//
+//   - PolicyUnsafe: no extra checks (the paper's "unsafe C in the kernel").
+//     Go's intrinsic slice bounds check still fires, but it models a crash,
+//     not a recoverable trap: the host process dies just as a kernel would.
+//   - PolicyChecked: explicit bounds checks, and optionally an explicit
+//     NIL-page check, on every access (the Modula-3 class).
+//   - PolicySandbox: address masking (addr & mask) on stores and
+//     optionally loads (the Omniware / SFI class). A stray pointer can at
+//     worst corrupt the graft's own region, never escape it.
+package mem
+
+import "fmt"
+
+// TrapKind classifies the ways a graft can fault.
+type TrapKind int
+
+const (
+	TrapNone TrapKind = iota
+	TrapOOBLoad
+	TrapOOBStore
+	TrapNilDeref
+	TrapDivZero
+	TrapAbort
+	TrapFuel
+	TrapStackOverflow
+	TrapUnreachable
+)
+
+var trapNames = map[TrapKind]string{
+	TrapNone:          "none",
+	TrapOOBLoad:       "out-of-bounds load",
+	TrapOOBStore:      "out-of-bounds store",
+	TrapNilDeref:      "nil-page dereference",
+	TrapDivZero:       "division by zero",
+	TrapAbort:         "graft abort",
+	TrapFuel:          "fuel exhausted",
+	TrapStackOverflow: "call stack overflow",
+	TrapUnreachable:   "unreachable executed",
+}
+
+func (k TrapKind) String() string {
+	if s, ok := trapNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("trap(%d)", int(k))
+}
+
+// Trap is the error raised when a graft violates its protection policy or
+// aborts. It satisfies error so callers can surface it; execution engines
+// raise it with panic and recover it at the invocation boundary, so a
+// faulting graft never takes down the host.
+type Trap struct {
+	Kind TrapKind
+	Addr uint32 // faulting address for memory traps
+	Code uint32 // abort code for TrapAbort
+}
+
+func (t *Trap) Error() string {
+	switch t.Kind {
+	case TrapAbort:
+		return fmt.Sprintf("graft trap: abort(code=%d)", t.Code)
+	case TrapOOBLoad, TrapOOBStore, TrapNilDeref:
+		return fmt.Sprintf("graft trap: %s at address %#x", t.Kind, t.Addr)
+	default:
+		return fmt.Sprintf("graft trap: %s", t.Kind)
+	}
+}
+
+// Throw raises a trap; execution engines recover it at Invoke boundaries.
+func Throw(kind TrapKind, addr uint32) {
+	panic(&Trap{Kind: kind, Addr: addr})
+}
+
+// Policy selects the protection applied to graft memory accesses.
+type Policy int
+
+const (
+	// PolicyUnsafe performs raw accesses with no recoverable protection.
+	PolicyUnsafe Policy = iota
+	// PolicyChecked performs an explicit bounds check per access and traps
+	// on violation. With NilCheck it also traps accesses to the NIL page.
+	PolicyChecked
+	// PolicySandbox masks every store (and jump) address into the sandbox
+	// region. Loads are masked only when ReadProtect is set, mirroring the
+	// Omniware beta the paper measured, which had write+jump protection
+	// but no read protection.
+	PolicySandbox
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyUnsafe:
+		return "unsafe"
+	case PolicyChecked:
+		return "checked"
+	case PolicySandbox:
+		return "sandbox"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// NilPageSize is the size of the reserved page at address zero. Safe-
+// language runtimes represent NIL as address zero; a checked policy with
+// NilCheck set traps any access below this boundary, modeling the explicit
+// NIL checks the Linux Modula-3 compiler emitted (§5.4 of the paper).
+const NilPageSize = 4096
+
+// Config carries the policy knobs a technology applies to memory accesses.
+type Config struct {
+	Policy Policy
+	// NilCheck adds an explicit trap for accesses inside the NIL page
+	// (PolicyChecked only). Off models platforms where dereferencing page
+	// zero faults in hardware and no inline check is needed.
+	NilCheck bool
+	// ReadProtect masks load addresses too (PolicySandbox only).
+	ReadProtect bool
+}
+
+// Memory is a graft's linear memory. Size is always a power of two so that
+// sandbox masking is a single AND.
+type Memory struct {
+	Data []byte
+	mask uint32
+}
+
+// New allocates a linear memory of the given size, which must be a power
+// of two and at least 8 bytes.
+func New(size uint32) *Memory {
+	if size < 8 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("mem: size %d is not a power of two >= 8", size))
+	}
+	return &Memory{Data: make([]byte, size), mask: size - 1}
+}
+
+// Size reports the memory size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.Data)) }
+
+// Mask is the sandbox address mask (size-1).
+func (m *Memory) Mask() uint32 { return m.mask }
+
+// The raw accessors below are the building blocks execution engines use.
+// Little-endian, like every ISA the paper touched except SPARC; the choice
+// only needs to be consistent between kernel marshaling and graft code.
+
+// Ld32U loads 4 bytes with no policy applied.
+func (m *Memory) Ld32U(a uint32) uint32 {
+	d := m.Data[a : a+4 : a+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+}
+
+// St32U stores 4 bytes with no policy applied.
+func (m *Memory) St32U(a, v uint32) {
+	d := m.Data[a : a+4 : a+4]
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	d[2] = byte(v >> 16)
+	d[3] = byte(v >> 24)
+}
+
+// Ld8U loads one byte with no policy applied.
+func (m *Memory) Ld8U(a uint32) uint32 { return uint32(m.Data[a]) }
+
+// St8U stores one byte with no policy applied.
+func (m *Memory) St8U(a, v uint32) { m.Data[a] = byte(v) }
+
+// CheckLoad validates a load of width bytes at address a under the checked
+// policy, trapping on violation.
+func (m *Memory) CheckLoad(a, width uint32, nilCheck bool) {
+	if nilCheck && a < NilPageSize {
+		Throw(TrapNilDeref, a)
+	}
+	if uint64(a)+uint64(width) > uint64(len(m.Data)) {
+		Throw(TrapOOBLoad, a)
+	}
+}
+
+// CheckStore validates a store of width bytes at address a under the
+// checked policy, trapping on violation.
+func (m *Memory) CheckStore(a, width uint32, nilCheck bool) {
+	if nilCheck && a < NilPageSize {
+		Throw(TrapNilDeref, a)
+	}
+	if uint64(a)+uint64(width) > uint64(len(m.Data)) {
+		Throw(TrapOOBStore, a)
+	}
+}
+
+// Sandbox masks an address into the memory region. Word accesses are
+// additionally forced to keep the full access inside the region by masking
+// after alignment; this is the single-AND fast path SFI relies on.
+func (m *Memory) Sandbox(a uint32) uint32 { return a & m.mask }
+
+// SandboxWord masks a 4-byte access so all four bytes land in the region.
+func (m *Memory) SandboxWord(a uint32) uint32 { return a & m.mask &^ 3 }
+
+// WriteAt copies b into memory at address a. It is the kernel-side
+// marshaling helper and bounds-checks strictly (the kernel trusts itself,
+// but we do not model kernel bugs).
+func (m *Memory) WriteAt(a uint32, b []byte) {
+	copy(m.Data[a:int(a)+len(b)], b)
+}
+
+// ReadAt copies len(b) bytes from memory at address a into b.
+func (m *Memory) ReadAt(a uint32, b []byte) {
+	copy(b, m.Data[a:int(a)+len(b)])
+}

@@ -1,0 +1,135 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []uint32{0, 1, 4, 12, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+	m := New(1 << 12)
+	if m.Size() != 4096 || m.Mask() != 4095 {
+		t.Fatalf("size=%d mask=%#x", m.Size(), m.Mask())
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1 << 10)
+	m.St32U(100, 0xDEADBEEF)
+	if m.Ld32U(100) != 0xDEADBEEF {
+		t.Fatal("32-bit round trip failed")
+	}
+	// little-endian layout
+	if m.Ld8U(100) != 0xEF || m.Ld8U(103) != 0xDE {
+		t.Fatal("not little-endian")
+	}
+	m.St8U(200, 0x7F)
+	if m.Ld8U(200) != 0x7F {
+		t.Fatal("8-bit round trip failed")
+	}
+}
+
+func TestSandboxMasking(t *testing.T) {
+	m := New(1 << 10)
+	f := func(a uint32) bool {
+		s := m.Sandbox(a)
+		w := m.SandboxWord(a)
+		return s < m.Size() && w <= m.Size()-4 && w%4 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// In-range addresses are unchanged.
+	if m.Sandbox(123) != 123 {
+		t.Fatal("in-range address altered")
+	}
+	if m.SandboxWord(120) != 120 {
+		t.Fatal("aligned in-range word altered")
+	}
+}
+
+func TestCheckedTraps(t *testing.T) {
+	m := New(1 << 10)
+	mustTrap := func(name string, kind TrapKind, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			tr, ok := r.(*Trap)
+			if !ok {
+				t.Fatalf("%s: recovered %v, want *Trap", name, r)
+			}
+			if tr.Kind != kind {
+				t.Errorf("%s: kind = %v, want %v", name, tr.Kind, kind)
+			}
+		}()
+		f()
+	}
+	mustTrap("load past end", TrapOOBLoad, func() { m.CheckLoad(1022, 4, false) })
+	mustTrap("store past end", TrapOOBStore, func() { m.CheckStore(2000, 1, false) })
+	mustTrap("nil load", TrapNilDeref, func() { m.CheckLoad(5, 4, true) })
+	mustTrap("nil store", TrapNilDeref, func() { m.CheckStore(0, 4, true) })
+	// In-range passes silently.
+	m.CheckLoad(0, 4, false)
+	m.CheckStore(1020, 4, false)
+}
+
+func TestCheckOverflowDoesNotWrap(t *testing.T) {
+	m := New(1 << 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("huge address passed the check")
+		}
+	}()
+	m.CheckLoad(0xFFFFFFFE, 4, false) // a+4 wraps u32; must still trap
+}
+
+func TestWriteAtReadAt(t *testing.T) {
+	m := New(1 << 10)
+	src := []byte{1, 2, 3, 4, 5}
+	m.WriteAt(64, src)
+	dst := make([]byte, 5)
+	m.ReadAt(64, dst)
+	if string(dst) != string(src) {
+		t.Fatalf("dst = %v", dst)
+	}
+}
+
+func TestTrapErrorMessages(t *testing.T) {
+	cases := []struct {
+		trap *Trap
+		want string
+	}{
+		{&Trap{Kind: TrapAbort, Code: 3}, "abort(code=3)"},
+		{&Trap{Kind: TrapOOBLoad, Addr: 0x40}, "0x40"},
+		{&Trap{Kind: TrapFuel}, "fuel"},
+		{&Trap{Kind: TrapDivZero}, "division by zero"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.trap.Error(), c.want) {
+			t.Errorf("%v lacks %q", c.trap.Error(), c.want)
+		}
+	}
+	if TrapKind(99).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyUnsafe: "unsafe", PolicyChecked: "checked", PolicySandbox: "sandbox",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package native
+
+import (
+	"fmt"
+	"math/bits"
+
+	"graftlab/internal/gel"
+	"graftlab/internal/mem"
+)
+
+// codegen lowers one function body to closures. The memory policy is
+// resolved here, once, so the emitted closures contain exactly the checks
+// the technology pays for and nothing else.
+type codegen struct {
+	p *Prog
+}
+
+func (c *codegen) block(b *gel.Block) (stmtFn, error) {
+	stmts := make([]stmtFn, 0, len(b.Stmts))
+	for _, s := range b.Stmts {
+		fn, err := c.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, fn)
+	}
+	switch len(stmts) {
+	case 0:
+		return func(*frame) ctl { return ctlNext }, nil
+	case 1:
+		return stmts[0], nil
+	case 2:
+		s0, s1 := stmts[0], stmts[1]
+		return func(fr *frame) ctl {
+			if c := s0(fr); c != ctlNext {
+				return c
+			}
+			return s1(fr)
+		}, nil
+	default:
+		return func(fr *frame) ctl {
+			for _, s := range stmts {
+				if c := s(fr); c != ctlNext {
+					return c
+				}
+			}
+			return ctlNext
+		}, nil
+	}
+}
+
+func (c *codegen) stmt(s gel.Stmt) (stmtFn, error) {
+	switch st := s.(type) {
+	case *gel.Block:
+		return c.block(st)
+	case *gel.VarDecl:
+		init, err := c.expr(st.Init)
+		if err != nil {
+			return nil, err
+		}
+		slot := st.Slot
+		return func(fr *frame) ctl {
+			fr.locals[slot] = init(fr)
+			return ctlNext
+		}, nil
+	case *gel.Assign:
+		val, err := c.expr(st.Val)
+		if err != nil {
+			return nil, err
+		}
+		slot := st.Slot
+		return func(fr *frame) ctl {
+			fr.locals[slot] = val(fr)
+			return ctlNext
+		}, nil
+	case *gel.If:
+		cond, err := c.expr(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.block(st.Then)
+		if err != nil {
+			return nil, err
+		}
+		if st.Else == nil {
+			return func(fr *frame) ctl {
+				if cond(fr) != 0 {
+					return then(fr)
+				}
+				return ctlNext
+			}, nil
+		}
+		els, err := c.stmt(st.Else)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) ctl {
+			if cond(fr) != 0 {
+				return then(fr)
+			}
+			return els(fr)
+		}, nil
+	case *gel.While:
+		cond, err := c.expr(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.block(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		p := c.p
+		return func(fr *frame) ctl {
+			for cond(fr) != 0 {
+				p.burn()
+				switch body(fr) {
+				case ctlBreak:
+					return ctlNext
+				case ctlReturn:
+					return ctlReturn
+				}
+			}
+			return ctlNext
+		}, nil
+	case *gel.Break:
+		return func(*frame) ctl { return ctlBreak }, nil
+	case *gel.Continue:
+		return func(*frame) ctl { return ctlContinue }, nil
+	case *gel.Return:
+		if st.Val == nil {
+			return func(fr *frame) ctl {
+				fr.ret = 0
+				return ctlReturn
+			}, nil
+		}
+		val, err := c.expr(st.Val)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) ctl {
+			fr.ret = val(fr)
+			return ctlReturn
+		}, nil
+	case *gel.ExprStmt:
+		x, err := c.expr(st.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) ctl {
+			x(fr)
+			return ctlNext
+		}, nil
+	}
+	return nil, fmt.Errorf("native: %s: unknown statement %T", s.Position(), s)
+}
+
+func (c *codegen) expr(e gel.Expr) (exprFn, error) {
+	switch ex := e.(type) {
+	case *gel.NumberLit:
+		v := ex.Val
+		return func(*frame) uint32 { return v }, nil
+	case *gel.VarRef:
+		slot := ex.Slot
+		return func(fr *frame) uint32 { return fr.locals[slot] }, nil
+	case *gel.Unary:
+		x, err := c.expr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case gel.UNeg:
+			return func(fr *frame) uint32 { return -x(fr) }, nil
+		case gel.UNot:
+			return func(fr *frame) uint32 {
+				if x(fr) == 0 {
+					return 1
+				}
+				return 0
+			}, nil
+		case gel.UCpl:
+			return func(fr *frame) uint32 { return ^x(fr) }, nil
+		}
+		return nil, fmt.Errorf("native: %s: unknown unary op", ex.Pos)
+	case *gel.Binary:
+		x, err := c.expr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := c.expr(ex.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case gel.BAdd:
+			return func(fr *frame) uint32 { return x(fr) + y(fr) }, nil
+		case gel.BSub:
+			return func(fr *frame) uint32 { return x(fr) - y(fr) }, nil
+		case gel.BMul:
+			return func(fr *frame) uint32 { return x(fr) * y(fr) }, nil
+		case gel.BDiv:
+			return func(fr *frame) uint32 {
+				d := y(fr)
+				if d == 0 {
+					mem.Throw(mem.TrapDivZero, 0)
+				}
+				return x(fr) / d
+			}, nil
+		case gel.BRem:
+			return func(fr *frame) uint32 {
+				d := y(fr)
+				if d == 0 {
+					mem.Throw(mem.TrapDivZero, 0)
+				}
+				return x(fr) % d
+			}, nil
+		case gel.BAnd:
+			return func(fr *frame) uint32 { return x(fr) & y(fr) }, nil
+		case gel.BOr:
+			return func(fr *frame) uint32 { return x(fr) | y(fr) }, nil
+		case gel.BXor:
+			return func(fr *frame) uint32 { return x(fr) ^ y(fr) }, nil
+		case gel.BShl:
+			return func(fr *frame) uint32 { return x(fr) << (y(fr) & 31) }, nil
+		case gel.BShr:
+			return func(fr *frame) uint32 { return x(fr) >> (y(fr) & 31) }, nil
+		case gel.BEq:
+			return func(fr *frame) uint32 { return b2u(x(fr) == y(fr)) }, nil
+		case gel.BNe:
+			return func(fr *frame) uint32 { return b2u(x(fr) != y(fr)) }, nil
+		case gel.BLt:
+			return func(fr *frame) uint32 { return b2u(x(fr) < y(fr)) }, nil
+		case gel.BLe:
+			return func(fr *frame) uint32 { return b2u(x(fr) <= y(fr)) }, nil
+		case gel.BGt:
+			return func(fr *frame) uint32 { return b2u(x(fr) > y(fr)) }, nil
+		case gel.BGe:
+			return func(fr *frame) uint32 { return b2u(x(fr) >= y(fr)) }, nil
+		case gel.BLAnd:
+			return func(fr *frame) uint32 {
+				if x(fr) == 0 {
+					return 0
+				}
+				return b2u(y(fr) != 0)
+			}, nil
+		case gel.BLOr:
+			return func(fr *frame) uint32 {
+				if x(fr) != 0 {
+					return 1
+				}
+				return b2u(y(fr) != 0)
+			}, nil
+		}
+		return nil, fmt.Errorf("native: %s: unknown binary op %s", ex.Pos, ex.Op)
+	case *gel.Call:
+		args := make([]exprFn, len(ex.Args))
+		for i, a := range ex.Args {
+			fn, err := c.expr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = fn
+		}
+		if ex.Builtin != gel.NotBuiltin {
+			return c.builtin(ex, args)
+		}
+		p := c.p
+		idx := ex.FuncIdx
+		switch len(args) {
+		case 0:
+			return func(fr *frame) uint32 {
+				p.burn()
+				return p.call(idx, nil)
+			}, nil
+		case 1:
+			a0 := args[0]
+			return func(fr *frame) uint32 {
+				p.burn()
+				var buf [1]uint32
+				buf[0] = a0(fr)
+				return p.call(idx, buf[:])
+			}, nil
+		case 2:
+			a0, a1 := args[0], args[1]
+			return func(fr *frame) uint32 {
+				p.burn()
+				var buf [2]uint32
+				buf[0] = a0(fr)
+				buf[1] = a1(fr)
+				return p.call(idx, buf[:])
+			}, nil
+		default:
+			return func(fr *frame) uint32 {
+				p.burn()
+				buf := make([]uint32, len(args))
+				for i, a := range args {
+					buf[i] = a(fr)
+				}
+				return p.call(idx, buf)
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("native: %s: unknown expression %T", e.Position(), e)
+}
+
+// builtin emits the policy-specialized closures for memory and intrinsic
+// builtins. This is where the three compiled technologies diverge.
+func (c *codegen) builtin(ex *gel.Call, args []exprFn) (exprFn, error) {
+	p := c.p
+	m := p.mem
+	data := m.Data
+	mask := m.Mask()
+	size := uint32(len(data))
+
+	switch ex.Builtin {
+	case gel.BILd32:
+		addr := args[0]
+		switch {
+		case p.cfg.Policy == mem.PolicyChecked && p.cfg.NilCheck:
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				if a < mem.NilPageSize {
+					mem.Throw(mem.TrapNilDeref, a)
+				}
+				if a > size-4 || size < 4 {
+					mem.Throw(mem.TrapOOBLoad, a)
+				}
+				return le32(data, a)
+			}, nil
+		case p.cfg.Policy == mem.PolicyChecked:
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				if a > size-4 || size < 4 {
+					mem.Throw(mem.TrapOOBLoad, a)
+				}
+				return le32(data, a)
+			}, nil
+		case p.cfg.Policy == mem.PolicySandbox && p.cfg.ReadProtect:
+			return func(fr *frame) uint32 {
+				a := addr(fr) & mask &^ 3
+				return le32(data, a)
+			}, nil
+		default: // unsafe, or sandbox without read protection
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				if a > size-4 || size < 4 {
+					mem.Throw(mem.TrapOOBLoad, a) // crash backstop
+				}
+				return le32(data, a)
+			}, nil
+		}
+	case gel.BILd8:
+		addr := args[0]
+		switch {
+		case p.cfg.Policy == mem.PolicyChecked && p.cfg.NilCheck:
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				if a < mem.NilPageSize {
+					mem.Throw(mem.TrapNilDeref, a)
+				}
+				if a >= size {
+					mem.Throw(mem.TrapOOBLoad, a)
+				}
+				return uint32(data[a])
+			}, nil
+		case p.cfg.Policy == mem.PolicyChecked:
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				if a >= size {
+					mem.Throw(mem.TrapOOBLoad, a)
+				}
+				return uint32(data[a])
+			}, nil
+		case p.cfg.Policy == mem.PolicySandbox && p.cfg.ReadProtect:
+			return func(fr *frame) uint32 { return uint32(data[addr(fr)&mask]) }, nil
+		default:
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				if a >= size {
+					mem.Throw(mem.TrapOOBLoad, a)
+				}
+				return uint32(data[a])
+			}, nil
+		}
+	case gel.BISt32:
+		addr, val := args[0], args[1]
+		switch p.cfg.Policy {
+		case mem.PolicyChecked:
+			nilCheck := p.cfg.NilCheck
+			if nilCheck {
+				return func(fr *frame) uint32 {
+					a := addr(fr)
+					v := val(fr)
+					if a < mem.NilPageSize {
+						mem.Throw(mem.TrapNilDeref, a)
+					}
+					if a > size-4 || size < 4 {
+						mem.Throw(mem.TrapOOBStore, a)
+					}
+					st32(data, a, v)
+					return 0
+				}, nil
+			}
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				v := val(fr)
+				if a > size-4 || size < 4 {
+					mem.Throw(mem.TrapOOBStore, a)
+				}
+				st32(data, a, v)
+				return 0
+			}, nil
+		case mem.PolicySandbox:
+			return func(fr *frame) uint32 {
+				a := addr(fr) & mask &^ 3
+				v := val(fr)
+				st32(data, a, v)
+				return 0
+			}, nil
+		default:
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				v := val(fr)
+				if a > size-4 || size < 4 {
+					mem.Throw(mem.TrapOOBStore, a)
+				}
+				st32(data, a, v)
+				return 0
+			}, nil
+		}
+	case gel.BISt8:
+		addr, val := args[0], args[1]
+		switch p.cfg.Policy {
+		case mem.PolicyChecked:
+			nilCheck := p.cfg.NilCheck
+			if nilCheck {
+				return func(fr *frame) uint32 {
+					a := addr(fr)
+					v := val(fr)
+					if a < mem.NilPageSize {
+						mem.Throw(mem.TrapNilDeref, a)
+					}
+					if a >= size {
+						mem.Throw(mem.TrapOOBStore, a)
+					}
+					data[a] = byte(v)
+					return 0
+				}, nil
+			}
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				v := val(fr)
+				if a >= size {
+					mem.Throw(mem.TrapOOBStore, a)
+				}
+				data[a] = byte(v)
+				return 0
+			}, nil
+		case mem.PolicySandbox:
+			return func(fr *frame) uint32 {
+				a := addr(fr) & mask
+				data[a] = byte(val(fr))
+				return 0
+			}, nil
+		default:
+			return func(fr *frame) uint32 {
+				a := addr(fr)
+				v := val(fr)
+				if a >= size {
+					mem.Throw(mem.TrapOOBStore, a)
+				}
+				data[a] = byte(v)
+				return 0
+			}, nil
+		}
+	case gel.BIRotl:
+		x, n := args[0], args[1]
+		return func(fr *frame) uint32 {
+			return bits.RotateLeft32(x(fr), int(n(fr)&31))
+		}, nil
+	case gel.BIRotr:
+		x, n := args[0], args[1]
+		return func(fr *frame) uint32 {
+			return bits.RotateLeft32(x(fr), -int(n(fr)&31))
+		}, nil
+	case gel.BIMin:
+		x, y := args[0], args[1]
+		return func(fr *frame) uint32 {
+			a, b := x(fr), y(fr)
+			if a < b {
+				return a
+			}
+			return b
+		}, nil
+	case gel.BIMax:
+		x, y := args[0], args[1]
+		return func(fr *frame) uint32 {
+			a, b := x(fr), y(fr)
+			if a > b {
+				return a
+			}
+			return b
+		}, nil
+	case gel.BIMemSize:
+		return func(*frame) uint32 { return size }, nil
+	case gel.BIAbort:
+		code := args[0]
+		return func(fr *frame) uint32 {
+			panic(&mem.Trap{Kind: mem.TrapAbort, Code: code(fr)})
+		}, nil
+	}
+	return nil, fmt.Errorf("native: %s: unknown builtin %q", ex.Pos, ex.Name)
+}
+
+func le32(data []byte, a uint32) uint32 {
+	d := data[a : a+4 : a+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+}
+
+func st32(data []byte, a, v uint32) {
+	d := data[a : a+4 : a+4]
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	d[2] = byte(v >> 16)
+	d[3] = byte(v >> 24)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,157 @@
+package native
+
+import (
+	"errors"
+	"testing"
+
+	"graftlab/internal/gel"
+	"graftlab/internal/mem"
+)
+
+func compileSrc(t *testing.T, src string, cfg mem.Config) *Prog {
+	t.Helper()
+	prog, err := gel.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Compile(prog, mem.New(1<<13), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func TestBasicEvaluation(t *testing.T) {
+	p := compileSrc(t, `func main(a, b) { return (a + b) * 2; }`, mem.Config{})
+	got, err := p.Invoke("main", 3, 4)
+	if err != nil || got != 14 {
+		t.Fatalf("main = %d, %v", got, err)
+	}
+}
+
+func TestDeepCallsGrowArena(t *testing.T) {
+	// Each frame has many locals, forcing arena growth under recursion.
+	src := `
+	func f(n) {
+		var a = 1; var b = 2; var c = 3; var d = 4;
+		var e = 5; var g = 6; var h = 7; var i = 8;
+		if (n == 0) { return a + b + c + d + e + g + h + i; }
+		return f(n - 1);
+	}
+	func main() { return f(200); }`
+	p := compileSrc(t, src, mem.Config{})
+	got, err := p.Invoke("main")
+	if err != nil || got != 36 {
+		t.Fatalf("main = %d, %v", got, err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	p := compileSrc(t, `func f() { return f(); } func main() { return f(); }`, mem.Config{})
+	_, err := p.Invoke("main")
+	var trap *mem.Trap
+	if !errors.As(err, &trap) || trap.Kind != mem.TrapStackOverflow {
+		t.Fatalf("err = %v", err)
+	}
+	// The arena pointer must be restored after the trap unwinds.
+	if p.sp != 0 {
+		t.Fatalf("sp = %d after trap", p.sp)
+	}
+	if got, err := p.Invoke("main"); err == nil {
+		t.Fatalf("second call = %d, expected same trap", got)
+	}
+}
+
+func TestLocalsZeroedBetweenCalls(t *testing.T) {
+	// A function that reads an uninitialized-looking local pattern: the
+	// compiler guarantees locals start at 0 every call, even though the
+	// arena is reused.
+	src := `
+	func leak(set) {
+		var x = 0;
+		if (set) { x = 99; }
+		return x;
+	}
+	func main(set) { return leak(set); }`
+	p := compileSrc(t, src, mem.Config{})
+	if got, _ := p.Invoke("main", 1); got != 99 {
+		t.Fatalf("first = %d", got)
+	}
+	if got, _ := p.Invoke("main", 0); got != 0 {
+		t.Fatalf("arena leaked stale local: %d", got)
+	}
+}
+
+func TestPolicySpecializationCheckedVsSandbox(t *testing.T) {
+	src := `func main(a) { st32(a, 7); return ld32(a % 4096 / 4 * 4); }`
+	checked := compileSrc(t, src, mem.Config{Policy: mem.PolicyChecked})
+	if _, err := checked.Invoke("main", 999999); err == nil {
+		t.Error("checked store out of range accepted")
+	}
+	sandbox := compileSrc(t, src, mem.Config{Policy: mem.PolicySandbox})
+	if _, err := sandbox.Invoke("main", 999999); err != nil {
+		t.Errorf("sandbox store should be masked, got %v", err)
+	}
+}
+
+func TestThreeArgCallPath(t *testing.T) {
+	src := `
+	func g(a, b, c) { return a * 100 + b * 10 + c; }
+	func main() { return g(1, 2, 3); }`
+	p := compileSrc(t, src, mem.Config{})
+	if got, _ := p.Invoke("main"); got != 123 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFuelChargedAtLoopsAndCalls(t *testing.T) {
+	src := `
+	func leaf() { return 1; }
+	func main(n) {
+		var i = 0;
+		while (i < n) { i = i + leaf(); }
+		return i;
+	}`
+	p := compileSrc(t, src, mem.Config{})
+	p.Fuel = 100
+	// 40 iterations: 40 back-edges + 40 calls = 80 fuel < 100: fine.
+	if got, err := p.Invoke("main", 40); err != nil || got != 40 {
+		t.Fatalf("within fuel: %d, %v", got, err)
+	}
+	// 60 iterations: 120 fuel > 100: trap.
+	_, err := p.Invoke("main", 60)
+	var trap *mem.Trap
+	if !errors.As(err, &trap) || trap.Kind != mem.TrapFuel {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvokeValidation(t *testing.T) {
+	p := compileSrc(t, `func main(a) { return a; }`, mem.Config{})
+	if _, err := p.Invoke("nope"); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if _, err := p.Invoke("main"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if p.Memory() == nil {
+		t.Error("Memory() nil")
+	}
+}
+
+func TestLd8St8Policies(t *testing.T) {
+	src := `func main(a, v) { st8(a, v); return ld8(a); }`
+	for _, cfg := range []mem.Config{
+		{Policy: mem.PolicyUnsafe},
+		{Policy: mem.PolicyChecked},
+		{Policy: mem.PolicyChecked, NilCheck: true},
+		{Policy: mem.PolicySandbox},
+		{Policy: mem.PolicySandbox, ReadProtect: true},
+	} {
+		p := compileSrc(t, src, cfg)
+		got, err := p.Invoke("main", 4200, 200)
+		if err != nil || got != 200 {
+			t.Errorf("%+v: got %d, %v", cfg, got, err)
+		}
+	}
+}

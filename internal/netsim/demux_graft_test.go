@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"testing"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+// A minimal GEL endpoint filter: accept frames longer than 50 bytes.
+var lenFilter = tech.Source{
+	Name: "len-filter",
+	GEL:  `func filter(len) { return len > 50; }`,
+}
+
+func TestRegisterAndDeliverWithGraft(t *testing.T) {
+	m := mem.New(1 << 12)
+	g, err := tech.Load(tech.NativeUnsafe, lenFilter, m, tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux()
+	ep, err := d.Register("long-frames", g, "filter", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := Build(Header{EthType: EthTypeIPv4, Proto: ProtoUDP, DstPort: 1, PayloadLen: 0}, 0)
+	long := Build(Header{EthType: EthTypeIPv4, Proto: ProtoUDP, DstPort: 1, PayloadLen: 64}, 0)
+
+	if got, err := d.Deliver(short); err != nil || got != nil {
+		t.Fatalf("short frame: %v, %v", got, err)
+	}
+	if got, err := d.Deliver(long); err != nil || got != ep {
+		t.Fatalf("long frame: %v, %v", got, err)
+	}
+	st := d.Stats()
+	if st.Frames != 2 || st.Delivered != 1 || st.Unclaimed != 1 || st.FilterRuns != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if ep.Matched != 1 {
+		t.Fatalf("matched = %d", ep.Matched)
+	}
+}
+
+func TestRegisterRejectsBufferOutsideMemory(t *testing.T) {
+	m := mem.New(1 << 12)
+	g, err := tech.Load(tech.NativeUnsafe, lenFilter, m, tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux()
+	if _, err := d.Register("x", g, "filter", 1<<12); err == nil {
+		t.Fatal("buffer at memory size accepted")
+	}
+}
+
+func TestRegisterTruncatesOversizedFrames(t *testing.T) {
+	// Frame larger than the window after bufAddr: marshal truncates
+	// rather than panicking; the filter still sees the real length.
+	m := mem.New(1 << 12)
+	g, err := tech.Load(tech.NativeUnsafe, lenFilter, m, tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux()
+	if _, err := d.Register("tight", g, "filter", (1<<12)-8); err != nil {
+		t.Fatal(err)
+	}
+	big := Build(Header{EthType: EthTypeIPv4, Proto: ProtoUDP, DstPort: 1, PayloadLen: 512}, 0)
+	if _, err := d.Deliver(big); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultTraceShape(t *testing.T) {
+	cfg := DefaultTrace(100)
+	if cfg.Packets != 100 || cfg.MatchPort == 0 || cfg.MatchFrac <= 0 {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	trace, err := GenerateTrace(cfg)
+	if err != nil || len(trace) != 100 {
+		t.Fatalf("trace %d, %v", len(trace), err)
+	}
+}

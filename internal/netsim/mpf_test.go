@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+func TestRegisterPortDelivery(t *testing.T) {
+	d := NewDemux()
+	ep1, err := d.RegisterPort("udp:7", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := d.RegisterPort("udp:9", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RegisterPort("dup", 7); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+	fallthroughEp := d.RegisterFunc("tcp:any", func(p Packet) bool {
+		return len(p) >= MinFrameSize && p[OffIPProto] == ProtoTCP
+	})
+
+	cases := []struct {
+		h    Header
+		want *Endpoint
+	}{
+		{Header{EthType: EthTypeIPv4, Proto: ProtoUDP, DstPort: 7}, ep1},
+		{Header{EthType: EthTypeIPv4, Proto: ProtoUDP, DstPort: 9}, ep2},
+		{Header{EthType: EthTypeIPv4, Proto: ProtoUDP, DstPort: 11}, nil},
+		{Header{EthType: EthTypeIPv4, Proto: ProtoTCP, DstPort: 7}, fallthroughEp}, // TCP to 7 is not UDP
+		{Header{EthType: 0x0806, Proto: ProtoUDP, DstPort: 7}, nil},                // non-IP never port-matches
+	}
+	for i, c := range cases {
+		got, err := d.Deliver(Build(c.h, uint32(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d: delivered to %v, want %v", i, got, c.want)
+		}
+	}
+	if ep1.Matched != 1 || ep2.Matched != 1 {
+		t.Fatalf("matched %d/%d", ep1.Matched, ep2.Matched)
+	}
+}
+
+// TestMPFDispatchMatchesLinearScan: the merged port table must agree with
+// an equivalent set of per-endpoint graft filters on every frame.
+func TestMPFDispatchMatchesLinearScan(t *testing.T) {
+	const nEndpoints = 16
+	trace, err := GenerateTrace(TraceConfig{
+		Packets: 2000, MatchPort: 5001, MatchFrac: 0.3, PayloadLen: 16, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Linear scan: one graft filter per endpoint.
+	linear := NewDemux()
+	filterSrc := tech.Source{Name: "pf", GEL: `
+func filter(len) {
+	if (len < 42) { return 0; }
+	if (ld8(0x2000 + 12) * 256 + ld8(0x2000 + 13) != 0x0800) { return 0; }
+	if (ld8(0x2000 + 23) != 17) { return 0; }
+	if (ld8(0x2000 + 36) * 256 + ld8(0x2000 + 37) != ld32(0x1000)) { return 0; }
+	return 1;
+}`}
+	for i := 0; i < nEndpoints; i++ {
+		m := mem.New(1 << 16)
+		g, err := tech.Load(tech.NativeUnsafe, filterSrc, m, tech.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.St32U(0x1000, uint32(5000+i))
+		if _, err := linear.Register(fmt.Sprintf("udp:%d", 5000+i), g, "filter", 0x2000); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Merged: one port-table entry per endpoint.
+	merged := NewDemux()
+	for i := 0; i < nEndpoints; i++ {
+		if _, err := merged.RegisterPort(fmt.Sprintf("udp:%d", 5000+i), uint16(5000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, p := range trace {
+		le, err := linear.Deliver(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		me, err := merged.Deliver(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (le == nil) != (me == nil) {
+			t.Fatalf("frame %d: linear=%v merged=%v", i, le, me)
+		}
+		if le != nil && le.Name != me.Name {
+			t.Fatalf("frame %d: linear->%s merged->%s", i, le.Name, me.Name)
+		}
+	}
+	// The merged path must do far fewer filter runs.
+	if merged.Stats().FilterRuns != 0 {
+		t.Fatalf("merged dispatch ran %d filters", merged.Stats().FilterRuns)
+	}
+	if linear.Stats().FilterRuns < uint64(len(trace)) {
+		t.Fatalf("linear scan ran only %d filters", linear.Stats().FilterRuns)
+	}
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestBuildFrameLayout(t *testing.T) {
+	p := Build(Header{
+		EthType: EthTypeIPv4, Proto: ProtoUDP,
+		SrcIP: 0x0A000002, DstIP: 0x0A000001,
+		SrcPort: 1234, DstPort: 5001, PayloadLen: 16,
+	}, 7)
+	if len(p) != MinFrameSize+16 {
+		t.Fatalf("len = %d", len(p))
+	}
+	if binary.BigEndian.Uint16(p[OffEthType:]) != EthTypeIPv4 {
+		t.Error("ethertype wrong")
+	}
+	if p[OffIPVerIHL] != 0x45 || p[OffIPProto] != ProtoUDP {
+		t.Error("IP header wrong")
+	}
+	if binary.BigEndian.Uint32(p[OffIPSrc:]) != 0x0A000002 {
+		t.Error("src IP wrong")
+	}
+	if p.DstPort() != 5001 || !p.IsUDPv4() {
+		t.Error("accessors wrong")
+	}
+	if binary.BigEndian.Uint16(p[OffUDPLen:]) != 8+16 {
+		t.Error("UDP length wrong")
+	}
+}
+
+func TestShortPacketAccessors(t *testing.T) {
+	p := Packet{1, 2, 3}
+	if p.DstPort() != 0 || p.IsUDPv4() {
+		t.Error("short packet misclassified")
+	}
+}
+
+func TestGenerateTraceComposition(t *testing.T) {
+	cfg := TraceConfig{Packets: 5000, MatchPort: 5001, MatchFrac: 0.10, PayloadLen: 8, Seed: 1}
+	trace, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 5000 {
+		t.Fatalf("trace len = %d", len(trace))
+	}
+	var matched, udp, nonIP int
+	for _, p := range trace {
+		if p.IsUDPv4() {
+			udp++
+			if p.DstPort() == 5001 {
+				matched++
+			}
+		}
+		if binary.BigEndian.Uint16(p[OffEthType:]) != EthTypeIPv4 {
+			nonIP++
+		}
+	}
+	frac := float64(matched) / 5000
+	if frac < 0.07 || frac > 0.13 {
+		t.Errorf("match fraction %.3f, want ≈0.10", frac)
+	}
+	if nonIP == 0 {
+		t.Error("trace has no non-IP frames; filters never exercise the ethertype branch")
+	}
+	if udp == len(trace) {
+		t.Error("trace has no TCP frames; filters never exercise the proto branch")
+	}
+	// Determinism.
+	trace2, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace {
+		if string(trace[i]) != string(trace2[i]) {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestGenerateTraceValidation(t *testing.T) {
+	if _, err := GenerateTrace(TraceConfig{}); err == nil {
+		t.Fatal("zero-packet trace accepted")
+	}
+}
+
+func TestDemuxOrdering(t *testing.T) {
+	d := NewDemux()
+	first := d.RegisterFunc("first", func(p Packet) bool { return true })
+	second := d.RegisterFunc("second", func(p Packet) bool { return true })
+	p := Build(Header{EthType: EthTypeIPv4, Proto: ProtoUDP, DstPort: 1}, 0)
+	ep, err := d.Deliver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != first {
+		t.Fatal("registration order not respected")
+	}
+	if second.Matched != 0 {
+		t.Fatal("second endpoint should not have run to completion")
+	}
+}

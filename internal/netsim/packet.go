@@ -1,0 +1,148 @@
+// Package netsim is the network substrate for the packet-filter extension
+// domain the paper's related work motivates (§2: Mogul's packet filter,
+// the BSD Packet Filter, MPF): a simulated link delivering Ethernet/IPv4/
+// UDP-shaped frames to a demultiplexer whose per-endpoint filters are
+// grafts. Packet filters were the canonical in-kernel extension of the
+// era — "often implemented in a simple interpreted language" — and this
+// package lets the same technology comparison run on that workload.
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graftlab/internal/workload"
+)
+
+// Frame field offsets, standard Ethernet II + IPv4 + UDP. Multi-byte
+// fields are big-endian (network order), so filters assemble them from
+// byte loads exactly as BPF programs do.
+const (
+	OffEthDst    = 0  // 6 bytes
+	OffEthSrc    = 6  // 6 bytes
+	OffEthType   = 12 // u16: 0x0800 = IPv4
+	OffIPVerIHL  = 14 // 0x45 for a 20-byte header
+	OffIPLen     = 16 // u16 total length
+	OffIPProto   = 23 // u8: 17 = UDP, 6 = TCP
+	OffIPSrc     = 26 // u32 source address
+	OffIPDst     = 30 // u32 destination address
+	OffSrcPort   = 34 // u16
+	OffDstPort   = 36 // u16
+	OffUDPLen    = 38 // u16
+	OffPayload   = 42
+	MinFrameSize = OffPayload
+
+	EthTypeIPv4 = 0x0800
+	ProtoUDP    = 17
+	ProtoTCP    = 6
+)
+
+// Packet is one frame on the simulated wire.
+type Packet []byte
+
+// Header describes a frame to build.
+type Header struct {
+	EthType    uint16
+	Proto      uint8
+	SrcIP      uint32
+	DstIP      uint32
+	SrcPort    uint16
+	DstPort    uint16
+	PayloadLen int
+}
+
+// Build constructs a frame from h with a deterministic payload.
+func Build(h Header, tag uint32) Packet {
+	p := make(Packet, MinFrameSize+h.PayloadLen)
+	// MACs are cosmetic; derive from the IPs.
+	binary.BigEndian.PutUint32(p[OffEthDst+2:], h.DstIP)
+	binary.BigEndian.PutUint32(p[OffEthSrc+2:], h.SrcIP)
+	binary.BigEndian.PutUint16(p[OffEthType:], h.EthType)
+	p[OffIPVerIHL] = 0x45
+	binary.BigEndian.PutUint16(p[OffIPLen:], uint16(len(p)-14))
+	p[OffIPProto] = h.Proto
+	binary.BigEndian.PutUint32(p[OffIPSrc:], h.SrcIP)
+	binary.BigEndian.PutUint32(p[OffIPDst:], h.DstIP)
+	binary.BigEndian.PutUint16(p[OffSrcPort:], h.SrcPort)
+	binary.BigEndian.PutUint16(p[OffDstPort:], h.DstPort)
+	binary.BigEndian.PutUint16(p[OffUDPLen:], uint16(8+h.PayloadLen))
+	workload.FillPattern(p[OffPayload:], tag)
+	return p
+}
+
+// DstPort extracts the destination port of an IPv4 UDP/TCP frame, or 0.
+func (p Packet) DstPort() uint16 {
+	if len(p) < MinFrameSize {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p[OffDstPort:])
+}
+
+// IsUDPv4 reports whether p is an IPv4 UDP frame.
+func (p Packet) IsUDPv4() bool {
+	return len(p) >= MinFrameSize &&
+		binary.BigEndian.Uint16(p[OffEthType:]) == EthTypeIPv4 &&
+		p[OffIPProto] == ProtoUDP
+}
+
+// TraceConfig shapes a generated packet trace.
+type TraceConfig struct {
+	Packets int
+	// MatchPort is the port the benchmark endpoint listens on.
+	MatchPort uint16
+	// MatchFrac is the fraction of packets addressed to MatchPort.
+	MatchFrac float64
+	// PayloadLen is the payload size of every frame.
+	PayloadLen int
+	Seed       uint64
+}
+
+// DefaultTrace mirrors a demultiplexing benchmark: mostly background
+// traffic, a tenth of it for the endpoint under test.
+func DefaultTrace(n int) TraceConfig {
+	return TraceConfig{
+		Packets:    n,
+		MatchPort:  5001,
+		MatchFrac:  0.10,
+		PayloadLen: 64,
+		Seed:       1996,
+	}
+}
+
+// GenerateTrace builds the packet sequence. Non-matching traffic is a mix
+// of other UDP ports, TCP segments, and non-IP frames, so a filter must
+// actually check every branch.
+func GenerateTrace(cfg TraceConfig) ([]Packet, error) {
+	if cfg.Packets <= 0 {
+		return nil, fmt.Errorf("netsim: trace needs at least one packet")
+	}
+	rng := workload.NewRNG(cfg.Seed)
+	out := make([]Packet, 0, cfg.Packets)
+	for i := 0; i < cfg.Packets; i++ {
+		h := Header{
+			EthType:    EthTypeIPv4,
+			Proto:      ProtoUDP,
+			SrcIP:      0x0A000000 | rng.Uint32n(1<<16),
+			DstIP:      0x0A000001,
+			SrcPort:    uint16(1024 + rng.Uint32n(60000)),
+			PayloadLen: cfg.PayloadLen,
+		}
+		switch {
+		case rng.Float64() < cfg.MatchFrac:
+			h.DstPort = cfg.MatchPort
+		case rng.Float64() < 0.15:
+			h.Proto = ProtoTCP
+			h.DstPort = 80
+		case rng.Float64() < 0.05:
+			h.EthType = 0x0806 // ARP-ish: not IPv4
+			h.DstPort = 0
+		default:
+			h.DstPort = uint16(1024 + rng.Uint32n(60000))
+			if h.DstPort == cfg.MatchPort {
+				h.DstPort++
+			}
+		}
+		out = append(out, Build(h, uint32(i)))
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package stats provides the repeated-run statistics and table formatting
+// the paper's evaluation uses: every number in Tables 1-6 is "the mean of
+// 30 runs ... (standard deviations in parenthesis)".
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Sample summarizes repeated measurements.
+type Sample struct {
+	N    int
+	Mean time.Duration
+	// RelStd is the standard deviation as a fraction of the mean, the
+	// form the paper prints ("2.9µs(0.2%)").
+	RelStd float64
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Measure runs f n times, timing each run.
+func Measure(n int, f func()) Sample {
+	times := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		f()
+		times[i] = time.Since(t0)
+	}
+	return Summarize(times)
+}
+
+// Summarize computes a Sample from raw durations.
+func Summarize(times []time.Duration) Sample {
+	if len(times) == 0 {
+		return Sample{}
+	}
+	var sum float64
+	s := Sample{N: len(times), Min: times[0], Max: times[0]}
+	for _, t := range times {
+		sum += float64(t)
+		if t < s.Min {
+			s.Min = t
+		}
+		if t > s.Max {
+			s.Max = t
+		}
+	}
+	mean := sum / float64(len(times))
+	var sq float64
+	for _, t := range times {
+		d := float64(t) - mean
+		sq += d * d
+	}
+	s.Mean = time.Duration(mean)
+	if len(times) > 1 && mean > 0 {
+		std := math.Sqrt(sq / float64(len(times)-1))
+		s.RelStd = std / mean
+	}
+	return s
+}
+
+// String renders the paper's "mean(relstd%)" form.
+func (s Sample) String() string {
+	return fmt.Sprintf("%s(%.1f%%)", FormatDuration(s.Mean), s.RelStd*100)
+}
+
+// FormatDuration prints a duration with three significant figures in the
+// most natural unit, avoiding the paper's ms/µs ambiguity.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3gµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.3gms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	}
+}
+
+// Table accumulates rows and renders aligned text, the shape of the
+// paper's tables.
+type Table struct {
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			// Right-align all but the first column (numbers).
+			if i == 0 {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// Ratio formats a normalized value the way the paper's tables do ("1.0",
+// "26.5", "N.A." for absent measurements).
+func Ratio(v float64) string {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return "N.A."
+	}
+	switch {
+	case v < 10:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Count formats a break-even count (dimensionless, possibly huge).
+func Count(v float64) string {
+	switch {
+	case math.IsInf(v, 1) || v > 1e9:
+		return ">1e9"
+	case v <= 0 || math.IsNaN(v):
+		return "0"
+	case v < 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{100, 200, 300})
+	if s.N != 3 || s.Mean != 200 || s.Min != 100 || s.Max != 300 {
+		t.Fatalf("s = %+v", s)
+	}
+	if s.RelStd < 0.49 || s.RelStd > 0.51 { // std = 100, mean = 200
+		t.Errorf("RelStd = %v, want 0.5", s.RelStd)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summarize")
+	}
+	s := Summarize([]time.Duration{time.Second})
+	if s.RelStd != 0 || s.Mean != time.Second {
+		t.Errorf("single sample: %+v", s)
+	}
+}
+
+func TestMeasureRuns(t *testing.T) {
+	count := 0
+	s := Measure(5, func() { count++ })
+	if count != 5 || s.N != 5 {
+		t.Fatalf("count=%d s=%+v", count, s)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.5µs",
+		2900 * time.Microsecond: "2.9ms",
+		3 * time.Second:         "3s",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := Sample{Mean: 2900 * time.Nanosecond, RelStd: 0.002}
+	if got := s.String(); got != "2.9µs(0.2%)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Caption: "a caption",
+		Header:  []string{"Tech", "raw", "normalized"},
+	}
+	tb.AddRow("C", "2.9µs", "1.0")
+	tb.AddRow("Java", "159µs", "26.5")
+	out := tb.String()
+	for _, want := range []string{"== Demo ==", "Tech", "26.5", "a caption", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "Java" row should have "159µs" right-aligned under "raw".
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+}
+
+func TestRatioAndCount(t *testing.T) {
+	if Ratio(1.0) != "1" || Ratio(26.5) != "26" {
+		t.Errorf("Ratio: %q %q", Ratio(1.0), Ratio(26.5))
+	}
+	if Ratio(0) != "N.A." || Ratio(-1) != "N.A." {
+		t.Error("Ratio of nonpositive should be N.A.")
+	}
+	if Count(1533.4) != "1533" {
+		t.Errorf("Count = %q", Count(1533.4))
+	}
+	if Count(2.5) != "2.5" {
+		t.Errorf("Count small = %q", Count(2.5))
+	}
+	if Count(1e12) != ">1e9" {
+		t.Errorf("Count huge = %q", Count(1e12))
+	}
+}

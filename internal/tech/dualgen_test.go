@@ -1,0 +1,260 @@
+package tech
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"graftlab/internal/mem"
+)
+
+// The dual generator builds one random program AST and renders it in both
+// GEL and mini-Tcl, so the script interpreter is differentially tested
+// against every other backend on the same computation — the cross-
+// language analogue of TestRandomProgramsAgree.
+
+type dExpr interface {
+	gel() string
+	tcl() string
+}
+
+type dNum uint32
+
+func (n dNum) gel() string { return fmt.Sprintf("%d", uint32(n)) }
+func (n dNum) tcl() string { return fmt.Sprintf("%d", uint32(n)) }
+
+type dVar string
+
+func (v dVar) gel() string { return string(v) }
+func (v dVar) tcl() string { return "$" + string(v) }
+
+type dBin struct {
+	op   string
+	x, y dExpr
+}
+
+func (b dBin) gel() string { return "((" + b.x.gel() + ") " + b.op + " (" + b.y.gel() + "))" }
+func (b dBin) tcl() string { return "((" + b.x.tcl() + ") " + b.op + " (" + b.y.tcl() + "))" }
+
+type dUn struct {
+	op string
+	x  dExpr
+}
+
+func (u dUn) gel() string { return u.op + "(" + u.x.gel() + ")" }
+func (u dUn) tcl() string { return u.op + "(" + u.x.tcl() + ")" }
+
+// dLd32 loads from a bounded address derived from its operand.
+type dLd32 struct{ addr dExpr }
+
+func (l dLd32) gel() string {
+	return "ld32(((" + l.addr.gel() + ") % 15360 + 1024) * 4)"
+}
+func (l dLd32) tcl() string {
+	return "[ld32 [expr {((" + l.addr.tcl() + ") % 15360 + 1024) * 4}]]"
+}
+
+type dStmt interface {
+	gelStmt(indent string) string
+	tclStmt(indent string) string
+}
+
+type dAssign struct {
+	name string
+	val  dExpr
+}
+
+func (a dAssign) gelStmt(in string) string {
+	return in + a.name + " = " + a.val.gel() + ";\n"
+}
+func (a dAssign) tclStmt(in string) string {
+	return in + "set " + a.name + " [expr {" + a.val.tcl() + "}]\n"
+}
+
+type dStore struct {
+	addr, val dExpr
+}
+
+func (s dStore) gelStmt(in string) string {
+	return in + "st32(((" + s.addr.gel() + ") % 15360 + 1024) * 4, " + s.val.gel() + ");\n"
+}
+func (s dStore) tclStmt(in string) string {
+	return in + "st32 [expr {((" + s.addr.tcl() + ") % 15360 + 1024) * 4}] [expr {" + s.val.tcl() + "}]\n"
+}
+
+type dIf struct {
+	cond      dExpr
+	then, els []dStmt
+}
+
+func (i dIf) gelStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "if (" + i.cond.gel() + ") {\n")
+	for _, s := range i.then {
+		b.WriteString(s.gelStmt(in + "\t"))
+	}
+	b.WriteString(in + "} else {\n")
+	for _, s := range i.els {
+		b.WriteString(s.gelStmt(in + "\t"))
+	}
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+func (i dIf) tclStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "if {" + i.cond.tcl() + "} {\n")
+	for _, s := range i.then {
+		b.WriteString(s.tclStmt(in + "\t"))
+	}
+	b.WriteString(in + "} else {\n")
+	for _, s := range i.els {
+		b.WriteString(s.tclStmt(in + "\t"))
+	}
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+
+// dLoop is a bounded counting loop with a depth-unique counter name.
+type dLoop struct {
+	counter string
+	bound   uint32
+	body    []dStmt
+}
+
+func (l dLoop) gelStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "{\n")
+	b.WriteString(in + "\tvar " + l.counter + " = 0;\n")
+	b.WriteString(fmt.Sprintf("%s\twhile (%s < %d) {\n", in, l.counter, l.bound))
+	b.WriteString(in + "\t\t" + l.counter + " = " + l.counter + " + 1;\n")
+	for _, s := range l.body {
+		b.WriteString(s.gelStmt(in + "\t\t"))
+	}
+	b.WriteString(in + "\t}\n")
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+func (l dLoop) tclStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "set " + l.counter + " 0\n")
+	b.WriteString(fmt.Sprintf("%swhile {$%s < %d} {\n", in, l.counter, l.bound))
+	b.WriteString(in + "\tincr " + l.counter + "\n")
+	for _, s := range l.body {
+		b.WriteString(s.tclStmt(in + "\t"))
+	}
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+
+type dualGen struct {
+	rng *rand.Rand
+}
+
+var dualVars = []string{"x", "y", "z"}
+
+func (g *dualGen) expr(depth int) dExpr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return dNum(g.rng.Uint32() % 100000)
+		default:
+			return dVar(dualVars[g.rng.Intn(len(dualVars))])
+		}
+	}
+	switch g.rng.Intn(12) {
+	case 0:
+		return dUn{op: []string{"!", "~", "-"}[g.rng.Intn(3)], x: g.expr(depth - 1)}
+	case 1:
+		return dLd32{addr: g.expr(depth - 1)}
+	default:
+		ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+			"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+		return dBin{op: ops[g.rng.Intn(len(ops))], x: g.expr(depth - 1), y: g.expr(depth - 1)}
+	}
+}
+
+func (g *dualGen) stmts(n, depth int) []dStmt {
+	out := make([]dStmt, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+func (g *dualGen) stmt(depth int) dStmt {
+	switch r := g.rng.Intn(8); {
+	case r < 4:
+		return dAssign{name: dualVars[g.rng.Intn(len(dualVars))], val: g.expr(2)}
+	case r < 5:
+		return dStore{addr: g.expr(1), val: g.expr(2)}
+	case r < 7 && depth > 0:
+		return dIf{cond: g.expr(1), then: g.stmts(2, depth-1), els: g.stmts(1, depth-1)}
+	case depth > 0:
+		return dLoop{
+			counter: fmt.Sprintf("i%d", depth),
+			bound:   g.rng.Uint32()%6 + 1,
+			body:    g.stmts(1, depth-1),
+		}
+	default:
+		return dAssign{name: "x", val: g.expr(1)}
+	}
+}
+
+func (g *dualGen) program() (gelSrc, tclSrc string) {
+	body := g.stmts(5, 2)
+	var gb, tb strings.Builder
+	gb.WriteString("func main(a, b, c) {\n\tvar x = a;\n\tvar y = b;\n\tvar z = c;\n")
+	tb.WriteString("proc main {a b c} {\n\tset x $a\n\tset y $b\n\tset z $c\n")
+	for _, s := range body {
+		gb.WriteString(s.gelStmt("\t"))
+		tb.WriteString(s.tclStmt("\t"))
+	}
+	gb.WriteString("\treturn x ^ y + z;\n}\n")
+	tb.WriteString("\treturn [expr {$x ^ $y + $z}]\n}\n")
+	return gb.String(), tb.String()
+}
+
+// TestScriptAgreesWithGELOnRandomPrograms renders each random program in
+// both languages and requires identical results and memory side effects
+// under native-unsafe (GEL) and script (Tcl).
+func TestScriptAgreesWithGELOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	for i := 0; i < n; i++ {
+		g := &dualGen{rng: rng}
+		gelSrc, tclSrc := g.program()
+		src := Source{Name: fmt.Sprintf("dual-%d", i), GEL: gelSrc, Tcl: tclSrc}
+		args := []uint32{rng.Uint32(), rng.Uint32() % 4096, rng.Uint32() % 17}
+
+		mG := mem.New(memSize)
+		ref, err := Load(NativeUnsafe, src, mG, Options{Fuel: 1 << 22})
+		if err != nil {
+			t.Fatalf("program %d: load GEL: %v\n%s", i, err, gelSrc)
+		}
+		mS := mem.New(memSize)
+		scr, err := Load(Script, src, mS, Options{Fuel: 1 << 22})
+		if err != nil {
+			t.Fatalf("program %d: load Tcl: %v\n%s", i, err, tclSrc)
+		}
+
+		vG, eG := ref.Invoke("main", args...)
+		vS, eS := scr.Invoke("main", args...)
+		if (eG != nil) != (eS != nil) {
+			t.Fatalf("program %d: GEL err=%v, Tcl err=%v\nGEL:\n%s\nTcl:\n%s",
+				i, eG, eS, gelSrc, tclSrc)
+		}
+		if eG == nil {
+			if vG != vS {
+				t.Fatalf("program %d: GEL=%d Tcl=%d args=%v\nGEL:\n%s\nTcl:\n%s",
+					i, vG, vS, args, gelSrc, tclSrc)
+			}
+			if string(mG.Data) != string(mS.Data) {
+				t.Fatalf("program %d: memory diverges\nGEL:\n%s\nTcl:\n%s", i, gelSrc, tclSrc)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package tech_test
+
+import (
+	"fmt"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+// Example shows the core workflow: write a graft once, load it under
+// different extension technologies, invoke it identically.
+func Example() {
+	src := tech.Source{
+		Name: "triple",
+		GEL:  `func main(n) { return n * 3; }`,
+		Tcl:  `proc main {n} { return [expr {$n * 3}] }`,
+	}
+	for _, id := range []tech.ID{tech.NativeUnsafe, tech.Bytecode, tech.Script} {
+		g, err := tech.Load(id, src, mem.New(4096), tech.Options{})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		v, err := g.Invoke("main", 14)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: %d\n", id, v)
+	}
+	// Output:
+	// native-unsafe: 42
+	// bytecode: 42
+	// script: 42
+}
+
+// ExampleLoad_trap shows that a faulting graft surfaces a recoverable
+// trap instead of crashing the host.
+func ExampleLoad_trap() {
+	src := tech.Source{
+		Name: "wild",
+		GEL:  `func main() { return ld32(0x40000000); }`,
+	}
+	g, err := tech.Load(tech.NativeSafe, src, mem.New(4096), tech.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, err = g.Invoke("main")
+	fmt.Println(err)
+	// Output:
+	// graft trap: out-of-bounds load at address 0x40000000
+}
+
+// ExampleOptions_fuel shows preemption of a runaway graft.
+func ExampleOptions_fuel() {
+	src := tech.Source{
+		Name: "spin",
+		GEL:  `func main() { while (1) { } return 0; }`,
+	}
+	g, err := tech.Load(tech.Bytecode, src, mem.New(4096), tech.Options{Fuel: 1000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, err = g.Invoke("main")
+	fmt.Println(err)
+	// Output:
+	// graft trap: fuel exhausted
+}

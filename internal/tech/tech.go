@@ -1,0 +1,316 @@
+// Package tech is the extension-technology registry: one uniform way to
+// load a graft source under any of the technology classes the paper
+// compares, so the benchmark harness and the kernel hook points never care
+// which class is behind a graft.
+//
+//	ID            paper technology            implementation
+//	------------  --------------------------  -------------------------------
+//	NativeUnsafe  C linked into the kernel    native codegen, PolicyUnsafe
+//	NativeSafe    Modula-3 (Solaris/Alpha)    native codegen, PolicyChecked
+//	NativeSafeNil Modula-3 (Linux, explicit   native codegen, PolicyChecked
+//	              NIL checks, §5.4)           + NilCheck
+//	SFI           Omniware beta (write/jump   native codegen, PolicySandbox
+//	              sandboxing, no read prot.)
+//	SFIFull       "SFI with full protection"  native codegen, PolicySandbox
+//	              (§6 future candidate)       + ReadProtect
+//	Bytecode      Java (Alpha 3 interpreter)  compile to bytecode, verify, vm
+//	Script        Tcl 3.7                     mini-Tcl source interpreter
+//
+// The user-level-server technology is not a loader but a wrapper; see
+// package upcall.
+package tech
+
+import (
+	"fmt"
+
+	"graftlab/internal/compile"
+	"graftlab/internal/gel"
+	"graftlab/internal/hipec"
+	"graftlab/internal/mem"
+	"graftlab/internal/native"
+	"graftlab/internal/script"
+	"graftlab/internal/vm"
+)
+
+// Graft is a loaded extension: named entry points over a shared linear
+// memory. Invoke returns the entry point's u32 result; protection
+// violations surface as *mem.Trap errors (except under NativeUnsafe,
+// whose backstop trap stands in for the kernel crash the paper's unsafe-C
+// model accepts).
+type Graft interface {
+	Invoke(entry string, args ...uint32) (uint32, error)
+	Memory() *mem.Memory
+}
+
+// DirectCaller is an optional fast path: a kernel invoking a compiled
+// graft jumps through a resolved function pointer rather than looking the
+// entry up per call. Hook points that invoke a graft millions of times
+// (the pager's eviction hook, the logical disk's per-block bookkeeping)
+// resolve once and call through the returned function; args is reused
+// across calls, so implementations must not retain it.
+type DirectCaller interface {
+	Direct(entry string) (func(args []uint32) (uint32, error), bool)
+}
+
+// ResolveDirect returns the fastest call path g offers for entry.
+func ResolveDirect(g Graft, entry string) func(args []uint32) (uint32, error) {
+	if dc, ok := g.(DirectCaller); ok {
+		if fn, ok := dc.Direct(entry); ok {
+			return fn
+		}
+	}
+	return func(args []uint32) (uint32, error) {
+		return g.Invoke(entry, args...)
+	}
+}
+
+// Source is a graft program in every representation the technologies
+// need. GEL feeds the codegen and bytecode classes; Tcl feeds the script
+// class; Compiled, when set, builds the hand-written per-technology Go
+// implementation the Compiled* classes run (the paper reimplemented each
+// graft per technology, and so does this repo). A Source missing a
+// representation cannot be loaded under the class that needs it.
+type Source struct {
+	Name     string
+	GEL      string
+	Tcl      string
+	Compiled func(cfg mem.Config, m *mem.Memory) (Graft, error)
+	// Hipec maps entry-point names to HiPEC-class assembler programs.
+	// Grafts the domain language cannot express leave this nil.
+	Hipec map[string]string
+}
+
+// ID names a technology in the registry.
+type ID string
+
+const (
+	// The truly compiled class: hand-written Go per graft with the
+	// policy's checks compiled in (requires Source.Compiled).
+	CompiledUnsafe  ID = "compiled-unsafe"
+	CompiledSafe    ID = "compiled-safe"
+	CompiledSafeNil ID = "compiled-safe-nil"
+	CompiledSFI     ID = "compiled-sfi"
+	CompiledSFIFull ID = "compiled-sfi-full"
+
+	// The runtime-codegen class: GEL lowered to closure-threaded Go
+	// closures at load time — the paper's "flexible line between
+	// generating native code at load time and dynamically generating
+	// native code from interpreted code" (§4.3).
+	NativeUnsafe  ID = "native-unsafe"
+	NativeSafe    ID = "native-safe"
+	NativeSafeNil ID = "native-safe-nil"
+	SFI           ID = "sfi"
+	SFIFull       ID = "sfi-full"
+
+	// The interpreted classes.
+	Bytecode ID = "bytecode"
+	Script   ID = "script"
+
+	// The domain-specific interpreter class: HiPEC's 20-instruction
+	// assembler-like language and the packet-filter languages of §2.
+	// Tiny programs, near-compiled throughput, and deliberately unable
+	// to express general grafts (requires Source.Hipec; MD5 has none —
+	// that inexpressibility is the paper's point).
+	Domain ID = "domain"
+)
+
+// All lists every directly loadable technology, paper-table order first
+// (C, Java, Modula-3, Omniware, Tcl), then the runtime-codegen and
+// ablation variants.
+var All = []ID{
+	CompiledUnsafe, Bytecode, CompiledSafe, CompiledSFI, Script,
+	CompiledSafeNil, CompiledSFIFull,
+	NativeUnsafe, NativeSafe, NativeSafeNil, SFI, SFIFull,
+	Domain,
+}
+
+// Compiled lists the technologies the paper groups as "compiled".
+var Compiled = []ID{CompiledUnsafe, CompiledSafe, CompiledSFI}
+
+// NeedsCompiledImpl reports whether id requires Source.Compiled.
+func NeedsCompiledImpl(id ID) bool {
+	switch id {
+	case CompiledUnsafe, CompiledSafe, CompiledSafeNil, CompiledSFI, CompiledSFIFull:
+		return true
+	}
+	return false
+}
+
+// PaperName maps a technology to the system it stands in for.
+func PaperName(id ID) string {
+	switch id {
+	case CompiledUnsafe:
+		return "C (unsafe, in-kernel)"
+	case CompiledSafe:
+		return "Modula-3"
+	case CompiledSafeNil:
+		return "Modula-3 (explicit NIL checks)"
+	case CompiledSFI:
+		return "Omniware SFI (write/jump)"
+	case CompiledSFIFull:
+		return "SFI (full read/write/jump)"
+	case NativeUnsafe:
+		return "runtime codegen (unsafe)"
+	case NativeSafe:
+		return "runtime codegen (checked)"
+	case NativeSafeNil:
+		return "runtime codegen (checked+NIL)"
+	case SFI:
+		return "runtime codegen (SFI w/j)"
+	case SFIFull:
+		return "runtime codegen (SFI full)"
+	case Bytecode:
+		return "Java (interpreted bytecode)"
+	case Script:
+		return "Tcl"
+	case Domain:
+		return "HiPEC/BPF domain language"
+	}
+	return string(id)
+}
+
+// Config maps a technology to its memory policy.
+func Config(id ID) (mem.Config, error) {
+	switch id {
+	case NativeUnsafe, CompiledUnsafe:
+		return mem.Config{Policy: mem.PolicyUnsafe}, nil
+	case NativeSafe, CompiledSafe:
+		return mem.Config{Policy: mem.PolicyChecked}, nil
+	case NativeSafeNil, CompiledSafeNil:
+		return mem.Config{Policy: mem.PolicyChecked, NilCheck: true}, nil
+	case SFI, CompiledSFI:
+		return mem.Config{Policy: mem.PolicySandbox}, nil
+	case SFIFull, CompiledSFIFull:
+		return mem.Config{Policy: mem.PolicySandbox, ReadProtect: true}, nil
+	case Bytecode:
+		return mem.Config{Policy: mem.PolicyChecked}, nil
+	case Script:
+		return mem.Config{Policy: mem.PolicyChecked}, nil
+	case Domain:
+		return mem.Config{Policy: mem.PolicyChecked}, nil
+	}
+	return mem.Config{}, fmt.Errorf("tech: unknown technology %q", id)
+}
+
+// Options tune a load.
+type Options struct {
+	// Fuel is the per-invocation execution budget (instructions for the
+	// VM, loop iterations and calls for native code, commands for the
+	// script interpreter). 0 disables metering.
+	Fuel int64
+	// Optimize runs constant folding on GEL sources before code
+	// generation. Behaviour is unchanged (the fold keeps runtime traps);
+	// only speed differs.
+	Optimize bool
+}
+
+// Load loads src under the named technology, bound to memory m.
+func Load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
+	cfg, err := Config(id)
+	if err != nil {
+		return nil, err
+	}
+	switch id {
+	case CompiledUnsafe, CompiledSafe, CompiledSafeNil, CompiledSFI, CompiledSFIFull:
+		if src.Compiled == nil {
+			return nil, fmt.Errorf("tech %s: graft %q has no compiled implementation", id, src.Name)
+		}
+		return src.Compiled(cfg, m)
+	case NativeUnsafe, NativeSafe, NativeSafeNil, SFI, SFIFull:
+		prog, err := gel.ParseAndCheck(src.GEL)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		if opts.Optimize {
+			gel.Fold(prog)
+		}
+		np, err := native.Compile(prog, m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		np.Fuel = opts.Fuel
+		return np, nil
+	case Bytecode:
+		prog, err := gel.ParseAndCheck(src.GEL)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		if opts.Optimize {
+			gel.Fold(prog)
+		}
+		mod, err := compile.Compile(prog)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		v, err := vm.New(mod, m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		v.Fuel = opts.Fuel
+		return v, nil
+	case Script:
+		if src.Tcl == "" {
+			return nil, fmt.Errorf("tech %s: graft %q has no script translation", id, src.Name)
+		}
+		in := script.New(m, cfg)
+		in.Fuel = opts.Fuel
+		if err := in.Load(src.Tcl); err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		return in, nil
+	case Domain:
+		if len(src.Hipec) == 0 {
+			return nil, fmt.Errorf("tech %s: graft %q is not expressible in the domain language", id, src.Name)
+		}
+		g := &hipecGraft{m: m, fuel: opts.Fuel, progs: make(map[string]*hipec.Program, len(src.Hipec))}
+		for entry, asm := range src.Hipec {
+			p, err := hipec.Assemble(asm)
+			if err != nil {
+				return nil, fmt.Errorf("tech %s: entry %q: %w", id, entry, err)
+			}
+			g.progs[entry] = p
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("tech: unknown technology %q", id)
+}
+
+// hipecGraft adapts verified HiPEC-class programs to the Graft interface.
+type hipecGraft struct {
+	m     *mem.Memory
+	progs map[string]*hipec.Program
+	fuel  int64
+}
+
+// Invoke implements Graft.
+func (g *hipecGraft) Invoke(entry string, args ...uint32) (uint32, error) {
+	p, ok := g.progs[entry]
+	if !ok {
+		return 0, fmt.Errorf("domain: no entry %q", entry)
+	}
+	return p.Run(g.m, g.fuel, args...)
+}
+
+// Memory implements Graft.
+func (g *hipecGraft) Memory() *mem.Memory { return g.m }
+
+// Direct implements DirectCaller.
+func (g *hipecGraft) Direct(entry string) (func(args []uint32) (uint32, error), bool) {
+	p, ok := g.progs[entry]
+	if !ok {
+		return nil, false
+	}
+	m, fuel := g.m, g.fuel
+	return func(args []uint32) (uint32, error) {
+		return p.Run(m, fuel, args...)
+	}, true
+}
+
+// MustLoad loads a known-good compiled-in graft, panicking on error.
+func MustLoad(id ID, src Source, m *mem.Memory, opts Options) Graft {
+	g, err := Load(id, src, m, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

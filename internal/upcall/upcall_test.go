@@ -1,0 +1,129 @@
+package upcall
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+// TestMain lets this test binary double as the signal-measurement child.
+func TestMain(m *testing.M) {
+	SignalChildMain()
+	os.Exit(m.Run())
+}
+
+func loadNoop(t *testing.T) tech.Graft {
+	t.Helper()
+	g, err := tech.Load(tech.NativeUnsafe, tech.Source{
+		Name: "incr", GEL: `func main(a) { return a + 1; }`,
+	}, mem.New(4096), tech.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDomainInvoke(t *testing.T) {
+	d := NewDomain(loadNoop(t), 0)
+	defer d.Close()
+	for i := uint32(0); i < 100; i++ {
+		v, err := d.Invoke("main", i)
+		if err != nil || v != i+1 {
+			t.Fatalf("Invoke(%d) = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestDomainErrorsPropagate(t *testing.T) {
+	d := NewDomain(loadNoop(t), 0)
+	defer d.Close()
+	if _, err := d.Invoke("nope"); err == nil {
+		t.Fatal("expected error for missing entry")
+	}
+	// Domain must still work after an error.
+	if v, err := d.Invoke("main", 1); err != nil || v != 2 {
+		t.Fatalf("post-error Invoke = %d, %v", v, err)
+	}
+}
+
+func TestDomainClose(t *testing.T) {
+	d := NewDomain(loadNoop(t), 0)
+	d.Close()
+	d.Close() // idempotent
+	if _, err := d.Invoke("main", 1); err == nil {
+		t.Fatal("Invoke after Close should fail")
+	}
+}
+
+func TestDomainSyntheticLatency(t *testing.T) {
+	lat := 200 * time.Microsecond
+	d := NewDomain(loadNoop(t), lat)
+	defer d.Close()
+	if d.Latency() != lat {
+		t.Fatalf("Latency = %v", d.Latency())
+	}
+	const n = 50
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := d.Invoke("main", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(t0)
+	if elapsed < n*lat {
+		t.Errorf("%d calls with %v latency took only %v", n, lat, elapsed)
+	}
+}
+
+func TestDomainIsAGraft(t *testing.T) {
+	var _ tech.Graft = (*Domain)(nil)
+	d := NewDomain(loadNoop(t), 0)
+	defer d.Close()
+	if d.Memory() == nil {
+		t.Fatal("Memory() = nil")
+	}
+}
+
+func TestMeasureCrossing(t *testing.T) {
+	per, err := MeasureCrossing(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per <= 0 || per > time.Millisecond {
+		t.Errorf("crossing time %v outside plausible range", per)
+	}
+	t.Logf("goroutine upcall crossing: %v", per)
+}
+
+func TestMeasureSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureSignal(exe, DefaultSignalBatch, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("handled=%v ignored=%v per-signal=%v", res.Handled, res.Ignored, res.PerSignal)
+	if res.Handled <= 0 || res.Ignored <= 0 {
+		t.Error("trials reported nonpositive totals")
+	}
+	if res.PerSignal > 10*time.Millisecond {
+		t.Errorf("per-signal time %v implausibly large", res.PerSignal)
+	}
+}
+
+func TestMeasureSignalValidatesArgs(t *testing.T) {
+	if _, err := MeasureSignal("/bin/true", 0, 1); err == nil {
+		t.Error("batch=0 accepted")
+	}
+	if _, err := MeasureSignal("/nonexistent-exe", 20, 1); err == nil {
+		t.Error("bad exe accepted")
+	}
+}

@@ -1,0 +1,31 @@
+// Package vclock is the simulation's virtual clock. Simulated costs (disk
+// seeks, page-fault service, upcall latency) advance virtual time, while
+// graft execution is measured in real time by the benchmark harness; the
+// break-even analyses in the paper divide one by the other, so keeping the
+// two time bases separate is what makes the arithmetic honest.
+package vclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock accumulates virtual time. The zero value is a clock at t=0.
+type Clock struct {
+	now time.Duration
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d; negative d panics, since simulated
+// events cannot un-happen.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative advance %v", d))
+	}
+	c.now += d
+}
+
+// Reset rewinds to t=0 for a fresh simulation run.
+func (c *Clock) Reset() { c.now = 0 }

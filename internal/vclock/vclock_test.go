@@ -1,0 +1,32 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAccumulates(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock not at 0")
+	}
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	if c.Now() != 1500*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance accepted")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Nanosecond)
+}

@@ -1,0 +1,161 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"graftlab/internal/bytecode"
+	"graftlab/internal/compile"
+	"graftlab/internal/gel"
+	"graftlab/internal/mem"
+)
+
+// buildCorpus compiles a few real grafts to use as mutation seeds.
+func buildCorpus(t testing.TB) []*bytecode.Module {
+	t.Helper()
+	sources := []string{
+		`func main(a) {
+			var sum = 0;
+			var i = 0;
+			while (i < a % 64) { sum = sum + ld32(i * 4); i = i + 1; }
+			return sum;
+		}`,
+		`func hot(p) {
+			var n = ld32(0x100);
+			while (n != 0) {
+				if (ld32(n) == p) { return 1; }
+				n = ld32(n + 4);
+			}
+			return 0;
+		}
+		func main(a) { return hot(a); }`,
+		`func f(a, b) { return rotl(a, b) ^ rotr(b, a); }
+		func main(a) { st32(64, f(a, 3)); return ld32(64); }`,
+	}
+	var out []*bytecode.Module
+	for _, src := range sources {
+		prog, err := gel.ParseAndCheck(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := compile.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, mod)
+	}
+	return out
+}
+
+// TestMutatedModulesNeverEscape is the load-time-verification safety
+// property: take valid modules, corrupt them randomly, and require that
+// every mutant is either rejected by the verifier or, if it passes,
+// executes without compromising the host — traps are fine, Go-level
+// panics are not.
+func TestMutatedModulesNeverEscape(t *testing.T) {
+	corpus := buildCorpus(t)
+	rng := rand.New(rand.NewSource(99))
+	iterations := 3000
+	if testing.Short() {
+		iterations = 300
+	}
+	accepted, rejected := 0, 0
+	for i := 0; i < iterations; i++ {
+		seed := corpus[rng.Intn(len(corpus))]
+		bin := bytecode.Encode(seed)
+		mut := append([]byte(nil), bin...)
+		// 1-4 random byte corruptions.
+		for k := 0; k <= rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] = byte(rng.Uint32())
+		}
+		mod, err := bytecode.Decode(mut)
+		if err != nil {
+			rejected++
+			continue
+		}
+		if err := bytecode.Verify(mod); err != nil {
+			rejected++
+			continue
+		}
+		accepted++
+		// The mutant verified: it must run without escaping.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iteration %d: verified mutant panicked the host: %v", i, r)
+				}
+			}()
+			v, err := New(mod, mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+			if err != nil {
+				return
+			}
+			v.Fuel = 1 << 16
+			for _, f := range mod.Funcs {
+				args := make([]uint32, f.NArgs)
+				for j := range args {
+					args[j] = rng.Uint32()
+				}
+				v.Invoke(f.Name, args...) //nolint:errcheck // traps are expected
+			}
+		}()
+	}
+	if accepted == 0 {
+		t.Log("no mutants survived verification (all corruptions structural)")
+	}
+	t.Logf("mutants: %d accepted, %d rejected", accepted, rejected)
+}
+
+// TestDecodeNeverPanicsOnGarbage: the loader's first line of defense.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(256)
+		b := make([]byte, n)
+		rng.Read(b)
+		if rng.Intn(2) == 0 && n >= 4 {
+			copy(b, "GBC1") // make the magic right half the time
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %x: %v", b, r)
+				}
+			}()
+			mod, err := bytecode.Decode(b)
+			if err == nil {
+				bytecode.Verify(mod) //nolint:errcheck // just must not panic
+			}
+		}()
+	}
+}
+
+// TestSandboxContainment: under the sandbox policy, randomly wild store
+// addresses must never trap and never corrupt anything outside the
+// region — which, since the region is the whole memory, means every
+// store lands at addr&mask.
+func TestSandboxContainment(t *testing.T) {
+	src := `func main(a, v) { st32(a, v); st8(a + 7, v); return 0; }`
+	prog, err := gel.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compile.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 10)
+	v, err := New(mod, m, mem.Config{Policy: mem.PolicySandbox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a, val := rng.Uint32(), rng.Uint32()
+		if _, err := v.Invoke("main", a, val); err != nil {
+			t.Fatalf("sandboxed store trapped: addr=%#x: %v", a, err)
+		}
+		if got := m.Ld32U(m.SandboxWord(a)); got != val {
+			t.Fatalf("store to %#x did not land at masked address", a)
+		}
+	}
+}

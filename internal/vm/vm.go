@@ -1,0 +1,342 @@
+// Package vm is the bytecode interpreter: the paper's "in-kernel virtual
+// machine" technology class (Java Alpha 3 in the original study). It
+// executes verified bytecode modules with a fetch-decode-execute loop,
+// applies a memory protection policy on every load and store, and meters
+// fuel so a runaway graft is preempted rather than monopolizing the host —
+// the paper's requirement that "we must be able to preempt an extension
+// that runs too long" (§4).
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"graftlab/internal/bytecode"
+	"graftlab/internal/mem"
+)
+
+// DefaultMaxCallDepth bounds graft recursion.
+const DefaultMaxCallDepth = 256
+
+// VM executes one loaded module against one linear memory. A VM is not
+// safe for concurrent use; grafts are invoked from one kernel context at a
+// time, matching how a kernel serializes calls at a single hook point.
+type VM struct {
+	mod *bytecode.Module
+	mem *mem.Memory
+	cfg mem.Config
+
+	// maxStack[i] is the operand stack requirement of function i.
+	maxStack []int
+
+	// MaxCallDepth bounds recursion; 0 means DefaultMaxCallDepth.
+	MaxCallDepth int
+	// Fuel is the instruction budget per Invoke; 0 means unmetered.
+	Fuel int64
+
+	fuel  int64
+	depth int
+}
+
+// New verifies mod and prepares a VM over m with the given policy.
+func New(mod *bytecode.Module, m *mem.Memory, cfg mem.Config) (*VM, error) {
+	if err := bytecode.Verify(mod); err != nil {
+		return nil, err
+	}
+	v := &VM{mod: mod, mem: m, cfg: cfg}
+	v.maxStack = make([]int, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		v.maxStack[i] = bytecode.MaxStack(mod, f)
+	}
+	return v, nil
+}
+
+// Memory returns the linear memory the VM executes against.
+func (v *VM) Memory() *mem.Memory { return v.mem }
+
+// Invoke runs the named function with args. A trap is returned as a
+// *mem.Trap error; the host survives.
+func (v *VM) Invoke(entry string, args ...uint32) (result uint32, err error) {
+	idx, ok := v.mod.ByName[entry]
+	if !ok {
+		return 0, fmt.Errorf("vm: no function %q", entry)
+	}
+	f := v.mod.Funcs[idx]
+	if len(args) != f.NArgs {
+		return 0, fmt.Errorf("vm: %q takes %d args, got %d", entry, f.NArgs, len(args))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(*mem.Trap); ok {
+				err = t
+				return
+			}
+			panic(r)
+		}
+	}()
+	v.fuel = v.Fuel
+	v.depth = 0
+	return v.call(idx, args), nil
+}
+
+// Direct returns a pre-resolved entry point (the tech.DirectCaller fast
+// path). The interpreter loop dominates, but skipping the per-call map
+// lookup keeps hot hook points uniform across technologies.
+func (v *VM) Direct(entry string) (func(args []uint32) (uint32, error), bool) {
+	idx, ok := v.mod.ByName[entry]
+	if !ok {
+		return nil, false
+	}
+	f := v.mod.Funcs[idx]
+	return func(args []uint32) (result uint32, err error) {
+		if len(args) != f.NArgs {
+			return 0, fmt.Errorf("vm: %q takes %d args, got %d", entry, f.NArgs, len(args))
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if t, ok := r.(*mem.Trap); ok {
+					err = t
+					return
+				}
+				panic(r)
+			}
+		}()
+		v.fuel = v.Fuel
+		v.depth = 0
+		return v.call(idx, args), nil
+	}, true
+}
+
+func (v *VM) call(idx int, args []uint32) uint32 {
+	maxDepth := v.MaxCallDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxCallDepth
+	}
+	v.depth++
+	if v.depth > maxDepth {
+		mem.Throw(mem.TrapStackOverflow, 0)
+	}
+	defer func() { v.depth-- }()
+
+	f := v.mod.Funcs[idx]
+	locals := make([]uint32, f.NLocals)
+	copy(locals, args)
+	stack := make([]uint32, 0, v.maxStack[idx])
+
+	code := f.Code
+	m := v.mem
+	data := m.Data
+	checked := v.cfg.Policy == mem.PolicyChecked
+	nilCheck := checked && v.cfg.NilCheck
+	sandbox := v.cfg.Policy == mem.PolicySandbox
+	readProtect := sandbox && v.cfg.ReadProtect
+	mask := m.Mask()
+	metered := v.Fuel > 0
+
+	pc := 0
+	for {
+		if metered {
+			v.fuel--
+			if v.fuel < 0 {
+				mem.Throw(mem.TrapFuel, 0)
+			}
+		}
+		in := code[pc]
+		switch in.Op {
+		case bytecode.OpNop:
+		case bytecode.OpConst:
+			stack = append(stack, in.A)
+		case bytecode.OpLocalGet:
+			stack = append(stack, locals[in.A])
+		case bytecode.OpLocalSet:
+			locals[in.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case bytecode.OpDrop:
+			stack = stack[:len(stack)-1]
+		case bytecode.OpAdd:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] += y
+		case bytecode.OpSub:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] -= y
+		case bytecode.OpMul:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] *= y
+		case bytecode.OpDivU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if y == 0 {
+				mem.Throw(mem.TrapDivZero, 0)
+			}
+			stack[len(stack)-1] /= y
+		case bytecode.OpRemU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if y == 0 {
+				mem.Throw(mem.TrapDivZero, 0)
+			}
+			stack[len(stack)-1] %= y
+		case bytecode.OpAnd:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] &= y
+		case bytecode.OpOr:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] |= y
+		case bytecode.OpXor:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] ^= y
+		case bytecode.OpShl:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] <<= y & 31
+		case bytecode.OpShrU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] >>= y & 31
+		case bytecode.OpRotl:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = bits.RotateLeft32(stack[len(stack)-1], int(y&31))
+		case bytecode.OpRotr:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = bits.RotateLeft32(stack[len(stack)-1], -int(y&31))
+		case bytecode.OpMinU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if y < stack[len(stack)-1] {
+				stack[len(stack)-1] = y
+			}
+		case bytecode.OpMaxU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if y > stack[len(stack)-1] {
+				stack[len(stack)-1] = y
+			}
+		case bytecode.OpEq:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2u(stack[len(stack)-1] == y)
+		case bytecode.OpNe:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2u(stack[len(stack)-1] != y)
+		case bytecode.OpLtU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2u(stack[len(stack)-1] < y)
+		case bytecode.OpLeU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2u(stack[len(stack)-1] <= y)
+		case bytecode.OpGtU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2u(stack[len(stack)-1] > y)
+		case bytecode.OpGeU:
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2u(stack[len(stack)-1] >= y)
+		case bytecode.OpEqz:
+			stack[len(stack)-1] = b2u(stack[len(stack)-1] == 0)
+		case bytecode.OpLd32:
+			a := stack[len(stack)-1]
+			if checked {
+				v.mem.CheckLoad(a, 4, nilCheck)
+			} else if readProtect {
+				a = a & mask &^ 3
+			}
+			if uint64(a)+4 > uint64(len(data)) {
+				mem.Throw(mem.TrapOOBLoad, a) // unsafe-policy backstop: models the crash
+			}
+			stack[len(stack)-1] = uint32(data[a]) | uint32(data[a+1])<<8 |
+				uint32(data[a+2])<<16 | uint32(data[a+3])<<24
+		case bytecode.OpLd8:
+			a := stack[len(stack)-1]
+			if checked {
+				v.mem.CheckLoad(a, 1, nilCheck)
+			} else if readProtect {
+				a &= mask
+			}
+			if a >= uint32(len(data)) {
+				mem.Throw(mem.TrapOOBLoad, a)
+			}
+			stack[len(stack)-1] = uint32(data[a])
+		case bytecode.OpSt32:
+			val := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if checked {
+				v.mem.CheckStore(a, 4, nilCheck)
+			} else if sandbox {
+				a = a & mask &^ 3
+			}
+			if uint64(a)+4 > uint64(len(data)) {
+				mem.Throw(mem.TrapOOBStore, a)
+			}
+			data[a] = byte(val)
+			data[a+1] = byte(val >> 8)
+			data[a+2] = byte(val >> 16)
+			data[a+3] = byte(val >> 24)
+		case bytecode.OpSt8:
+			val := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if checked {
+				v.mem.CheckStore(a, 1, nilCheck)
+			} else if sandbox {
+				a &= mask
+			}
+			if a >= uint32(len(data)) {
+				mem.Throw(mem.TrapOOBStore, a)
+			}
+			data[a] = byte(val)
+		case bytecode.OpJmp:
+			pc = int(in.A)
+			continue
+		case bytecode.OpJz:
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c == 0 {
+				pc = int(in.A)
+				continue
+			}
+		case bytecode.OpJnz:
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c != 0 {
+				pc = int(in.A)
+				continue
+			}
+		case bytecode.OpCall:
+			callee := v.mod.Funcs[in.A]
+			nargs := callee.NArgs
+			res := v.call(int(in.A), stack[len(stack)-nargs:])
+			stack = stack[:len(stack)-nargs]
+			stack = append(stack, res)
+		case bytecode.OpRet:
+			return stack[len(stack)-1]
+		case bytecode.OpMemSize:
+			stack = append(stack, uint32(len(data)))
+		case bytecode.OpAbort:
+			code := stack[len(stack)-1]
+			panic(&mem.Trap{Kind: mem.TrapAbort, Code: code})
+		default:
+			mem.Throw(mem.TrapUnreachable, 0)
+		}
+		pc++
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

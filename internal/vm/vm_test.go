@@ -1,0 +1,220 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"graftlab/internal/bytecode"
+	"graftlab/internal/mem"
+)
+
+func newVM(t *testing.T, fns ...*bytecode.Func) *VM {
+	t.Helper()
+	m := &bytecode.Module{Funcs: fns}
+	m.Index()
+	v, err := New(m, mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewRejectsUnverifiable(t *testing.T) {
+	m := &bytecode.Module{Funcs: []*bytecode.Func{{
+		Name: "bad", Code: []bytecode.Instr{{Op: bytecode.OpAdd}, {Op: bytecode.OpRet}},
+	}}}
+	m.Index()
+	if _, err := New(m, mem.New(1<<12), mem.Config{}); err == nil {
+		t.Fatal("unverifiable module accepted")
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	bin := func(op bytecode.Op) *bytecode.Func {
+		return &bytecode.Func{Name: "f", NArgs: 2, NLocals: 2, Code: []bytecode.Instr{
+			{Op: bytecode.OpLocalGet, A: 0},
+			{Op: bytecode.OpLocalGet, A: 1},
+			{Op: op},
+			{Op: bytecode.OpRet},
+		}}
+	}
+	cases := []struct {
+		op   bytecode.Op
+		x, y uint32
+		want uint32
+	}{
+		{bytecode.OpAdd, 0xFFFFFFFF, 2, 1},
+		{bytecode.OpSub, 1, 2, 0xFFFFFFFF},
+		{bytecode.OpMul, 0x10000, 0x10000, 0},
+		{bytecode.OpDivU, 7, 2, 3},
+		{bytecode.OpRemU, 7, 2, 1},
+		{bytecode.OpAnd, 0xF0F0, 0x0FF0, 0x00F0},
+		{bytecode.OpOr, 0xF000, 0x000F, 0xF00F},
+		{bytecode.OpXor, 0xFF00, 0x0FF0, 0xF0F0},
+		{bytecode.OpShl, 1, 33, 2}, // shift count masked to 5 bits
+		{bytecode.OpShrU, 0x80000000, 31, 1},
+		{bytecode.OpRotl, 0x80000001, 1, 3},
+		{bytecode.OpRotr, 3, 1, 0x80000001},
+		{bytecode.OpMinU, 5, 0xFFFFFFFF, 5},
+		{bytecode.OpMaxU, 5, 0xFFFFFFFF, 0xFFFFFFFF},
+		{bytecode.OpEq, 4, 4, 1},
+		{bytecode.OpNe, 4, 4, 0},
+		{bytecode.OpLtU, 0xFFFFFFFF, 1, 0}, // unsigned comparison
+		{bytecode.OpLeU, 3, 3, 1},
+		{bytecode.OpGtU, 0xFFFFFFFF, 1, 1},
+		{bytecode.OpGeU, 2, 3, 0},
+	}
+	for _, c := range cases {
+		v := newVM(t, bin(c.op))
+		got, err := v.Invoke("f", c.x, c.y)
+		if err != nil {
+			t.Errorf("%s: %v", c.op, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s(%#x, %#x) = %#x, want %#x", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDivRemByZeroTrap(t *testing.T) {
+	for _, op := range []bytecode.Op{bytecode.OpDivU, bytecode.OpRemU} {
+		v := newVM(t, &bytecode.Func{Name: "f", NArgs: 2, NLocals: 2, Code: []bytecode.Instr{
+			{Op: bytecode.OpLocalGet, A: 0},
+			{Op: bytecode.OpLocalGet, A: 1},
+			{Op: op},
+			{Op: bytecode.OpRet},
+		}})
+		_, err := v.Invoke("f", 1, 0)
+		var trap *mem.Trap
+		if !errors.As(err, &trap) || trap.Kind != mem.TrapDivZero {
+			t.Errorf("%s: err = %v", op, err)
+		}
+	}
+}
+
+func TestCallChain(t *testing.T) {
+	// f0 = caller, f1 doubles, f2 adds three.
+	caller := &bytecode.Func{Name: "main", NArgs: 1, NLocals: 1, Code: []bytecode.Instr{
+		{Op: bytecode.OpLocalGet, A: 0},
+		{Op: bytecode.OpCall, A: 1},
+		{Op: bytecode.OpCall, A: 2},
+		{Op: bytecode.OpRet},
+	}}
+	double := &bytecode.Func{Name: "double", NArgs: 1, NLocals: 1, Code: []bytecode.Instr{
+		{Op: bytecode.OpLocalGet, A: 0},
+		{Op: bytecode.OpConst, A: 2},
+		{Op: bytecode.OpMul},
+		{Op: bytecode.OpRet},
+	}}
+	add3 := &bytecode.Func{Name: "add3", NArgs: 1, NLocals: 1, Code: []bytecode.Instr{
+		{Op: bytecode.OpLocalGet, A: 0},
+		{Op: bytecode.OpConst, A: 3},
+		{Op: bytecode.OpAdd},
+		{Op: bytecode.OpRet},
+	}}
+	v := newVM(t, caller, double, add3)
+	got, err := v.Invoke("main", 10)
+	if err != nil || got != 23 {
+		t.Fatalf("main(10) = %d, %v", got, err)
+	}
+}
+
+func TestEqzAndJumps(t *testing.T) {
+	// abs-style function: returns 1 if arg==0 else arg.
+	f := &bytecode.Func{Name: "f", NArgs: 1, NLocals: 1, Code: []bytecode.Instr{
+		{Op: bytecode.OpLocalGet, A: 0},
+		{Op: bytecode.OpEqz},
+		{Op: bytecode.OpJz, A: 5},
+		{Op: bytecode.OpConst, A: 1},
+		{Op: bytecode.OpRet},
+		{Op: bytecode.OpLocalGet, A: 0},
+		{Op: bytecode.OpRet},
+	}}
+	v := newVM(t, f)
+	if got, _ := v.Invoke("f", 0); got != 1 {
+		t.Errorf("f(0) = %d", got)
+	}
+	if got, _ := v.Invoke("f", 9); got != 9 {
+		t.Errorf("f(9) = %d", got)
+	}
+}
+
+func TestMemSizeAndMemOps(t *testing.T) {
+	f := &bytecode.Func{Name: "f", NArgs: 0, NLocals: 0, Code: []bytecode.Instr{
+		{Op: bytecode.OpConst, A: 64},
+		{Op: bytecode.OpConst, A: 0xABCD},
+		{Op: bytecode.OpSt32},
+		{Op: bytecode.OpConst, A: 64},
+		{Op: bytecode.OpLd32},
+		{Op: bytecode.OpMemSize},
+		{Op: bytecode.OpAdd},
+		{Op: bytecode.OpRet},
+	}}
+	v := newVM(t, f)
+	got, err := v.Invoke("f")
+	if err != nil || got != 0xABCD+4096 {
+		t.Fatalf("f() = %#x, %v", got, err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	spin := &bytecode.Func{Name: "spin", NArgs: 0, NLocals: 0, Code: []bytecode.Instr{
+		{Op: bytecode.OpJmp, A: 0},
+	}}
+	m := &bytecode.Module{Funcs: []*bytecode.Func{spin}}
+	m.Index()
+	v, err := New(m, mem.New(1<<12), mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Fuel = 1000
+	_, err = v.Invoke("spin")
+	var trap *mem.Trap
+	if !errors.As(err, &trap) || trap.Kind != mem.TrapFuel {
+		t.Fatalf("err = %v", err)
+	}
+	// Unmetered VM with a terminating loop still works afterwards.
+	v.Fuel = 0
+	done := &bytecode.Func{Name: "done", Code: []bytecode.Instr{
+		{Op: bytecode.OpConst, A: 1}, {Op: bytecode.OpRet},
+	}}
+	m2 := &bytecode.Module{Funcs: []*bytecode.Func{done}}
+	m2.Index()
+	v2, err := New(m2, mem.New(1<<12), mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := v2.Invoke("done"); err != nil || got != 1 {
+		t.Fatalf("done = %d, %v", got, err)
+	}
+}
+
+func TestInvokeValidation(t *testing.T) {
+	v := newVM(t, &bytecode.Func{Name: "f", NArgs: 1, NLocals: 1, Code: []bytecode.Instr{
+		{Op: bytecode.OpLocalGet, A: 0}, {Op: bytecode.OpRet},
+	}})
+	if _, err := v.Invoke("g"); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if _, err := v.Invoke("f"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if v.Memory() == nil {
+		t.Error("Memory() nil")
+	}
+}
+
+func TestDropAndNop(t *testing.T) {
+	f := &bytecode.Func{Name: "f", Code: []bytecode.Instr{
+		{Op: bytecode.OpNop},
+		{Op: bytecode.OpConst, A: 9},
+		{Op: bytecode.OpConst, A: 1},
+		{Op: bytecode.OpDrop},
+		{Op: bytecode.OpRet},
+	}}
+	v := newVM(t, f)
+	if got, err := v.Invoke("f"); err != nil || got != 9 {
+		t.Fatalf("f = %d, %v", got, err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package workload supplies the deterministic request generators the
+// experiments replay: the 80/20-skewed block-write stream of the Logical
+// Disk benchmark (§5.6), plus uniform and sequential streams for
+// ablations. All generators are seeded xorshift PRNGs, so every run of
+// every technology sees the identical request sequence.
+package workload
+
+// RNG is a 64-bit xorshift* generator: tiny, fast, deterministic, and
+// dependency-free.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator; a zero seed is remapped (xorshift cannot hold
+// a zero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint32n returns a value in [0, n).
+func (r *RNG) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		return 0
+	}
+	return uint32(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Stream produces block numbers.
+type Stream interface {
+	Next() uint32
+}
+
+// Skewed produces requests where HotFrac of the traffic hits SkewFrac of
+// the blocks — the paper's "80% of the requests are for 20% of the
+// blocks". The hot set is the low-numbered region, a common convention
+// that keeps the generator trivially reproducible.
+type Skewed struct {
+	rng     *RNG
+	blocks  uint32
+	hotSize uint32
+	hotFrac float64
+}
+
+// NewSkewed builds the 80/20 stream over blocks.
+func NewSkewed(blocks uint32, seed uint64) *Skewed {
+	return NewSkewedFrac(blocks, 0.80, 0.20, seed)
+}
+
+// NewSkewedFrac generalizes the skew: hotFrac of requests hit skewFrac of
+// blocks.
+func NewSkewedFrac(blocks uint32, hotFrac, skewFrac float64, seed uint64) *Skewed {
+	hot := uint32(float64(blocks) * skewFrac)
+	if hot == 0 {
+		hot = 1
+	}
+	return &Skewed{rng: NewRNG(seed), blocks: blocks, hotSize: hot, hotFrac: hotFrac}
+}
+
+// Next implements Stream.
+func (s *Skewed) Next() uint32 {
+	if s.rng.Float64() < s.hotFrac {
+		return s.rng.Uint32n(s.hotSize)
+	}
+	cold := s.blocks - s.hotSize
+	if cold == 0 {
+		return s.rng.Uint32n(s.blocks)
+	}
+	return s.hotSize + s.rng.Uint32n(cold)
+}
+
+// Uniform produces uniformly random block numbers.
+type Uniform struct {
+	rng    *RNG
+	blocks uint32
+}
+
+// NewUniform builds a uniform stream over blocks.
+func NewUniform(blocks uint32, seed uint64) *Uniform {
+	return &Uniform{rng: NewRNG(seed), blocks: blocks}
+}
+
+// Next implements Stream.
+func (u *Uniform) Next() uint32 { return u.rng.Uint32n(u.blocks) }
+
+// Sequential produces 0, 1, 2, …, wrapping at blocks.
+type Sequential struct {
+	next   uint32
+	blocks uint32
+}
+
+// NewSequential builds a sequential stream over blocks.
+func NewSequential(blocks uint32) *Sequential {
+	return &Sequential{blocks: blocks}
+}
+
+// Next implements Stream.
+func (s *Sequential) Next() uint32 {
+	v := s.next
+	s.next++
+	if s.next >= s.blocks {
+		s.next = 0
+	}
+	return v
+}
+
+// FillPattern writes a deterministic byte pattern derived from tag into p;
+// experiments use it to generate distinguishable block payloads.
+func FillPattern(p []byte, tag uint32) {
+	x := tag*2654435761 + 1
+	for i := range p {
+		x = x*1664525 + 1013904223
+		p[i] = byte(x >> 24)
+	}
+}

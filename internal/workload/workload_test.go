@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(6)
+	same := true
+	a = NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestUint32nBounds(t *testing.T) {
+	f := func(seed uint64, n uint32) bool {
+		r := NewRNG(seed)
+		if n == 0 {
+			return r.Uint32n(0) == 0
+		}
+		for i := 0; i < 100; i++ {
+			if r.Uint32n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	const blocks = 10000
+	s := NewSkewed(blocks, 1)
+	hot := uint32(float64(blocks) * 0.20)
+	var inHot int
+	const n = 200000
+	for i := 0; i < n; i++ {
+		b := s.Next()
+		if b >= blocks {
+			t.Fatalf("block %d out of range", b)
+		}
+		if b < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / n
+	// 80% of traffic to the hot 20%, within sampling noise. The cold
+	// band also lands uniformly, so expected ≈ 0.80 + 0.20*0.20 ≈ 0.84.
+	if frac < 0.80 || frac > 0.88 {
+		t.Errorf("hot fraction = %.3f, want ≈0.84", frac)
+	}
+}
+
+func TestSkewedDegenerateSizes(t *testing.T) {
+	s := NewSkewedFrac(1, 0.8, 0.2, 3)
+	for i := 0; i < 100; i++ {
+		if s.Next() != 0 {
+			t.Fatal("single-block stream wandered")
+		}
+	}
+	// skewFrac 1.0: hot set is everything.
+	s2 := NewSkewedFrac(100, 0.8, 1.0, 3)
+	for i := 0; i < 1000; i++ {
+		if s2.Next() >= 100 {
+			t.Fatal("out of range")
+		}
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	s := NewSequential(3)
+	want := []uint32{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("step %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(37, 4)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 10000; i++ {
+		b := u.Next()
+		if b >= 37 {
+			t.Fatalf("out of range: %d", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 37 {
+		t.Errorf("only %d/37 blocks seen", len(seen))
+	}
+}
+
+func TestFillPatternDeterministicAndDistinct(t *testing.T) {
+	a := make([]byte, 256)
+	b := make([]byte, 256)
+	FillPattern(a, 1)
+	FillPattern(b, 1)
+	if string(a) != string(b) {
+		t.Fatal("same tag differs")
+	}
+	FillPattern(b, 2)
+	if string(a) == string(b) {
+		t.Fatal("different tags identical")
+	}
+}
