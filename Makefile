@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments quick-experiments examples clean
+.PHONY: all build test test-short race cover bench bench-smoke check experiments quick-experiments examples clean
 
 all: build test
+
+# Tier-1 gate: compile + vet + tests + every benchmark exercised once.
+check: build test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +29,11 @@ cover:
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
+
+# Run every benchmark exactly once — catches bit-rot in benchmark-only
+# code paths without paying measurement time.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run XXX .
 
 # Regenerate the paper's evaluation (Tables 1-6, Figure 1, ablations,
 # packet filter). Minutes at paper scale; use quick-experiments for CI.

@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"graftlab/internal/bench"
+	"graftlab/internal/compile"
 	"graftlab/internal/disk"
+	"graftlab/internal/gel"
 	"graftlab/internal/grafts"
 	"graftlab/internal/kernel"
 	"graftlab/internal/lmb"
@@ -24,6 +26,7 @@ import (
 	"graftlab/internal/tech"
 	"graftlab/internal/upcall"
 	"graftlab/internal/vclock"
+	"graftlab/internal/vm"
 	"graftlab/internal/workload"
 )
 
@@ -83,10 +86,10 @@ func BenchmarkTable1GoroutineCrossing(b *testing.B) {
 
 // evictSetup builds the Table 2 scenario: 64-entry hot list, LRU chain in
 // graft memory, candidate not hot.
-func evictSetup(b *testing.B, id tech.ID) (func(args []uint32) (uint32, error), uint32) {
+func evictSetup(b *testing.B, id tech.ID, opts tech.Options) (func(args []uint32) (uint32, error), uint32) {
 	b.Helper()
 	m := mem.New(grafts.PEMemSize)
-	g, err := tech.Load(id, grafts.PageEvict, m, tech.Options{})
+	g, err := tech.Load(id, grafts.PageEvict, m, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func evictSetup(b *testing.B, id tech.ID) (func(args []uint32) (uint32, error), 
 func BenchmarkTable2PageEvict(b *testing.B) {
 	for _, id := range readOnlyGraftTechs {
 		b.Run(string(id), func(b *testing.B) {
-			call, head := evictSetup(b, id)
+			call, head := evictSetup(b, id, tech.Options{})
 			args := []uint32{head}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -124,6 +127,16 @@ func BenchmarkTable2PageEvict(b *testing.B) {
 			}
 		})
 	}
+	b.Run("bytecode-baseline", func(b *testing.B) {
+		call, head := evictSetup(b, tech.Bytecode, tech.Options{VM: tech.VMBaseline})
+		args := []uint32{head}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := call(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("upcall-server", func(b *testing.B) {
 		m := mem.New(grafts.PEMemSize)
 		g, err := tech.Load(tech.CompiledUnsafe, grafts.PageEvict, m, tech.Options{})
@@ -202,15 +215,26 @@ func BenchmarkTable5MD5(b *testing.B) {
 	data := make([]byte, 1<<20)
 	workload.FillPattern(data, 5)
 	want := md5x.Of(data)
+	type md5Variant struct {
+		name string
+		id   tech.ID
+		opts tech.Options
+	}
+	var variants []md5Variant
 	for _, id := range table2Techs {
-		b.Run(string(id), func(b *testing.B) {
+		variants = append(variants, md5Variant{string(id), id, tech.Options{}})
+	}
+	variants = append(variants, md5Variant{"bytecode-baseline", tech.Bytecode, tech.Options{VM: tech.VMBaseline}})
+	for _, va := range variants {
+		id := va.id
+		b.Run(va.name, func(b *testing.B) {
 			input := data
 			if id == tech.Script {
 				input = data[:16<<10] // the Tcl class at 16 KB per iteration
 			} else if id == tech.Bytecode || id == tech.NativeUnsafe {
 				input = data[:256<<10]
 			}
-			g, err := tech.Load(id, grafts.MD5, mem.New(grafts.MDMemSize), tech.Options{})
+			g, err := tech.Load(id, grafts.MD5, mem.New(grafts.MDMemSize), va.opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -407,7 +431,7 @@ func BenchmarkMPFDispatch(b *testing.B) {
 func BenchmarkAblationNilCheck(b *testing.B) {
 	for _, id := range []tech.ID{tech.CompiledSafe, tech.CompiledSafeNil} {
 		b.Run(string(id), func(b *testing.B) {
-			call, head := evictSetup(b, id)
+			call, head := evictSetup(b, id, tech.Options{})
 			args := []uint32{head}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -442,6 +466,91 @@ func BenchmarkAblationSFIReadProtect(b *testing.B) {
 					b.Fatal(err)
 				}
 				if _, err := h.Sum(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVMTranslator isolates the optimizing translator's
+// pieces on the MD5 graft: the baseline interpreter, the full translator,
+// fusion disabled, and per-instruction instead of block-granular fuel.
+func BenchmarkAblationVMTranslator(b *testing.B) {
+	data := make([]byte, 256<<10)
+	workload.FillPattern(data, 9)
+	prog, err := gel.ParseAndCheck(grafts.MD5.GEL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := compile.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name     string
+		baseline bool
+		oc       vm.OptConfig
+	}{
+		{"baseline", true, vm.OptConfig{}},
+		{"opt", false, vm.OptConfig{}},
+		{"opt-nofuse", false, vm.OptConfig{NoFuse: true}},
+		{"opt-perinstr-fuel", false, vm.OptConfig{PerInstrFuel: true}},
+	}
+	for _, va := range variants {
+		b.Run(va.name, func(b *testing.B) {
+			m := mem.New(grafts.MDMemSize)
+			cfg := mem.Config{Policy: mem.PolicyChecked}
+			var g tech.Graft
+			if va.baseline {
+				v, err := vm.New(mod, m, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g = v
+			} else {
+				v, err := vm.NewOpt(mod, m, cfg, va.oc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g = v
+			}
+			h, err := grafts.NewMD5Graft(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.Reset(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Write(data); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Sum(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScriptParseCache shows what the Tcl class's defining
+// per-eval re-parse costs: the eviction graft with and without the
+// structural parse cache (the cache stays off everywhere else).
+func BenchmarkAblationScriptParseCache(b *testing.B) {
+	for _, cache := range []bool{false, true} {
+		name := "reparse"
+		if cache {
+			name = "parse-cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			call, head := evictSetup(b, tech.Script, tech.Options{ScriptParseCache: cache})
+			args := []uint32{head}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := call(args); err != nil {
 					b.Fatal(err)
 				}
 			}

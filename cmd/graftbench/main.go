@@ -5,7 +5,13 @@
 // Usage:
 //
 //	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter]
-//	           [-figure1-csv out.csv]
+//	           [-figure1-csv out.csv] [-vm opt|baseline] [-json] [-json-out out.json]
+//
+// -vm selects the bytecode engine for the vm rows: "opt" (default, the
+// load-time optimizing translator) or "baseline" (the reference
+// interpreter). -json writes machine-readable results (ns durations,
+// config, host info) to BENCH_<experiment>.json; -json-out overrides the
+// path.
 //
 // Paper-scale runs (the default) take minutes, dominated by the script
 // (Tcl-class) rows; -quick keeps every code path but shrinks sizes.
@@ -18,8 +24,15 @@ import (
 	"strings"
 
 	"graftlab/internal/bench"
+	"graftlab/internal/tech"
 	"graftlab/internal/upcall"
 )
+
+// defaultJSONPath names the -json output after the experiment, so runs
+// of different experiments can be archived side by side.
+func defaultJSONPath(experiment string) string {
+	return "BENCH_" + experiment + ".json"
+}
 
 func main() {
 	upcall.SignalChildMain() // become the Table 1 child if so directed
@@ -27,9 +40,11 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"which artifact to regenerate: all, table1..table6, figure1, ablation, pktfilter")
-		quick = flag.Bool("quick", false, "reduced sizes (CI-scale)")
-		csv   = flag.String("figure1-csv", "", "also write the Figure 1 series to this CSV file")
-		jsonP = flag.String("json", "", "also write machine-readable results to this JSON file")
+		quick  = flag.Bool("quick", false, "reduced sizes (CI-scale)")
+		csv    = flag.String("figure1-csv", "", "also write the Figure 1 series to this CSV file")
+		jsonB  = flag.Bool("json", false, "also write machine-readable results to BENCH_<experiment>.json")
+		jsonP  = flag.String("json-out", "", "write machine-readable results to this path (implies -json)")
+		vmMode = flag.String("vm", "", `bytecode engine: "opt" (default) or "baseline"`)
 	)
 	flag.Parse()
 
@@ -40,8 +55,20 @@ func main() {
 	if exe, err := os.Executable(); err == nil {
 		cfg.Exe = exe
 	}
+	mode, err := tech.ParseVMMode(*vmMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.VM = mode
 
-	if err := run(cfg, strings.ToLower(*experiment), *csv, *jsonP, *quick); err != nil {
+	exp := strings.ToLower(*experiment)
+	jsonPath := *jsonP
+	if jsonPath == "" && *jsonB {
+		jsonPath = defaultJSONPath(exp)
+	}
+
+	if err := run(cfg, exp, *csv, jsonPath, *quick); err != nil {
 		fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -49,7 +76,7 @@ func main() {
 
 func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) error {
 	want := func(name string) bool { return experiment == "all" || experiment == name }
-	report := &bench.Report{GeneratedNote: "paper-scale"}
+	report := &bench.Report{GeneratedNote: "paper-scale", Host: bench.CollectHost(), Config: &cfg}
 	if quick {
 		report.GeneratedNote = "quick-scale"
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"graftlab/internal/bench"
+	"graftlab/internal/tech"
 )
 
 // microConfig keeps CLI tests fast while exercising every experiment path.
@@ -62,5 +63,38 @@ func TestFigure1WritesCSV(t *testing.T) {
 	}
 	if report["note"] != "quick-scale" {
 		t.Fatalf("note = %v", report["note"])
+	}
+	host, ok := report["host"].(map[string]any)
+	if !ok {
+		t.Fatalf("report lacks host info: %v", report)
+	}
+	if host["goarch"] == "" || host["go_version"] == "" {
+		t.Fatalf("incomplete host info: %v", host)
+	}
+	if _, ok := report["config"]; !ok {
+		t.Fatalf("report lacks config: %v", report)
+	}
+}
+
+func TestDefaultJSONPath(t *testing.T) {
+	if got := defaultJSONPath("table5"); got != "BENCH_table5.json" {
+		t.Fatalf("defaultJSONPath = %q", got)
+	}
+}
+
+// TestVMBaselineSelectable pins that the -vm=baseline plumbing reaches the
+// vm rows: a baseline-config run must still produce correct results.
+func TestVMBaselineSelectable(t *testing.T) {
+	cfg := microConfig()
+	mode, err := tech.ParseVMMode("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.VM = mode
+	if err := run(cfg, "table5", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tech.ParseVMMode("nonsense"); err == nil {
+		t.Fatal("bad -vm value accepted")
 	}
 }

@@ -27,6 +27,7 @@ func main() {
 		entry    = flag.String("entry", "main", "entry point function")
 		memBits  = flag.Uint("membits", 20, "log2 of linear memory size")
 		fuel     = flag.Int64("fuel", 0, "execution budget (0 = unmetered)")
+		vmMode   = flag.String("vm", "", `bytecode engine: "opt" (default) or "baseline"`)
 		list     = flag.Bool("list", false, "list technologies and exit")
 	)
 	flag.Parse()
@@ -37,15 +38,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*techName, *entry, *memBits, *fuel, flag.Args()); err != nil {
+	if err := run(*techName, *entry, *memBits, *fuel, *vmMode, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "graftvm: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(techName, entry string, memBits uint, fuel int64, args []string) error {
+func run(techName, entry string, memBits uint, fuel int64, vmMode string, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: graftvm [flags] graft.gel [args...]")
+	}
+	mode, err := tech.ParseVMMode(vmMode)
+	if err != nil {
+		return err
 	}
 	srcBytes, err := os.ReadFile(args[0])
 	if err != nil {
@@ -69,7 +74,7 @@ func run(techName, entry string, memBits uint, fuel int64, args []string) error 
 		src = tech.Source{Name: args[0], Hipec: map[string]string{entry: string(srcBytes)}}
 	}
 	m := mem.New(1 << memBits)
-	g, err := tech.Load(tech.ID(techName), src, m, tech.Options{Fuel: fuel})
+	g, err := tech.Load(tech.ID(techName), src, m, tech.Options{Fuel: fuel, VM: mode})
 	if err != nil {
 		return err
 	}

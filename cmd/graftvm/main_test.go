@@ -21,7 +21,7 @@ func main(a, b) { return a * 10 + b; }
 func TestRunUnderEachTechnology(t *testing.T) {
 	src := writeGraft(t)
 	for _, techName := range []string{"native-unsafe", "native-safe", "sfi", "bytecode"} {
-		if err := run(techName, "main", 16, 0, []string{src, "4", "2"}); err != nil {
+		if err := run(techName, "main", 16, 0, "", []string{src, "4", "2"}); err != nil {
 			t.Errorf("%s: %v", techName, err)
 		}
 	}
@@ -29,27 +29,27 @@ func TestRunUnderEachTechnology(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	src := writeGraft(t)
-	if err := run("native-unsafe", "main", 16, 0, nil); err == nil {
+	if err := run("native-unsafe", "main", 16, 0, "", nil); err == nil {
 		t.Error("no args accepted")
 	}
-	if err := run("no-such-tech", "main", 16, 0, []string{src}); err == nil {
+	if err := run("no-such-tech", "main", 16, 0, "", []string{src}); err == nil {
 		t.Error("unknown tech accepted")
 	}
-	if err := run("native-unsafe", "nope", 16, 0, []string{src}); err == nil {
+	if err := run("native-unsafe", "nope", 16, 0, "", []string{src}); err == nil {
 		t.Error("unknown entry accepted")
 	}
-	if err := run("native-unsafe", "main", 16, 0, []string{src, "notanumber"}); err == nil {
+	if err := run("native-unsafe", "main", 16, 0, "", []string{src, "notanumber"}); err == nil {
 		t.Error("bad argument accepted")
 	}
-	if err := run("native-unsafe", "main", 2, 0, []string{src, "1", "2"}); err == nil {
+	if err := run("native-unsafe", "main", 2, 0, "", []string{src, "1", "2"}); err == nil {
 		t.Error("absurd membits accepted")
 	}
-	if err := run("native-unsafe", "main", 16, 0, []string{"/nonexistent.gel"}); err == nil {
+	if err := run("native-unsafe", "main", 16, 0, "", []string{"/nonexistent.gel"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Compiled-class technologies need a hand-written implementation;
 	// loading arbitrary source under them must fail cleanly.
-	if err := run("compiled-unsafe", "main", 16, 0, []string{src, "1", "2"}); err == nil {
+	if err := run("compiled-unsafe", "main", 16, 0, "", []string{src, "1", "2"}); err == nil {
 		t.Error("compiled class accepted arbitrary source")
 	}
 }
@@ -67,12 +67,12 @@ loop:
 done:
 	ret r1
 `), 0o644)
-	if err := run("domain", "main", 16, 0, []string{src, "100"}); err != nil {
+	if err := run("domain", "main", 16, 0, "", []string{src, "100"}); err != nil {
 		t.Fatalf("domain run: %v", err)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.hasm")
 	os.WriteFile(bad, []byte("jmp nowhere"), 0o644)
-	if err := run("domain", "main", 16, 0, []string{bad}); err == nil {
+	if err := run("domain", "main", 16, 0, "", []string{bad}); err == nil {
 		t.Error("bad hipec accepted")
 	}
 }
@@ -80,7 +80,12 @@ done:
 func TestFuelFlag(t *testing.T) {
 	src := filepath.Join(t.TempDir(), "spin.gel")
 	os.WriteFile(src, []byte(`func main() { while (1) { } return 0; }`), 0o644)
-	if err := run("bytecode", "main", 16, 10000, []string{src}); err == nil {
-		t.Error("runaway graft not preempted")
+	for _, mode := range []string{"", "opt", "baseline"} {
+		if err := run("bytecode", "main", 16, 10000, mode, []string{src}); err == nil {
+			t.Errorf("vm=%q: runaway graft not preempted", mode)
+		}
+	}
+	if err := run("bytecode", "main", 16, 10000, "nonsense", []string{src}); err == nil {
+		t.Error("bad -vm value accepted")
 	}
 }

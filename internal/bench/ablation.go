@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"graftlab/internal/compile"
+	"graftlab/internal/gel"
 	"graftlab/internal/grafts"
 	"graftlab/internal/kernel"
 	"graftlab/internal/md5x"
@@ -11,6 +13,7 @@ import (
 	"graftlab/internal/stats"
 	"graftlab/internal/tech"
 	"graftlab/internal/vclock"
+	"graftlab/internal/vm"
 	"graftlab/internal/workload"
 )
 
@@ -40,6 +43,19 @@ type AblationResult struct {
 	VMMetered       time.Duration
 	NativeUnmetered time.Duration
 	NativeMetered   time.Duration
+	// A4: the optimizing bytecode translator, piece by piece, on MD5
+	// (the hottest bytecode workload): the baseline interpreter, the full
+	// translator, fusion disabled, and per-instruction instead of
+	// block-granular fuel.
+	VMBaselineMD5 time.Duration
+	VMOptMD5      time.Duration
+	VMNoFuseMD5   time.Duration
+	VMPerInstrMD5 time.Duration
+	// A5: the script class's defining cost, made explicit: eviction via
+	// Tcl with the paper's per-eval re-parse vs the opt-in structural
+	// parse cache (internal/script/cache.go).
+	ScriptReparse    time.Duration
+	ScriptParseCache time.Duration
 }
 
 // RunAblation measures both ablations.
@@ -85,7 +101,7 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 	workload.FillPattern(data, 9)
 	want := md5x.Of(data)
 	md5Total := func(id tech.ID) (time.Duration, error) {
-		g, err := tech.Load(id, grafts.MD5, mem.New(grafts.MDMemSize), tech.Options{})
+		g, err := tech.Load(id, grafts.MD5, mem.New(grafts.MDMemSize), tech.Options{VM: cfg.VM})
 		if err != nil {
 			return 0, err
 		}
@@ -126,7 +142,7 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 	// A3: fuel metering on/off for the two metered engines.
 	fuelPer := func(id tech.ID, fuel int64) (time.Duration, error) {
 		m := mem.New(grafts.PEMemSize)
-		g, err := tech.Load(id, grafts.PageEvict, m, tech.Options{Fuel: fuel})
+		g, err := tech.Load(id, grafts.PageEvict, m, tech.Options{Fuel: fuel, VM: cfg.VM})
 		if err != nil {
 			return 0, err
 		}
@@ -166,6 +182,113 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		return nil, err
 	}
 	if res.NativeMetered, err = fuelPer(tech.NativeUnsafe, budget); err != nil {
+		return nil, err
+	}
+
+	// A4: translator variants, built directly on internal/vm so the
+	// translator's knobs (fusion, fuel granularity) can be toggled.
+	md5VM := func(baseline bool, oc vm.OptConfig) (time.Duration, error) {
+		prog, err := gel.ParseAndCheck(grafts.MD5.GEL)
+		if err != nil {
+			return 0, err
+		}
+		mod, err := compile.Compile(prog)
+		if err != nil {
+			return 0, err
+		}
+		m := mem.New(grafts.MDMemSize)
+		vmCfg := mem.Config{Policy: mem.PolicyChecked}
+		var g tech.Graft
+		if baseline {
+			v, err := vm.New(mod, m, vmCfg)
+			if err != nil {
+				return 0, err
+			}
+			g = v
+		} else {
+			v, err := vm.NewOpt(mod, m, vmCfg, oc)
+			if err != nil {
+				return 0, err
+			}
+			g = v
+		}
+		h, err := grafts.NewMD5Graft(g)
+		if err != nil {
+			return 0, err
+		}
+		best := time.Duration(0)
+		for r := 0; r < max(cfg.Runs/6, 2); r++ {
+			if err := h.Reset(); err != nil {
+				return 0, err
+			}
+			t0 := time.Now()
+			if _, err := h.Write(data); err != nil {
+				return 0, err
+			}
+			got, err := h.Sum()
+			d := time.Since(t0)
+			if err != nil {
+				return 0, err
+			}
+			if got != want {
+				return 0, fmt.Errorf("bench: vm ablation wrong digest")
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	if res.VMBaselineMD5, err = md5VM(true, vm.OptConfig{}); err != nil {
+		return nil, err
+	}
+	if res.VMOptMD5, err = md5VM(false, vm.OptConfig{}); err != nil {
+		return nil, err
+	}
+	if res.VMNoFuseMD5, err = md5VM(false, vm.OptConfig{NoFuse: true}); err != nil {
+		return nil, err
+	}
+	if res.VMPerInstrMD5, err = md5VM(false, vm.OptConfig{PerInstrFuel: true}); err != nil {
+		return nil, err
+	}
+
+	// A5: per-eval re-parse vs structural parse cache, on the eviction
+	// graft's Tcl translation.
+	scriptEvict := func(cache bool) (time.Duration, error) {
+		m := mem.New(grafts.PEMemSize)
+		g, err := tech.Load(tech.Script, grafts.PageEvict, m, tech.Options{ScriptParseCache: cache})
+		if err != nil {
+			return 0, err
+		}
+		hh, err := newEvictHarnessWith(cfg, g, m)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < 8; i++ {
+			if err := hh.invoke(); err != nil {
+				return 0, err
+			}
+		}
+		iters := max(cfg.EvictIters/100, 50)
+		best := time.Duration(0)
+		for r := 0; r < max(cfg.Runs/3, 3); r++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := hh.invoke(); err != nil {
+					return 0, err
+				}
+			}
+			d := time.Since(t0) / time.Duration(iters)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	if res.ScriptReparse, err = scriptEvict(false); err != nil {
+		return nil, err
+	}
+	if res.ScriptParseCache, err = scriptEvict(true); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -223,5 +346,11 @@ func (r *AblationResult) Table() *stats.Table {
 	t.AddRow("eviction, bytecode VM + fuel", stats.FormatDuration(r.VMMetered), rel(r.VMMetered, r.VMUnmetered))
 	t.AddRow("eviction, runtime codegen unmetered", stats.FormatDuration(r.NativeUnmetered), "1.00x")
 	t.AddRow("eviction, runtime codegen + fuel", stats.FormatDuration(r.NativeMetered), rel(r.NativeMetered, r.NativeUnmetered))
+	t.AddRow(fmt.Sprintf("MD5 %dKB, vm baseline interp", r.MD5Bytes>>10), stats.FormatDuration(r.VMBaselineMD5), "1.00x")
+	t.AddRow(fmt.Sprintf("MD5 %dKB, vm opt translator", r.MD5Bytes>>10), stats.FormatDuration(r.VMOptMD5), rel(r.VMOptMD5, r.VMBaselineMD5))
+	t.AddRow(fmt.Sprintf("MD5 %dKB, vm opt - fusion", r.MD5Bytes>>10), stats.FormatDuration(r.VMNoFuseMD5), rel(r.VMNoFuseMD5, r.VMBaselineMD5))
+	t.AddRow(fmt.Sprintf("MD5 %dKB, vm opt - block fuel", r.MD5Bytes>>10), stats.FormatDuration(r.VMPerInstrMD5), rel(r.VMPerInstrMD5, r.VMBaselineMD5))
+	t.AddRow("eviction, Tcl per-eval re-parse", stats.FormatDuration(r.ScriptReparse), "1.00x")
+	t.AddRow("eviction, Tcl + parse cache", stats.FormatDuration(r.ScriptParseCache), rel(r.ScriptParseCache, r.ScriptReparse))
 	return t
 }

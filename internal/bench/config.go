@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"graftlab/internal/disk"
+	"graftlab/internal/tech"
 )
 
 // Config sizes the experiments. Paper scale is what §5 ran; Quick scale
@@ -46,6 +47,10 @@ type Config struct {
 	// SimFaultTime overrides the simulated page-fault service time; zero
 	// derives it from Geometry (seek + rotation + one-page transfer).
 	SimFaultTime time.Duration
+	// VM selects the bytecode engine for every experiment's vm rows:
+	// "opt" (default, the optimizing translator) or "baseline" (the
+	// instruction-at-a-time reference interpreter).
+	VM tech.VMMode
 }
 
 // Default is the paper-scale configuration.

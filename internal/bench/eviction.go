@@ -52,7 +52,7 @@ type evictHarness struct {
 
 func newEvictHarness(cfg Config, id tech.ID, useUpcall bool, upcallLatency time.Duration) (*evictHarness, error) {
 	m := mem.New(grafts.PEMemSize)
-	g, err := tech.Load(id, grafts.PageEvict, m, tech.Options{})
+	g, err := tech.Load(id, grafts.PageEvict, m, tech.Options{VM: cfg.VM})
 	if err != nil {
 		return nil, err
 	}

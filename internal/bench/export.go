@@ -2,8 +2,32 @@ package bench
 
 import (
 	"encoding/json"
+	"os"
+	"runtime"
 	"time"
 )
+
+// HostInfo records where a report was produced, so archived runs can be
+// compared across machines.
+type HostInfo struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	Hostname  string `json:"hostname,omitempty"`
+}
+
+// CollectHost snapshots the current machine.
+func CollectHost() *HostInfo {
+	name, _ := os.Hostname()
+	return &HostInfo{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Hostname:  name,
+	}
+}
 
 // Report is the machine-readable form of a full evaluation run, written
 // by graftbench -json so results can be archived, diffed between
@@ -11,6 +35,8 @@ import (
 type Report struct {
 	// GeneratedNote describes scale ("paper" or "quick").
 	GeneratedNote string          `json:"note,omitempty"`
+	Host          *HostInfo       `json:"host,omitempty"`
+	Config        *Config         `json:"config,omitempty"`
 	Signal        *SignalResult   `json:"table1,omitempty"`
 	Evict         *EvictResult    `json:"table2,omitempty"`
 	Fault         *FaultResult    `json:"table3,omitempty"`

@@ -103,7 +103,7 @@ func RunLD(cfg Config) (*LDResult, error) {
 			runs = min(cfg.Runs, 5)
 		}
 		mk := func() (ld.Mapper, func(), error) {
-			g, err := tech.Load(id, grafts.LDMap, mem.New(grafts.LDMemSize), tech.Options{})
+			g, err := tech.Load(id, grafts.LDMap, mem.New(grafts.LDMemSize), tech.Options{VM: cfg.VM})
 			if err != nil {
 				return nil, nil, err
 			}

@@ -107,7 +107,7 @@ func RunMD5(cfg Config) (*MD5Result, error) {
 	}
 
 	for _, id := range md5Techs {
-		graft, err := tech.Load(id, grafts.MD5, mem.New(grafts.MDMemSize), tech.Options{})
+		graft, err := tech.Load(id, grafts.MD5, mem.New(grafts.MDMemSize), tech.Options{VM: cfg.VM})
 		if err != nil {
 			return nil, fmt.Errorf("md5 %s: %w", id, err)
 		}

@@ -121,7 +121,7 @@ func RunPacketFilter(cfg Config) (*PFResult, error) {
 		case tech.Bytecode:
 			runs = min(cfg.Runs, 10)
 		}
-		g, err := tech.Load(id, grafts.PacketFilter, mem.New(grafts.PFMemSize), tech.Options{})
+		g, err := tech.Load(id, grafts.PacketFilter, mem.New(grafts.PFMemSize), tech.Options{VM: cfg.VM})
 		if err != nil {
 			return nil, fmt.Errorf("pktfilter %s: %w", id, err)
 		}

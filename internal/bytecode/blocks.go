@@ -1,0 +1,56 @@
+package bytecode
+
+// Static basic-block analysis shared by optimizing execution engines.
+//
+// A basic block is a maximal straight-line run of instructions: control
+// enters only at the first instruction (the leader) and, once entered, every
+// instruction in the block executes before control leaves through the
+// block's terminator. That single-entry/run-to-completion property is what
+// lets a translator charge fuel once per block entry instead of once per
+// instruction while preserving the same completion threshold.
+
+// Leaders marks the basic-block leaders of f: leaders[pc] is true when pc
+// starts a basic block. Leaders are instruction 0, every jump target, and
+// every instruction following a branch or terminator (OpJmp, OpJz, OpJnz,
+// OpRet, OpAbort). Call on verified code only; jump operands are trusted.
+func Leaders(f *Func) []bool {
+	leaders := make([]bool, len(f.Code))
+	if len(f.Code) == 0 {
+		return leaders
+	}
+	leaders[0] = true
+	for pc, in := range f.Code {
+		switch in.Op {
+		case OpJmp, OpJz, OpJnz:
+			if t := int(in.A); t < len(f.Code) {
+				leaders[t] = true
+			}
+			if pc+1 < len(f.Code) {
+				leaders[pc+1] = true
+			}
+		case OpRet, OpAbort:
+			if pc+1 < len(f.Code) {
+				leaders[pc+1] = true
+			}
+		}
+	}
+	return leaders
+}
+
+// BlockCosts returns, for each leader pc, the number of instructions in the
+// block starting there (its fuel cost under block-granular metering);
+// non-leader entries are 0. The cost of a block is the distance from its
+// leader to the next leader or the end of code, so summing the costs of the
+// blocks a trace enters equals the number of instructions the trace would
+// execute one by one.
+func BlockCosts(f *Func, leaders []bool) []uint32 {
+	costs := make([]uint32, len(f.Code))
+	end := len(f.Code)
+	for pc := len(f.Code) - 1; pc >= 0; pc-- {
+		if leaders[pc] {
+			costs[pc] = uint32(end - pc)
+			end = pc
+		}
+	}
+	return costs
+}

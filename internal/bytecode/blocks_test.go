@@ -1,0 +1,70 @@
+package bytecode
+
+import "testing"
+
+// A small function with a loop:
+//
+//	0: const 0        ; i = 0            <- leader (entry)
+//	1: local.set 0
+//	2: local.get 0    ;                  <- leader (jump target of 8)
+//	3: const 10
+//	4: lt_u
+//	5: jz 9
+//	6: local.get 0    ;                  <- leader (after branch)
+//	7: local.set 0
+//	8: jmp 2
+//	9: const 42       ;                  <- leader (jump target of 5, after jmp)
+//	10: ret
+func loopFunc() *Func {
+	return &Func{
+		Name:    "loop",
+		NLocals: 1,
+		Code: []Instr{
+			{Op: OpConst, A: 0},
+			{Op: OpLocalSet, A: 0},
+			{Op: OpLocalGet, A: 0},
+			{Op: OpConst, A: 10},
+			{Op: OpLtU},
+			{Op: OpJz, A: 9},
+			{Op: OpLocalGet, A: 0},
+			{Op: OpLocalSet, A: 0},
+			{Op: OpJmp, A: 2},
+			{Op: OpConst, A: 42},
+			{Op: OpRet},
+		},
+	}
+}
+
+func TestLeaders(t *testing.T) {
+	f := loopFunc()
+	got := Leaders(f)
+	want := map[int]bool{0: true, 2: true, 6: true, 9: true}
+	for pc := range f.Code {
+		if got[pc] != want[pc] {
+			t.Errorf("leaders[%d] = %v, want %v", pc, got[pc], want[pc])
+		}
+	}
+}
+
+func TestBlockCosts(t *testing.T) {
+	f := loopFunc()
+	leaders := Leaders(f)
+	costs := BlockCosts(f, leaders)
+	want := map[int]uint32{0: 2, 2: 4, 6: 3, 9: 2}
+	var sum uint32
+	for pc := range f.Code {
+		if costs[pc] != want[pc] {
+			t.Errorf("costs[%d] = %d, want %d", pc, costs[pc], want[pc])
+		}
+		sum += costs[pc]
+	}
+	if sum != uint32(len(f.Code)) {
+		t.Errorf("block costs sum to %d, want %d (every instruction in exactly one block)", sum, len(f.Code))
+	}
+}
+
+func TestLeadersEmpty(t *testing.T) {
+	if got := Leaders(&Func{Name: "empty"}); len(got) != 0 {
+		t.Fatalf("Leaders(empty) = %v", got)
+	}
+}

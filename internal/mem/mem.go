@@ -61,6 +61,10 @@ type Trap struct {
 	Kind TrapKind
 	Addr uint32 // faulting address for memory traps
 	Code uint32 // abort code for TrapAbort
+	// PC is the bytecode instruction index at which a VM trap was raised.
+	// Both bytecode interpreter variants set it (and their differential
+	// tests compare it); engines without a program counter leave it zero.
+	PC int
 }
 
 func (t *Trap) Error() string {

@@ -1,0 +1,146 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"graftlab/internal/mem"
+)
+
+// cacheFixtures exercises every word class (braced literal, quoted, bare),
+// every substitution form ($var, ${var}, [cmd], backslash escapes),
+// control flow whose bodies are re-evaluated (while/if/proc recursion),
+// and the memory commands.
+var cacheFixtures = []string{
+	"set x 42\nset x",
+	"set a 7; set b $a; set c ${a}; set d [set a]; set e \"val=$a\"; set f {literal $a}; set g a\\ b",
+	"# comment\nset x 1; set y 2\nset z [expr {$x + $y}]",
+	"set i 0\nset s 0\nwhile {$i < 10} {\n  set s [expr {$s + $i}]\n  incr i\n}\nset s",
+	"proc fib {n} {\n  if {$n < 2} { return $n }\n  return [expr {[fib [expr {$n - 1}]] + [fib [expr {$n - 2}]]}]\n}\nfib 10",
+	"proc touch {a v} { st32 $a $v; return [ld32 $a] }\ntouch 128 3735928559",
+	"set i 0\nwhile {1} {\n  incr i\n  if {$i > 4} { break }\n  if {$i == 2} { continue }\n  st8 $i $i\n}\nset i",
+	"proc g {} { global acc; set acc [expr {$acc + 1}]; return $acc }\nset acc 10\ng\ng\nset acc",
+}
+
+func interpsForCacheDiff(t *testing.T) (plain, cached *Interp) {
+	t.Helper()
+	plain = New(mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+	cached = New(mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+	cached.CacheParse = true
+	return plain, cached
+}
+
+// TestCacheParseAgreesOnFixtures runs every fixture through a vanilla and a
+// caching interpreter — twice, so the second pass hits a warm cache — and
+// requires identical results, errors, and memory images.
+func TestCacheParseAgreesOnFixtures(t *testing.T) {
+	for i, src := range cacheFixtures {
+		t.Run(fmt.Sprintf("fixture%d", i), func(t *testing.T) {
+			plain, cached := interpsForCacheDiff(t)
+			for pass := 0; pass < 2; pass++ {
+				pres, _, perr := plain.eval(src)
+				cres, _, cerr := cached.eval(src)
+				if (perr == nil) != (cerr == nil) {
+					t.Fatalf("pass %d: plain err %v, cached err %v", pass, perr, cerr)
+				}
+				if pres != cres {
+					t.Fatalf("pass %d: plain %q, cached %q", pass, pres, cres)
+				}
+			}
+			if string(plain.Memory().Data) != string(cached.Memory().Data) {
+				t.Fatal("memory images diverge")
+			}
+		})
+	}
+}
+
+// TestCacheParseAgreesOnFuel pins that fuel accounting is identical with
+// the cache on: same minimal fuel to finish, same trap one unit below it.
+func TestCacheParseAgreesOnFuel(t *testing.T) {
+	src := "proc main {n} {\n  set i 0\n  set s 0\n  while {$i < $n} {\n    set s [expr {$s + $i}]\n    incr i\n  }\n  return $s\n}"
+
+	run := func(cache bool, fuel int64) (uint32, error) {
+		in := New(mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+		in.CacheParse = cache
+		if err := in.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		in.Fuel = fuel
+		return in.Invoke("main", 20)
+	}
+
+	// Find the vanilla interpreter's minimal completing fuel.
+	lo, hi := int64(1), int64(1<<20)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, err := run(false, mid); err != nil {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	minFuel := lo
+
+	for _, cache := range []bool{false, true} {
+		v, err := run(cache, minFuel)
+		if err != nil || v != 190 {
+			t.Fatalf("cache=%v fuel=%d: got %d, %v", cache, minFuel, v, err)
+		}
+		_, err = run(cache, minFuel-1)
+		var tr *mem.Trap
+		if !errors.As(err, &tr) || tr.Kind != mem.TrapFuel {
+			t.Fatalf("cache=%v fuel=%d: want fuel trap, got %v", cache, minFuel-1, err)
+		}
+	}
+}
+
+// TestCacheParseReusesStructure checks the cache actually caches: a proc
+// body evaluated N times must be structurally parsed once.
+func TestCacheParseReusesStructure(t *testing.T) {
+	in := New(mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+	in.CacheParse = true
+	if err := in.Load("proc tick {} { return 1 }"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := in.Invoke("tick"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := in.proc["tick"].Body
+	if _, ok := in.parseCache[body]; !ok {
+		t.Fatalf("proc body %q not in parse cache", body)
+	}
+	n := len(in.parseCache)
+	for i := 0; i < 5; i++ {
+		if _, err := in.Invoke("tick"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(in.parseCache) != n {
+		t.Fatalf("cache grew from %d to %d entries on repeated invokes", n, len(in.parseCache))
+	}
+}
+
+// TestCacheParseErrorTiming documents the one accepted divergence: the
+// cache surfaces a later command's syntax error before running anything.
+func TestCacheParseErrorTiming(t *testing.T) {
+	src := "set x 5\nset y \"unterminated"
+	plain, cached := interpsForCacheDiff(t)
+
+	if _, _, err := plain.eval(src); err == nil || !strings.Contains(err.Error(), "quote") {
+		t.Fatalf("plain: want quote error, got %v", err)
+	}
+	if v, _ := plain.getVar("x"); v != "5" {
+		t.Fatal("vanilla interpreter should have run the first command")
+	}
+
+	if _, _, err := cached.eval(src); err == nil || !strings.Contains(err.Error(), "quote") {
+		t.Fatalf("cached: want quote error, got %v", err)
+	}
+	if _, err := cached.getVar("x"); err == nil {
+		t.Fatal("caching interpreter should have rejected the script before command 1")
+	}
+}

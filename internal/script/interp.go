@@ -63,6 +63,14 @@ type Interp struct {
 	Fuel int64
 	fuel int64
 
+	// CacheParse enables the structural parse cache (see cache.go). It is
+	// OFF by default and stays off in every benchmark table: per-eval
+	// re-parsing is the defining cost of this technology class, and caching
+	// it away is exactly the byte-compiler fix the paper's Tcl 3.7 predates.
+	// Exposed for the ablation study only.
+	CacheParse bool
+	parseCache map[string]*cachedScript
+
 	depth int
 }
 
@@ -139,6 +147,9 @@ func (in *Interp) burn() error {
 
 // eval parses and runs a script, returning the last command's result.
 func (in *Interp) eval(src string) (string, code, error) {
+	if in.CacheParse {
+		return in.evalCached(src)
+	}
 	p := &wordParser{src: src, in: in}
 	last := ""
 	for {

@@ -240,12 +240,27 @@ func TestScriptAgreesWithGELOnRandomPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("program %d: load Tcl: %v\n%s", i, err, tclSrc)
 		}
+		mC := mem.New(memSize)
+		scrC, err := Load(Script, src, mC, Options{Fuel: 1 << 22, ScriptParseCache: true})
+		if err != nil {
+			t.Fatalf("program %d: load Tcl (cached): %v\n%s", i, err, tclSrc)
+		}
 
 		vG, eG := ref.Invoke("main", args...)
 		vS, eS := scr.Invoke("main", args...)
+		vC, eC := scrC.Invoke("main", args...)
 		if (eG != nil) != (eS != nil) {
 			t.Fatalf("program %d: GEL err=%v, Tcl err=%v\nGEL:\n%s\nTcl:\n%s",
 				i, eG, eS, gelSrc, tclSrc)
+		}
+		// The parse cache must be invisible: same result, error, and
+		// memory as the per-eval re-parsing interpreter.
+		if (eS != nil) != (eC != nil) || vS != vC {
+			t.Fatalf("program %d: Tcl=%d (err=%v), cached Tcl=%d (err=%v)\nTcl:\n%s",
+				i, vS, eS, vC, eC, tclSrc)
+		}
+		if string(mS.Data) != string(mC.Data) {
+			t.Fatalf("program %d: cached-Tcl memory diverges\nTcl:\n%s", i, tclSrc)
 		}
 		if eG == nil {
 			if vG != vS {

@@ -192,6 +192,29 @@ func Config(id ID) (mem.Config, error) {
 	return mem.Config{}, fmt.Errorf("tech: unknown technology %q", id)
 }
 
+// VMMode selects the bytecode execution engine.
+type VMMode string
+
+const (
+	// VMOpt is the default: the load-time optimizing translator
+	// (pre-decoded dispatch, superinstruction fusion, block-granular
+	// fuel, policy specialization; see internal/vm/opt.go).
+	VMOpt VMMode = "opt"
+	// VMBaseline selects the naive switch-dispatch reference interpreter.
+	VMBaseline VMMode = "baseline"
+)
+
+// ParseVMMode validates a -vm flag value ("" means the default).
+func ParseVMMode(s string) (VMMode, error) {
+	switch VMMode(s) {
+	case "", VMOpt:
+		return VMOpt, nil
+	case VMBaseline:
+		return VMBaseline, nil
+	}
+	return "", fmt.Errorf("tech: unknown vm mode %q (want %q or %q)", s, VMOpt, VMBaseline)
+}
+
 // Options tune a load.
 type Options struct {
 	// Fuel is the per-invocation execution budget (instructions for the
@@ -202,6 +225,14 @@ type Options struct {
 	// generation. Behaviour is unchanged (the fold keeps runtime traps);
 	// only speed differs.
 	Optimize bool
+	// VM selects the bytecode engine ("" = VMOpt). Behaviour is
+	// equivalent (differentially tested); only speed differs.
+	VM VMMode
+	// ScriptParseCache enables the script interpreter's structural parse
+	// cache. Off by default: Tcl 3.7's per-eval re-parse is load-bearing
+	// for the paper's 10⁴× script-class result, so the cache exists only
+	// as an ablation (modeling the Tcl byte-compilers the paper mentions).
+	ScriptParseCache bool
 }
 
 // Load loads src under the named technology, bound to memory m.
@@ -242,7 +273,19 @@ func Load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tech %s: %w", id, err)
 		}
-		v, err := vm.New(mod, m, cfg)
+		mode, err := ParseVMMode(string(opts.VM))
+		if err != nil {
+			return nil, err
+		}
+		if mode == VMBaseline {
+			v, err := vm.New(mod, m, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("tech %s: %w", id, err)
+			}
+			v.Fuel = opts.Fuel
+			return v, nil
+		}
+		v, err := vm.NewOpt(mod, m, cfg, vm.OptConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("tech %s: %w", id, err)
 		}
@@ -254,6 +297,7 @@ func Load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
 		}
 		in := script.New(m, cfg)
 		in.Fuel = opts.Fuel
+		in.CacheParse = opts.ScriptParseCache
 		if err := in.Load(src.Tcl); err != nil {
 			return nil, fmt.Errorf("tech %s: %w", id, err)
 		}

@@ -244,9 +244,17 @@ func TestRandomProgramsAgree(t *testing.T) {
 		}
 		var ref outcome
 		var refMem []byte
-		for j, id := range []ID{NativeUnsafe, NativeSafe, NativeSafeNil, SFIFull, Bytecode} {
+		variants := []struct {
+			id ID
+			vm VMMode
+		}{
+			{NativeUnsafe, ""}, {NativeSafe, ""}, {NativeSafeNil, ""},
+			{SFIFull, ""}, {Bytecode, VMOpt}, {Bytecode, VMBaseline},
+		}
+		for j, va := range variants {
+			id := va.id
 			m := mem.New(memSize)
-			g, err := Load(id, src, m, Options{Fuel: 1 << 20})
+			g, err := Load(id, src, m, Options{Fuel: 1 << 20, VM: va.vm})
 			if err != nil {
 				t.Fatalf("program %d: load %s: %v\n%s", i, id, err, src.GEL)
 			}

@@ -5,6 +5,12 @@
 // fuel so a runaway graft is preempted rather than monopolizing the host —
 // the paper's requirement that "we must be able to preempt an extension
 // that runs too long" (§4).
+//
+// Two engines share the package: VM is the naive switch-dispatch reference
+// interpreter below, and OptVM (opt.go) is a load-time optimizing
+// translator over the same semantics. The two are differentially tested
+// against each other (diff_test.go); VM is the semantic baseline and stays
+// deliberately simple.
 package vm
 
 import (
@@ -18,9 +24,23 @@ import (
 // DefaultMaxCallDepth bounds graft recursion.
 const DefaultMaxCallDepth = 256
 
-// VM executes one loaded module against one linear memory. A VM is not
-// safe for concurrent use; grafts are invoked from one kernel context at a
+// throwAt raises a trap that records the faulting bytecode pc. Both
+// engines funnel their traps through here so differential tests can
+// compare trap program counters, not just kinds.
+func throwAt(kind mem.TrapKind, addr uint32, pc int) {
+	panic(&mem.Trap{Kind: kind, Addr: addr, PC: pc})
+}
+
+// VM executes one loaded module against one linear memory.
+//
+// Concurrency: a VM is NOT safe for concurrent use. Invoke, Direct
+// closures, and the Fuel/MaxCallDepth fields all share the fuel counter
+// and call-depth state; grafts are invoked from one kernel context at a
 // time, matching how a kernel serializes calls at a single hook point.
+// Callers that want parallelism must create one VM (and one Memory) per
+// context. Fuel is sampled exactly once at the start of each invocation —
+// mutating v.Fuel mid-invocation (e.g. from another goroutine) is a data
+// race and has no defined effect on the running graft.
 type VM struct {
 	mod *bytecode.Module
 	mem *mem.Memory
@@ -31,11 +51,14 @@ type VM struct {
 
 	// MaxCallDepth bounds recursion; 0 means DefaultMaxCallDepth.
 	MaxCallDepth int
-	// Fuel is the instruction budget per Invoke; 0 means unmetered.
+	// Fuel is the instruction budget per Invoke; 0 means unmetered. It is
+	// read once per invocation (Invoke or a Direct closure call), so
+	// adjusting it between invocations takes effect on the next call.
 	Fuel int64
 
-	fuel  int64
-	depth int
+	fuel    int64
+	metered bool
+	depth   int
 }
 
 // New verifies mod and prepares a VM over m with the given policy.
@@ -54,16 +77,12 @@ func New(mod *bytecode.Module, m *mem.Memory, cfg mem.Config) (*VM, error) {
 // Memory returns the linear memory the VM executes against.
 func (v *VM) Memory() *mem.Memory { return v.mem }
 
-// Invoke runs the named function with args. A trap is returned as a
-// *mem.Trap error; the host survives.
-func (v *VM) Invoke(entry string, args ...uint32) (result uint32, err error) {
-	idx, ok := v.mod.ByName[entry]
-	if !ok {
-		return 0, fmt.Errorf("vm: no function %q", entry)
-	}
+// invoke is the single entry path shared by Invoke and Direct closures,
+// so fuel metering is decided in exactly one place per invocation.
+func (v *VM) invoke(idx int, args []uint32) (result uint32, err error) {
 	f := v.mod.Funcs[idx]
 	if len(args) != f.NArgs {
-		return 0, fmt.Errorf("vm: %q takes %d args, got %d", entry, f.NArgs, len(args))
+		return 0, fmt.Errorf("vm: %q takes %d args, got %d", f.Name, f.NArgs, len(args))
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -75,35 +94,37 @@ func (v *VM) Invoke(entry string, args ...uint32) (result uint32, err error) {
 		}
 	}()
 	v.fuel = v.Fuel
+	v.metered = v.Fuel > 0
 	v.depth = 0
 	return v.call(idx, args), nil
+}
+
+// Invoke runs the named function with args. A trap is returned as a
+// *mem.Trap error; the host survives.
+func (v *VM) Invoke(entry string, args ...uint32) (uint32, error) {
+	idx, ok := v.mod.ByName[entry]
+	if !ok {
+		return 0, fmt.Errorf("vm: no function %q", entry)
+	}
+	return v.invoke(idx, args)
 }
 
 // Direct returns a pre-resolved entry point (the tech.DirectCaller fast
 // path). The interpreter loop dominates, but skipping the per-call map
 // lookup keeps hot hook points uniform across technologies.
+//
+// The closure shares all VM state, including Fuel: the budget is sampled
+// when the closure is called, not when it is resolved, so a Direct handle
+// obtained while the VM was unmetered meters correctly once Fuel is set
+// (and vice versa). Like Invoke, the closure must not be called
+// concurrently with itself or any other invocation on the same VM.
 func (v *VM) Direct(entry string) (func(args []uint32) (uint32, error), bool) {
 	idx, ok := v.mod.ByName[entry]
 	if !ok {
 		return nil, false
 	}
-	f := v.mod.Funcs[idx]
-	return func(args []uint32) (result uint32, err error) {
-		if len(args) != f.NArgs {
-			return 0, fmt.Errorf("vm: %q takes %d args, got %d", entry, f.NArgs, len(args))
-		}
-		defer func() {
-			if r := recover(); r != nil {
-				if t, ok := r.(*mem.Trap); ok {
-					err = t
-					return
-				}
-				panic(r)
-			}
-		}()
-		v.fuel = v.Fuel
-		v.depth = 0
-		return v.call(idx, args), nil
+	return func(args []uint32) (uint32, error) {
+		return v.invoke(idx, args)
 	}, true
 }
 
@@ -114,7 +135,7 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 	}
 	v.depth++
 	if v.depth > maxDepth {
-		mem.Throw(mem.TrapStackOverflow, 0)
+		throwAt(mem.TrapStackOverflow, 0, 0)
 	}
 	defer func() { v.depth-- }()
 
@@ -124,21 +145,20 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 	stack := make([]uint32, 0, v.maxStack[idx])
 
 	code := f.Code
-	m := v.mem
-	data := m.Data
+	data := v.mem.Data
 	checked := v.cfg.Policy == mem.PolicyChecked
 	nilCheck := checked && v.cfg.NilCheck
 	sandbox := v.cfg.Policy == mem.PolicySandbox
 	readProtect := sandbox && v.cfg.ReadProtect
-	mask := m.Mask()
-	metered := v.Fuel > 0
+	mask := v.mem.Mask()
+	metered := v.metered
 
 	pc := 0
 	for {
 		if metered {
 			v.fuel--
 			if v.fuel < 0 {
-				mem.Throw(mem.TrapFuel, 0)
+				throwAt(mem.TrapFuel, 0, pc)
 			}
 		}
 		in := code[pc]
@@ -169,14 +189,14 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			y := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if y == 0 {
-				mem.Throw(mem.TrapDivZero, 0)
+				throwAt(mem.TrapDivZero, 0, pc)
 			}
 			stack[len(stack)-1] /= y
 		case bytecode.OpRemU:
 			y := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if y == 0 {
-				mem.Throw(mem.TrapDivZero, 0)
+				throwAt(mem.TrapDivZero, 0, pc)
 			}
 			stack[len(stack)-1] %= y
 		case bytecode.OpAnd:
@@ -248,24 +268,34 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 		case bytecode.OpLd32:
 			a := stack[len(stack)-1]
 			if checked {
-				v.mem.CheckLoad(a, 4, nilCheck)
+				if nilCheck && a < mem.NilPageSize {
+					throwAt(mem.TrapNilDeref, a, pc)
+				}
+				if uint64(a)+4 > uint64(len(data)) {
+					throwAt(mem.TrapOOBLoad, a, pc)
+				}
 			} else if readProtect {
 				a = a & mask &^ 3
 			}
 			if uint64(a)+4 > uint64(len(data)) {
-				mem.Throw(mem.TrapOOBLoad, a) // unsafe-policy backstop: models the crash
+				throwAt(mem.TrapOOBLoad, a, pc) // unsafe-policy backstop: models the crash
 			}
 			stack[len(stack)-1] = uint32(data[a]) | uint32(data[a+1])<<8 |
 				uint32(data[a+2])<<16 | uint32(data[a+3])<<24
 		case bytecode.OpLd8:
 			a := stack[len(stack)-1]
 			if checked {
-				v.mem.CheckLoad(a, 1, nilCheck)
+				if nilCheck && a < mem.NilPageSize {
+					throwAt(mem.TrapNilDeref, a, pc)
+				}
+				if a >= uint32(len(data)) {
+					throwAt(mem.TrapOOBLoad, a, pc)
+				}
 			} else if readProtect {
 				a &= mask
 			}
 			if a >= uint32(len(data)) {
-				mem.Throw(mem.TrapOOBLoad, a)
+				throwAt(mem.TrapOOBLoad, a, pc)
 			}
 			stack[len(stack)-1] = uint32(data[a])
 		case bytecode.OpSt32:
@@ -273,12 +303,17 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			a := stack[len(stack)-2]
 			stack = stack[:len(stack)-2]
 			if checked {
-				v.mem.CheckStore(a, 4, nilCheck)
+				if nilCheck && a < mem.NilPageSize {
+					throwAt(mem.TrapNilDeref, a, pc)
+				}
+				if uint64(a)+4 > uint64(len(data)) {
+					throwAt(mem.TrapOOBStore, a, pc)
+				}
 			} else if sandbox {
 				a = a & mask &^ 3
 			}
 			if uint64(a)+4 > uint64(len(data)) {
-				mem.Throw(mem.TrapOOBStore, a)
+				throwAt(mem.TrapOOBStore, a, pc)
 			}
 			data[a] = byte(val)
 			data[a+1] = byte(val >> 8)
@@ -289,12 +324,17 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			a := stack[len(stack)-2]
 			stack = stack[:len(stack)-2]
 			if checked {
-				v.mem.CheckStore(a, 1, nilCheck)
+				if nilCheck && a < mem.NilPageSize {
+					throwAt(mem.TrapNilDeref, a, pc)
+				}
+				if a >= uint32(len(data)) {
+					throwAt(mem.TrapOOBStore, a, pc)
+				}
 			} else if sandbox {
 				a &= mask
 			}
 			if a >= uint32(len(data)) {
-				mem.Throw(mem.TrapOOBStore, a)
+				throwAt(mem.TrapOOBStore, a, pc)
 			}
 			data[a] = byte(val)
 		case bytecode.OpJmp:
@@ -326,9 +366,9 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			stack = append(stack, uint32(len(data)))
 		case bytecode.OpAbort:
 			code := stack[len(stack)-1]
-			panic(&mem.Trap{Kind: mem.TrapAbort, Code: code})
+			panic(&mem.Trap{Kind: mem.TrapAbort, Code: code, PC: pc})
 		default:
-			mem.Throw(mem.TrapUnreachable, 0)
+			throwAt(mem.TrapUnreachable, 0, pc)
 		}
 		pc++
 	}
