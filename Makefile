@@ -21,7 +21,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/upcall/ ./internal/netsim/ ./internal/kernel/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -24,6 +24,7 @@ import (
 	"graftlab/internal/mem"
 	"graftlab/internal/netsim"
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 	"graftlab/internal/upcall"
 	"graftlab/internal/vclock"
 	"graftlab/internal/vm"
@@ -471,6 +472,67 @@ func BenchmarkAblationSFIReadProtect(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAblationTelemetry holds the observability layer to its
+// documented <=2% budget on the two hottest workloads: the compiled
+// eviction search (per-invocation counter cost at its worst, ~250ns of
+// work per call) and the compiled MD5 stream (counter cost amortized over
+// 96KB of work per call). Instrumentation is decided at load time, so
+// each sub-benchmark loads its graft under the state it measures.
+func BenchmarkAblationTelemetry(b *testing.B) {
+	evict := func(b *testing.B) {
+		call, head := evictSetup(b, tech.CompiledUnsafe, tech.Options{})
+		args := []uint32{head}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := call(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	md5 := func(b *testing.B) {
+		data := make([]byte, 256<<10)
+		workload.FillPattern(data, 9)
+		g, err := tech.Load(tech.CompiledUnsafe, grafts.MD5, mem.New(grafts.MDMemSize), tech.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := grafts.NewMD5Graft(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := h.Reset(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.Write(data); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.Sum(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, on := range []bool{false, true} {
+		state := "off"
+		if on {
+			state = "on"
+		}
+		b.Run("evict-telemetry-"+state, func(b *testing.B) {
+			telemetry.SetEnabled(on)
+			defer telemetry.SetEnabled(false)
+			evict(b)
+		})
+		b.Run("md5-telemetry-"+state, func(b *testing.B) {
+			telemetry.SetEnabled(on)
+			defer telemetry.SetEnabled(false)
+			md5(b)
+		})
+	}
+	telemetry.ResetMetrics()
 }
 
 // BenchmarkAblationVMTranslator isolates the optimizing translator's

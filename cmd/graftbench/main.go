@@ -6,12 +6,20 @@
 //
 //	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter]
 //	           [-figure1-csv out.csv] [-vm opt|baseline] [-json] [-json-out out.json]
+//	           [-telemetry] [-trace-out trace.jsonl]
 //
 // -vm selects the bytecode engine for the vm rows: "opt" (default, the
 // load-time optimizing translator) or "baseline" (the reference
 // interpreter). -json writes machine-readable results (ns durations,
 // config, host info) to BENCH_<experiment>.json; -json-out overrides the
 // path.
+//
+// -telemetry enables per-graft invocation metrics (counters, traps, fuel,
+// sampled latency histograms; see docs/observability.md); the snapshots
+// are printed after the run and attached to the JSON report. -trace-out
+// additionally records kernel events (page faults, eviction decisions,
+// stream-filter passes, upcalls, LD segment flushes) into a bounded ring
+// and dumps them as JSONL to the given path.
 //
 // Paper-scale runs (the default) take minutes, dominated by the script
 // (Tcl-class) rows; -quick keeps every code path but shrinks sizes.
@@ -25,6 +33,7 @@ import (
 
 	"graftlab/internal/bench"
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 	"graftlab/internal/upcall"
 )
 
@@ -45,6 +54,8 @@ func main() {
 		jsonB  = flag.Bool("json", false, "also write machine-readable results to BENCH_<experiment>.json")
 		jsonP  = flag.String("json-out", "", "write machine-readable results to this path (implies -json)")
 		vmMode = flag.String("vm", "", `bytecode engine: "opt" (default) or "baseline"`)
+		telem  = flag.Bool("telemetry", false, "record per-graft invocation metrics and print/export them")
+		trace  = flag.String("trace-out", "", "record kernel events and dump them as JSONL to this path (implies -telemetry)")
 	)
 	flag.Parse()
 
@@ -67,11 +78,51 @@ func main() {
 	if jsonPath == "" && *jsonB {
 		jsonPath = defaultJSONPath(exp)
 	}
+	if *trace != "" {
+		*telem = true
+		telemetry.EnableTrace(traceRingCapacity)
+	}
+	if *telem {
+		telemetry.SetEnabled(true)
+		cfg.Telemetry = true
+	}
 
 	if err := run(cfg, exp, *csv, jsonPath, *quick); err != nil {
 		fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
 		os.Exit(1)
 	}
+	if *trace != "" {
+		if err := dumpTrace(*trace); err != nil {
+			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// traceRingCapacity bounds the kernel event ring; at ~48 bytes per event
+// this is a few MB, plenty for a full paper-scale run's kernel activity.
+const traceRingCapacity = 1 << 16
+
+// dumpTrace writes the retained kernel events as JSONL.
+func dumpTrace(path string) error {
+	tr := telemetry.CurrentTrace()
+	if tr == nil {
+		return fmt.Errorf("no trace recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("kernel event trace written to %s (%d events retained, %d overwritten)\n",
+		path, tr.Len(), tr.Overwritten())
+	return nil
 }
 
 func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) error {
@@ -170,6 +221,14 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 		}
 		report.Ablation = res
 		fmt.Println(res.Table())
+	}
+	if snaps := telemetry.SnapshotAll(); len(snaps) > 0 {
+		report.Telemetry = snaps
+		fmt.Println("Per-graft telemetry:")
+		for _, s := range snaps {
+			fmt.Println("  " + s.String())
+		}
+		fmt.Println()
 	}
 	if jsonPath != "" {
 		data, err := report.Encode()

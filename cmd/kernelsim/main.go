@@ -6,6 +6,11 @@
 // Usage:
 //
 //	kernelsim [-tech native-unsafe] [-frames 200] [-subtrees 2] [-passes 5]
+//	          [-telemetry]
+//
+// -telemetry turns on the observability layer for the run: per-graft
+// invocation counters (printed as a table afterwards) and the kernel
+// event trace (summarized by event kind). See docs/observability.md.
 //
 // The interesting regime is a working set slightly larger than memory,
 // rescanned: pure LRU then evicts exactly the pages about to be needed
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"graftlab/internal/btree"
 	"graftlab/internal/grafts"
@@ -24,6 +30,7 @@ import (
 	"graftlab/internal/mem"
 	"graftlab/internal/stats"
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 	"graftlab/internal/vclock"
 )
 
@@ -35,8 +42,14 @@ func main() {
 		passes   = flag.Int("passes", 5, "scan passes over the subtree range")
 		scenario = flag.String("scenario", "pageevict",
 			"which hook point to drive: pageevict, sched, cache, readahead, all")
+		telem = flag.Bool("telemetry", false,
+			"record per-graft counters and kernel events; print them after the run")
 	)
 	flag.Parse()
+	if *telem {
+		telemetry.SetEnabled(true)
+		telemetry.EnableTrace(1 << 14)
+	}
 	id := tech.ID(*techName)
 	var err error
 	switch *scenario {
@@ -65,6 +78,44 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kernelsim: %v\n", err)
 		os.Exit(1)
+	}
+	if *telem {
+		printTelemetry()
+	}
+}
+
+// printTelemetry renders the live counters view: one row per (graft,
+// technology) pair, then the cumulative kernel event counts by kind.
+func printTelemetry() {
+	snaps := telemetry.SnapshotAll()
+	t := &stats.Table{
+		Title:  "Per-graft telemetry",
+		Header: []string{"graft", "tech", "invocations", "traps", "fuel", "p50", "p99", "max"},
+		Caption: "Sampled latency quantiles (every 256th invocation, log2 buckets); see\n" +
+			"docs/observability.md for the counter and histogram semantics.",
+	}
+	for _, s := range snaps {
+		var traps uint64
+		for _, n := range s.Traps {
+			traps += n
+		}
+		t.AddRow(s.Graft, s.Tech,
+			fmt.Sprint(s.Invocations), fmt.Sprint(traps), fmt.Sprint(s.FuelConsumed),
+			stats.FormatDuration(s.LatencyP50), stats.FormatDuration(s.LatencyP99),
+			stats.FormatDuration(s.LatencyMax))
+	}
+	fmt.Println(t)
+	if tr := telemetry.CurrentTrace(); tr != nil {
+		fmt.Printf("kernel events (%d retained, %d overwritten):\n", tr.Len(), tr.Overwritten())
+		counts := tr.CountByKind()
+		kinds := make([]string, 0, len(counts))
+		for kind := range counts {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			fmt.Printf("  %-16s %d\n", kind, counts[kind])
+		}
 	}
 }
 

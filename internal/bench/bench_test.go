@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 	"graftlab/internal/upcall"
 )
 
@@ -242,8 +243,18 @@ func TestRunAblation(t *testing.T) {
 	if ab.VMMetered <= 0 || ab.VMUnmetered <= 0 || ab.NativeMetered <= 0 || ab.NativeUnmetered <= 0 {
 		t.Fatalf("fuel ablation %+v", ab)
 	}
+	if ab.EvictTelemetryOff <= 0 || ab.EvictTelemetryOn <= 0 ||
+		ab.MD5TelemetryOff <= 0 || ab.MD5TelemetryOn <= 0 {
+		t.Fatalf("telemetry ablation %+v", ab)
+	}
+	if telemetry.Enabled() {
+		t.Error("ablation left telemetry enabled")
+	}
 	if !strings.Contains(ab.Table().String(), "NIL") {
 		t.Error("ablation table missing")
+	}
+	if !strings.Contains(ab.Table().String(), "telemetry") {
+		t.Error("ablation table missing telemetry rows")
 	}
 }
 

@@ -51,6 +51,10 @@ type Config struct {
 	// "opt" (default, the optimizing translator) or "baseline" (the
 	// instruction-at-a-time reference interpreter).
 	VM tech.VMMode
+	// Telemetry records whether per-graft invocation metrics were enabled
+	// during the run (graftbench -telemetry), so archived reports say
+	// whether their numbers include the instrumentation overhead.
+	Telemetry bool
 }
 
 // Default is the paper-scale configuration.

@@ -16,12 +16,17 @@ import (
 
 // EvictRow is one technology's line in Table 2.
 type EvictRow struct {
-	Tech       string
-	PaperName  string
-	Per        time.Duration // mean time per eviction search
-	RelStd     float64
-	Normalized float64 // Per / native-unsafe Per
-	BreakEven  float64 // simulated (1990s, disk-backed) fault time / Per
+	Tech      string
+	PaperName string
+	Per       time.Duration // mean time per eviction search
+	RelStd    float64
+	// Tail latency across the per-run means (nearest rank over Runs
+	// samples): the jitter a hook point sees, not just the center.
+	P50        time.Duration `json:"p50"`
+	P95        time.Duration `json:"p95"`
+	P99        time.Duration `json:"p99"`
+	Normalized float64       // Per / native-unsafe Per
+	BreakEven  float64       // simulated (1990s, disk-backed) fault time / Per
 	// BreakEvenModern divides this machine's measured minor-fault time
 	// instead — the era comparison EXPERIMENTS.md discusses: against a
 	// modern fault, even compiled grafts barely clear the paper's
@@ -149,7 +154,10 @@ func RunEviction(cfg Config) (*EvictResult, error) {
 			times[r] = time.Since(t0) / time.Duration(iters)
 		}
 		s := stats.Summarize(times)
-		row := EvictRow{Tech: name, PaperName: paper, Per: s.Mean, RelStd: s.RelStd}
+		row := EvictRow{
+			Tech: name, PaperName: paper, Per: s.Mean, RelStd: s.RelStd,
+			P50: s.P50, P95: s.P95, P99: s.P99,
+		}
 		if base == 0 {
 			base = s.Mean
 		}

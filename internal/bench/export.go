@@ -5,6 +5,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"graftlab/internal/telemetry"
 )
 
 // HostInfo records where a report was produced, so archived runs can be
@@ -46,12 +48,14 @@ type Report struct {
 	Figure1       *Figure1Result  `json:"figure1,omitempty"`
 	PacketFilter  *PFResult       `json:"pktfilter,omitempty"`
 	Ablation      *AblationResult `json:"ablation,omitempty"`
+	// Telemetry holds per-graft invocation counters accumulated during the
+	// run (graftbench -telemetry); empty when telemetry was off.
+	Telemetry []telemetry.GraftSnapshot `json:"telemetry,omitempty"`
 }
 
-// MarshalJSON flattens time.Durations to nanoseconds implicitly (the
-// standard library already encodes them as integers), so the default
-// marshaling is fine; this wrapper exists to pin the indentation policy
-// in one place.
+// Encode renders the report as indented JSON via the standard marshaler;
+// time.Duration fields encode as integer nanoseconds (DurationsNote).
+// This wrapper exists to pin the indentation policy in one place.
 func (r *Report) Encode() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"graftlab/internal/telemetry"
+)
+
+// TestEncodeRoundTrip pins the DurationsNote convention: every duration in
+// an encoded report is a plain integer nanosecond count, and the new
+// tail-latency fields survive the trip.
+func TestEncodeRoundTrip(t *testing.T) {
+	r := &Report{
+		Evict: &EvictResult{
+			FaultTime: 17 * time.Millisecond,
+			Rows: []EvictRow{{
+				Tech: "compiled-unsafe",
+				Per:  1500 * time.Nanosecond,
+				P50:  1400 * time.Nanosecond,
+				P95:  2100 * time.Nanosecond,
+				P99:  2500 * time.Nanosecond,
+			}},
+		},
+		Telemetry: []telemetry.GraftSnapshot{{
+			Graft: "page-evict", Tech: "compiled-unsafe",
+			Invocations: 42, LatencyP50: time.Microsecond,
+		}},
+	}
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("Encode output is not valid JSON: %v", err)
+	}
+	row := m["table2"].(map[string]any)["Rows"].([]any)[0].(map[string]any)
+	for field, want := range map[string]float64{
+		"Per": 1500, "p50": 1400, "p95": 2100, "p99": 2500,
+	} {
+		v, ok := row[field]
+		if !ok {
+			t.Fatalf("encoded row lacks %q: %v", field, row)
+		}
+		ns, ok := v.(float64) // json numbers decode as float64
+		if !ok || ns != want {
+			t.Errorf("%s = %v, want integer nanoseconds %v (%s)", field, v, want, DurationsNote)
+		}
+	}
+	tel := m["telemetry"].([]any)[0].(map[string]any)
+	if tel["invocations"].(float64) != 42 || tel["latency_p50"].(float64) != 1000 {
+		t.Errorf("telemetry snapshot mangled: %v", tel)
+	}
+}

@@ -15,10 +15,14 @@ import (
 
 // MD5Row is one technology's line in Table 5.
 type MD5Row struct {
-	Tech       string
-	PaperName  string
-	Total      time.Duration // time to fingerprint MD5Bytes
-	RelStd     float64
+	Tech      string
+	PaperName string
+	Total     time.Duration // time to fingerprint MD5Bytes
+	RelStd    float64
+	// Tail latency across the per-run totals (unscaled; see Scaled).
+	P50        time.Duration `json:"p50"`
+	P95        time.Duration `json:"p95"`
+	P99        time.Duration `json:"p99"`
 	Normalized float64
 	// MD5OverDisk is Total / (time to read the same bytes from the
 	// simulated disk); < 1 means the fingerprint hides under I/O.
@@ -99,6 +103,7 @@ func RunMD5(cfg Config) (*MD5Result, error) {
 		res.Rows = append(res.Rows, MD5Row{
 			Tech: name, PaperName: paper,
 			Total: total, RelStd: s.RelStd,
+			P50: s.P50, P95: s.P95, P99: s.P99,
 			Normalized:  float64(total) / float64(base),
 			MD5OverDisk: float64(total) / float64(diskTime),
 			Scaled:      scaled,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"graftlab/internal/mem"
+	"graftlab/internal/telemetry"
 	"graftlab/internal/vclock"
 )
 
@@ -243,6 +244,7 @@ func (p *Pager) Access(page PageID) (hit bool, err error) {
 	p.frameOf[page] = f
 	p.touched[f] = -1 // demand page
 	p.lruPushTail(f)
+	telemetry.Emit(telemetry.EvPageFault, uint64(page), uint64(f), 0)
 	if err := p.prefetchAfterFault(page); err != nil {
 		return false, err
 	}
@@ -281,22 +283,27 @@ func (p *Pager) chooseVictim() (PageID, error) {
 	}
 	candidate := p.pageOf[p.head]
 	if p.policy == nil {
+		telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(candidate), telemetry.EvictDefault)
 		return candidate, nil
 	}
 	p.stats.PolicyCalls++
 	proposal, err := p.policy.ChooseVictim(p, candidate)
 	if err != nil {
 		p.stats.PolicyErrors++
+		telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(candidate), telemetry.EvictErrored)
 		return candidate, nil
 	}
 	if proposal == InvalidPage || proposal == candidate {
+		telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(candidate), telemetry.EvictAccepted)
 		return candidate, nil
 	}
 	if _, resident := p.frameOf[proposal]; !resident {
 		p.stats.PolicyRejected++
+		telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(candidate), telemetry.EvictRejected)
 		return candidate, nil
 	}
 	p.stats.PolicyOverrides++
+	telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(proposal), telemetry.EvictOverride)
 	return proposal, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"graftlab/internal/telemetry"
 	"graftlab/internal/vclock"
 )
 
@@ -81,6 +82,7 @@ func (s *Scheduler) Tick() (*Proc, error) {
 		return nil, fmt.Errorf("kernel: empty run queue")
 	}
 	idx := 0
+	override := uint64(0)
 	if s.policy != nil {
 		s.stats.PolicyCalls++
 		pick, err := s.policy.PickNext(s.runq)
@@ -94,11 +96,13 @@ func (s *Scheduler) Tick() (*Proc, error) {
 		default:
 			if pick != 0 {
 				s.stats.PolicyOverrides++
+				override = 1
 			}
 			idx = pick
 		}
 	}
 	p := s.runq[idx]
+	telemetry.Emit(telemetry.EvSchedPick, uint64(p.PID), uint64(idx), override)
 	s.runq = append(s.runq[:idx], s.runq[idx+1:]...)
 	s.runq = append(s.runq, p)
 	p.Runtime += s.quantum

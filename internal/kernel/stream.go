@@ -2,6 +2,8 @@ package kernel
 
 import (
 	"fmt"
+
+	"graftlab/internal/telemetry"
 )
 
 // Filter is one stage of a Stream graft chain (§3.2): it consumes blocks
@@ -37,11 +39,13 @@ func NewChain(sink func(p []byte) error, filters ...Filter) *Chain {
 func (c *Chain) Write(p []byte) (int, error) {
 	data := p
 	var err error
-	for _, f := range c.filters {
+	for i, f := range c.filters {
+		in := len(data)
 		data, err = f.Process(data)
 		if err != nil {
 			return 0, fmt.Errorf("kernel: stream filter %q: %w", f.Name(), err)
 		}
+		telemetry.Emit(telemetry.EvStreamPass, uint64(i), uint64(in), uint64(len(data)))
 		if len(data) == 0 {
 			return len(p), nil // filter buffered everything
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"graftlab/internal/disk"
+	"graftlab/internal/telemetry"
 )
 
 // Unmapped marks a logical block with no physical location yet.
@@ -136,6 +137,7 @@ func (l *LD) Write(lblock uint32) error {
 		l.stats.DiskTime += d
 		l.stats.SegmentFlush++
 		l.fill = 0
+		telemetry.Emit(telemetry.EvLDSegment, uint64(l.seg), uint64(l.seg*SegmentBlocks), SegmentBlocks)
 	}
 	return nil
 }

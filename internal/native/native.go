@@ -168,6 +168,23 @@ func (p *Prog) Direct(entry string) (func(args []uint32) (uint32, error), bool) 
 	}, true
 }
 
+// FuelUsed reports the loop-iteration/call budget consumed by the most
+// recent invocation (0 when unmetered — compiled code only burns fuel
+// when a budget is set). Must not race a running invocation.
+func (p *Prog) FuelUsed() int64 {
+	if p.Fuel <= 0 {
+		return 0
+	}
+	used := p.Fuel - p.fuel
+	if used > p.Fuel {
+		used = p.Fuel // fuel trap leaves the counter at -1
+	}
+	if used < 0 {
+		used = 0
+	}
+	return used
+}
+
 func (p *Prog) call(idx int, args []uint32) uint32 {
 	p.depth++
 	if p.depth > MaxCallDepth {

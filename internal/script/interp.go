@@ -126,6 +126,23 @@ func (in *Interp) Invoke(entry string, args ...uint32) (uint32, error) {
 	return parseU32(res)
 }
 
+// FuelUsed reports the commands charged against the most recent
+// invocation's budget (0 when unmetered). Must not race a running
+// invocation.
+func (in *Interp) FuelUsed() int64 {
+	if in.Fuel <= 0 {
+		return 0
+	}
+	used := in.Fuel - in.fuel
+	if used > in.Fuel {
+		used = in.Fuel // fuel trap leaves the counter at -1
+	}
+	if used < 0 {
+		used = 0
+	}
+	return used
+}
+
 func (in *Interp) frame() map[string]string { return in.vars[len(in.vars)-1] }
 
 func (in *Interp) getVar(name string) (string, error) {

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -19,6 +20,14 @@ type Sample struct {
 	RelStd float64
 	Min    time.Duration
 	Max    time.Duration
+	// Tail percentiles (nearest rank). Additive: every paper table still
+	// prints mean/relstd; the percentiles ride along in the JSON export.
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+	// Outliers counts samples more than three standard deviations from
+	// the mean — a quick "was the machine quiet" check per cell.
+	Outliers int `json:"outliers"`
 }
 
 // Measure runs f n times, timing each run.
@@ -55,11 +64,67 @@ func Summarize(times []time.Duration) Sample {
 		sq += d * d
 	}
 	s.Mean = time.Duration(mean)
-	if len(times) > 1 && mean > 0 {
-		std := math.Sqrt(sq / float64(len(times)-1))
-		s.RelStd = std / mean
+	var std float64
+	if len(times) > 1 {
+		std = math.Sqrt(sq / float64(len(times)-1))
+		if mean > 0 {
+			s.RelStd = std / mean
+		}
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = percentileSorted(sorted, 0.50)
+	s.P95 = percentileSorted(sorted, 0.95)
+	s.P99 = percentileSorted(sorted, 0.99)
+	if std > 0 {
+		for _, t := range times {
+			if math.Abs(float64(t)-mean) > 3*std {
+				s.Outliers++
+			}
+		}
 	}
 	return s
+}
+
+// Percentile returns the q-th percentile (q in [0,1]) of times by the
+// nearest-rank method; 0 for an empty slice.
+func Percentile(times []time.Duration, q float64) time.Duration {
+	if len(times) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, q)
+}
+
+// percentileSorted is the nearest-rank percentile over pre-sorted data.
+func percentileSorted(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// DiscardWarmup drops the first k samples — the runs that paid cache and
+// frequency ramp-up — returning the remainder (empty if k >= len).
+func DiscardWarmup(times []time.Duration, k int) []time.Duration {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(times) {
+		return nil
+	}
+	return times[k:]
 }
 
 // String renders the paper's "mean(relstd%)" form.
@@ -68,20 +133,40 @@ func (s Sample) String() string {
 }
 
 // FormatDuration prints a duration with three significant figures in the
-// most natural unit, avoiding the paper's ms/µs ambiguity.
+// most natural unit, avoiding the paper's ms/µs ambiguity. The unit is
+// selected after rounding: 999600ns rounds to 1000µs at three figures,
+// so it promotes to "1ms" rather than printing %g's "1e+03µs". Seconds
+// have no unit above them, so values that round past 999s fall back to
+// integer seconds instead of scientific notation.
 func FormatDuration(d time.Duration) string {
-	switch {
-	case d == 0:
+	if d == 0 {
 		return "0"
-	case d < time.Microsecond:
-		return fmt.Sprintf("%dns", d.Nanoseconds())
-	case d < time.Millisecond:
-		return fmt.Sprintf("%.3gµs", float64(d.Nanoseconds())/1e3)
-	case d < time.Second:
-		return fmt.Sprintf("%.3gms", float64(d.Nanoseconds())/1e6)
-	default:
-		return fmt.Sprintf("%.3gs", d.Seconds())
 	}
+	neg := ""
+	if d < 0 {
+		neg, d = "-", -d
+	}
+	if d < time.Microsecond {
+		return fmt.Sprintf("%s%dns", neg, d.Nanoseconds())
+	}
+	ns := float64(d.Nanoseconds())
+	units := []struct {
+		div    float64
+		suffix string
+	}{{1e3, "µs"}, {1e6, "ms"}, {1e9, "s"}}
+	for i, u := range units {
+		v := ns / u.div
+		// %.3g switches to scientific notation at 999.5 (which rounds to
+		// 1000); promote to the next unit instead.
+		if v >= 999.5 && i < len(units)-1 {
+			continue
+		}
+		if v >= 999.5 {
+			return fmt.Sprintf("%s%.0fs", neg, v)
+		}
+		return fmt.Sprintf("%s%.3g%s", neg, v, u.suffix)
+	}
+	return d.String() // unreachable
 }
 
 // Table accumulates rows and renders aligned text, the shape of the
@@ -104,13 +189,21 @@ func (t *Table) String() string {
 	if t.Title != "" {
 		fmt.Fprintf(&b, "== %s ==\n", t.Title)
 	}
-	widths := make([]int, len(t.Header))
+	// Size widths from the widest row, not the header: rows may carry
+	// more cells than the header names.
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -17,12 +17,94 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeEdgeCases(t *testing.T) {
-	if s := Summarize(nil); s.N != 0 {
-		t.Error("empty summarize")
+	if s := Summarize(nil); s.N != 0 || s.P50 != 0 || s.Outliers != 0 {
+		t.Errorf("empty summarize: %+v", s)
 	}
 	s := Summarize([]time.Duration{time.Second})
-	if s.RelStd != 0 || s.Mean != time.Second {
+	if s.N != 1 || s.RelStd != 0 || s.Mean != time.Second {
 		t.Errorf("single sample: %+v", s)
+	}
+	if s.Min != s.Max || s.Min != time.Second {
+		t.Errorf("single sample Min/Max: %+v", s)
+	}
+	if s.P50 != time.Second || s.P95 != time.Second || s.P99 != time.Second {
+		t.Errorf("single sample percentiles: %+v", s)
+	}
+}
+
+func TestSummarizeConstantSamples(t *testing.T) {
+	times := make([]time.Duration, 30)
+	for i := range times {
+		times[i] = 7 * time.Microsecond
+	}
+	s := Summarize(times)
+	if s.RelStd != 0 {
+		t.Errorf("constant samples must have RelStd 0, got %v", s.RelStd)
+	}
+	if s.Min != s.Max || s.Min != 7*time.Microsecond {
+		t.Errorf("constant samples Min/Max: %+v", s)
+	}
+	if s.P50 != 7*time.Microsecond || s.P99 != 7*time.Microsecond {
+		t.Errorf("constant samples percentiles: %+v", s)
+	}
+	if s.Outliers != 0 {
+		t.Errorf("constant samples outliers: %d", s.Outliers)
+	}
+}
+
+func TestSummarizePercentilesAndOutliers(t *testing.T) {
+	// 1..100µs: exact nearest-rank percentiles.
+	times := make([]time.Duration, 100)
+	for i := range times {
+		times[i] = time.Duration(i+1) * time.Microsecond
+	}
+	s := Summarize(times)
+	if s.P50 != 50*time.Microsecond || s.P95 != 95*time.Microsecond || s.P99 != 99*time.Microsecond {
+		t.Errorf("percentiles: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	// 29 quiet runs and one wild one: the spike is the outlier.
+	spiky := make([]time.Duration, 30)
+	for i := range spiky {
+		spiky[i] = time.Microsecond
+	}
+	spiky[13] = time.Millisecond
+	if s := Summarize(spiky); s.Outliers != 1 {
+		t.Errorf("Outliers = %d, want 1 (%+v)", s.Outliers, s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+	times := []time.Duration{300, 100, 200} // unsorted on purpose
+	if got := Percentile(times, 0.5); got != 200 {
+		t.Errorf("Percentile(0.5) = %v, want 200", got)
+	}
+	if got := Percentile(times, 0); got != 100 {
+		t.Errorf("Percentile(0) = %v, want 100", got)
+	}
+	if got := Percentile(times, 1); got != 300 {
+		t.Errorf("Percentile(1) = %v, want 300", got)
+	}
+	if times[0] != 300 {
+		t.Error("Percentile must not mutate its input")
+	}
+}
+
+func TestDiscardWarmup(t *testing.T) {
+	times := []time.Duration{9, 1, 2, 3}
+	if got := DiscardWarmup(times, 1); len(got) != 3 || got[0] != 1 {
+		t.Errorf("DiscardWarmup(1) = %v", got)
+	}
+	if got := DiscardWarmup(times, 0); len(got) != 4 {
+		t.Errorf("DiscardWarmup(0) = %v", got)
+	}
+	if got := DiscardWarmup(times, 4); got != nil {
+		t.Errorf("DiscardWarmup(all) = %v, want nil", got)
+	}
+	if got := DiscardWarmup(times, -1); len(got) != 4 {
+		t.Errorf("DiscardWarmup(-1) = %v", got)
 	}
 }
 
@@ -31,6 +113,16 @@ func TestMeasureRuns(t *testing.T) {
 	s := Measure(5, func() { count++ })
 	if count != 5 || s.N != 5 {
 		t.Fatalf("count=%d s=%+v", count, s)
+	}
+}
+
+func TestMeasureEdgeCases(t *testing.T) {
+	if s := Measure(0, func() { t.Fatal("must not run") }); s.N != 0 {
+		t.Errorf("Measure(0): %+v", s)
+	}
+	count := 0
+	if s := Measure(1, func() { count++ }); s.N != 1 || count != 1 || s.RelStd != 0 {
+		t.Errorf("Measure(1): count=%d %+v", count, s)
 	}
 }
 
@@ -45,6 +137,34 @@ func TestFormatDuration(t *testing.T) {
 	for d, want := range cases {
 		if got := FormatDuration(d); got != want {
 			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// TestFormatDurationUnitBoundaries is the regression table for the
+// scientific-notation bug: three-sig-fig rounding that reaches 1000 must
+// promote to the next unit, never print "1e+03µs".
+func TestFormatDurationUnitBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{999 * time.Nanosecond, "999ns"},
+		{1000 * time.Nanosecond, "1µs"},
+		{999400 * time.Nanosecond, "999µs"},
+		{999600 * time.Nanosecond, "1ms"}, // was "1e+03µs"
+		{time.Millisecond, "1ms"},
+		{999400 * time.Microsecond, "999ms"},
+		{999600 * time.Microsecond, "1s"}, // was "1e+03ms"
+		{time.Second, "1s"},
+		{999 * time.Second, "999s"},
+		{1234 * time.Second, "1234s"}, // was "1.23e+03s"
+		{-1500 * time.Nanosecond, "-1.5µs"},
+		{-999600 * time.Nanosecond, "-1ms"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
 		}
 	}
 }
@@ -74,6 +194,32 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(out, "\n")
 	if len(lines) < 5 {
 		t.Fatalf("table too short:\n%s", out)
+	}
+}
+
+// TestTableRowsWiderThanHeader is the regression test for the
+// zero-width-column bug: cells beyond len(Header) used to get width 0
+// and break alignment.
+func TestTableRowsWiderThanHeader(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("short", "1", "extra-a", "x")
+	tb.AddRow("a-much-longer-name", "22", "extra-bb", "yy")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table shape:\n%s", out)
+	}
+	// Every data row must be padded to the same width: the extra columns
+	// get real widths, so rows can no longer ragged-edge.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows misaligned (%d vs %d chars):\n%s", len(lines[2]), len(lines[3]), out)
+	}
+	// The extra cells are right-aligned in their own columns.
+	if !strings.HasSuffix(lines[2], " x") && !strings.HasSuffix(lines[2], "x") {
+		t.Errorf("row 1 lost its extra cell:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "extra-a") || !strings.Contains(lines[3], "extra-bb") {
+		t.Errorf("extra cells missing:\n%s", out)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"graftlab/internal/mem"
 	"graftlab/internal/native"
 	"graftlab/internal/script"
+	"graftlab/internal/telemetry"
 	"graftlab/internal/vm"
 )
 
@@ -235,8 +236,20 @@ type Options struct {
 	ScriptParseCache bool
 }
 
-// Load loads src under the named technology, bound to memory m.
+// Load loads src under the named technology, bound to memory m. While
+// telemetry is enabled (telemetry.SetEnabled), the returned graft is
+// wrapped with per-invocation metrics; the decision is made once at load
+// time so a disabled run pays nothing per call.
 func Load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
+	g, err := load(id, src, m, opts)
+	if err != nil || telemetry.Disabled() {
+		return g, err
+	}
+	return instrument(g, src.Name, id, opts.Fuel > 0), nil
+}
+
+// load is the uninstrumented loader behind Load.
+func load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
 	cfg, err := Config(id)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 
 	"graftlab/internal/mem"
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 )
 
 type call struct {
@@ -77,6 +78,11 @@ func (d *Domain) serve() {
 // Invoke performs a synchronous upcall: marshal the request to the server
 // domain, wait for the reply, and pay the crossing latency.
 func (d *Domain) Invoke(entry string, args ...uint32) (uint32, error) {
+	traced := telemetry.TraceEnabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	if d.latency > 0 {
 		spin(d.latency)
 	}
@@ -87,6 +93,10 @@ func (d *Domain) Invoke(entry string, args ...uint32) (uint32, error) {
 		return 0, fmt.Errorf("upcall: domain is closed")
 	}
 	r := <-reply
+	if traced {
+		telemetry.Emit(telemetry.EvUpcall, uint64(len(args)),
+			uint64(d.latency.Nanoseconds()), uint64(time.Since(t0).Nanoseconds()))
+	}
 	return r.val, r.err
 }
 

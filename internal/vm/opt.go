@@ -290,6 +290,26 @@ func (v *OptVM) Direct(entry string) (func(args []uint32) (uint32, error), bool)
 	}, true
 }
 
+// FuelUsed reports the fuel consumed by the most recent invocation. The
+// optimized engine always meters (against unmeteredFuel when no budget is
+// set), so this approximates instructions retired — block-granular, like
+// the metering itself — even for unmetered grafts. Must not race a
+// running invocation.
+func (v *OptVM) FuelUsed() int64 {
+	start := v.Fuel
+	if start <= 0 {
+		start = unmeteredFuel
+	}
+	used := start - v.fuel
+	if v.Fuel > 0 && used > v.Fuel {
+		used = v.Fuel // fuel trap leaves the counter below zero
+	}
+	if used < 0 {
+		used = 0
+	}
+	return used
+}
+
 // call allocates the callee's frame from the arena, runs it, and releases
 // the frame. Frames are plain bump allocations: callers hold slices into
 // the arena, so growing it (a fresh backing array) leaves their regions

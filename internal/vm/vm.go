@@ -128,6 +128,24 @@ func (v *VM) Direct(entry string) (func(args []uint32) (uint32, error), bool) {
 	}, true
 }
 
+// FuelUsed reports the fuel consumed by the most recent invocation
+// (0 when unmetered — the baseline interpreter only decrements fuel when
+// a budget is set). Telemetry reads it after each invocation; like every
+// other VM accessor it must not race a running invocation.
+func (v *VM) FuelUsed() int64 {
+	if !v.metered {
+		return 0
+	}
+	used := v.Fuel - v.fuel
+	if used > v.Fuel {
+		used = v.Fuel // fuel trap leaves the counter at -1
+	}
+	if used < 0 {
+		used = 0
+	}
+	return used
+}
+
 func (v *VM) call(idx int, args []uint32) uint32 {
 	maxDepth := v.MaxCallDepth
 	if maxDepth == 0 {
