@@ -3,12 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-smoke check experiments quick-experiments examples clean
+.PHONY: all build test test-short race cover cover-check conformance-short fuzz-smoke bench bench-smoke check experiments quick-experiments examples clean
 
 all: build test
 
-# Tier-1 gate: compile + vet + tests + every benchmark exercised once.
-check: build test bench-smoke
+# Tier-1 gate: compile + vet + tests + a fast conformance pass + every
+# benchmark exercised once. The full conformance suite already runs as
+# part of `test`; the explicit -short pass keeps the gate honest even if
+# the test matrix is filtered.
+check: build test conformance-short bench-smoke
 
 build:
 	$(GO) build ./...
@@ -23,8 +26,33 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# COVER_FLOOR is the recorded baseline (82.2% when set): cover-check
+# fails if total statement coverage drops below it. Raise it when
+# coverage durably improves; never lower it to make a PR pass.
+COVER_FLOOR ?= 80.0
+
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+cover-check: cover
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the floor $(COVER_FLOOR)%"; exit 1; }
+
+# Cross-technology conformance oracle, reduced program counts: the fast
+# gate every change must clear before the full suite runs in CI.
+conformance-short:
+	$(GO) test -short -count=1 ./internal/conformance
+
+# Native fuzz targets, a few seconds each: catches trivially reachable
+# panics without a dedicated fuzzing farm. FUZZTIME is per target.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run XXX ./internal/gel
+	$(GO) test -fuzz=FuzzInterp -fuzztime=$(FUZZTIME) -run XXX ./internal/script
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:
@@ -54,4 +82,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f figure1.csv test_output.txt bench_output.txt
+	rm -f figure1.csv test_output.txt bench_output.txt coverage.out

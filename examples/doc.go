@@ -1,0 +1,6 @@
+// Package examples anchors the runnable-example smoke tests. Each
+// subdirectory is a standalone main package (run with `go run
+// ./examples/<name>`); smoke_test.go builds and runs every one of them
+// so a refactor that breaks an example fails `go test ./...`, not a
+// reader's first copy-paste.
+package examples

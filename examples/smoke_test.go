@@ -1,0 +1,42 @@
+package examples
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example and checks for its
+// leading output marker — the line a reader sees first. Examples do real
+// (simulated) work, so they are skipped under -short; CI's full test
+// pass runs them all.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulated workloads")
+	}
+	cases := []struct {
+		dir    string
+		marker string
+	}{
+		{dir: "quickstart", marker: "under every extension technology:"},
+		{dir: "pageevict", marker: "TPC-B scan:"},
+		{dir: "md5stream", marker: "executable from the modeled disk"},
+		{dir: "logicaldisk", marker: "skewed block writes, direct (random I/O):"},
+		{dir: "packetfilter", marker: "frames, "},
+		{dir: "fastpath", marker: "streaming "},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+c.dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.marker) {
+				t.Fatalf("output of %s lacks marker %q:\n%s", c.dir, c.marker, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package conformance
+
+import "graftlab/internal/tech"
+
+// corpusProgram is one hand-written dual program in the conformance
+// corpus. Every program has the uniform entry main(a, b, c); tame marks
+// programs whose accesses are all aligned and in [NilPageSize,
+// progMemSize), for which all nine engines must agree exactly.
+type corpusProgram struct {
+	name string
+	src  tech.Source
+	args []uint32
+	tame bool
+}
+
+// The corpus covers, by hand, each behavior class the oracle must hold
+// the matrix to: pure arithmetic, in-bounds memory traffic, control
+// flow, recursion (terminating and stack-overflowing), division by
+// zero, abort, out-of-bounds stores/loads, and NIL-page accesses. The
+// random generators then explore the space between these anchors.
+var corpus = []corpusProgram{
+	{
+		name: "arith",
+		tame: true,
+		args: []uint32{123456789, 987654321, 77},
+		src: tech.Source{
+			Name: "arith",
+			GEL: `func main(a, b, c) {
+	var x = a * 3 + (b >> 3) - (c & 255);
+	x = x ^ (a << 5) | (b % 1000 + 1);
+	if (x > a) { x = x - a; } else { x = a - x; }
+	return x ^ ~(c);
+}`,
+			Tcl: `proc main {a b c} {
+	set x [expr {$a * 3 + ($b >> 3) - ($c & 255)}]
+	set x [expr {$x ^ ($a << 5) | ($b % 1000 + 1)}]
+	if {$x > $a} { set x [expr {$x - $a}] } else { set x [expr {$a - $x}] }
+	return [expr {$x ^ ~($c)}]
+}`,
+		},
+	},
+	{
+		name: "memsweep",
+		tame: true,
+		args: []uint32{32, 0x1234, 3},
+		src: tech.Source{
+			Name: "memsweep",
+			GEL: `func main(a, b, c) {
+	var i = 0;
+	var sum = 0;
+	while (i < a) {
+		st32(4096 + i * 4, b + i * c);
+		sum = sum + ld32(4096 + i * 4);
+		i = i + 1;
+	}
+	st32(8192, sum);
+	return sum;
+}`,
+			Tcl: `proc main {a b c} {
+	set i 0
+	set sum 0
+	while {$i < $a} {
+		st32 [expr {4096 + $i * 4}] [expr {$b + $i * $c}]
+		set sum [expr {$sum + [ld32 [expr {4096 + $i * 4}]]}]
+		incr i
+	}
+	st32 8192 $sum
+	return $sum
+}`,
+		},
+	},
+	{
+		name: "recursion",
+		tame: true,
+		args: []uint32{20, 0, 0},
+		src: tech.Source{
+			Name: "recursion",
+			GEL: `func sum(n) {
+	if (n == 0) { return 0; }
+	return n + sum(n - 1);
+}
+func main(a, b, c) {
+	return sum(a);
+}`,
+			Tcl: `proc sum {n} {
+	if {$n == 0} { return 0 }
+	return [expr {$n + [sum [expr {$n - 1}]]}]
+}
+proc main {a b c} {
+	return [sum $a]
+}`,
+		},
+	},
+	{
+		// Recursion past every engine's depth limit: all engines must
+		// report TrapStackOverflow; the depth at which they do (and so
+		// the memory state) is a documented per-engine limit, which is
+		// why agreeExact exempts this trap kind from memory comparison.
+		name: "deep-recursion",
+		tame: true,
+		args: []uint32{100000, 0, 0},
+		src: tech.Source{
+			Name: "deep-recursion",
+			GEL: `func sum(n) {
+	if (n == 0) { return 0; }
+	return n + sum(n - 1);
+}
+func main(a, b, c) {
+	return sum(a);
+}`,
+			Tcl: `proc sum {n} {
+	if {$n == 0} { return 0 }
+	return [expr {$n + [sum [expr {$n - 1}]]}]
+}
+proc main {a b c} {
+	return [sum $a]
+}`,
+		},
+	},
+	{
+		name: "div-zero",
+		tame: true,
+		args: []uint32{10, 5, 0},
+		src: tech.Source{
+			Name: "div-zero",
+			GEL: `func main(a, b, c) {
+	st32(4096, a + b);
+	return a / c;
+}`,
+			Tcl: `proc main {a b c} {
+	st32 4096 [expr {$a + $b}]
+	return [expr {$a / $c}]
+}`,
+		},
+	},
+	{
+		name: "abort",
+		tame: true,
+		args: []uint32{7, 0, 0},
+		src: tech.Source{
+			Name: "abort",
+			GEL: `func main(a, b, c) {
+	st32(4096, 42);
+	abort(a);
+	return 0;
+}`,
+			Tcl: `proc main {a b c} {
+	st32 4096 42
+	abort $a
+	return 0
+}`,
+		},
+	},
+	{
+		// Store past the end of the 64 KB memory: checked engines trap
+		// OOBStore at the unmasked address, sandbox engines mask it into
+		// the region, the unsafe backstop reports the same OOB.
+		name: "oob-store",
+		tame: false,
+		args: []uint32{0x20000, 99, 0},
+		src: tech.Source{
+			Name: "oob-store",
+			GEL: `func main(a, b, c) {
+	st32(4096, 1);
+	st32(a, b);
+	return ld32(4096);
+}`,
+			Tcl: `proc main {a b c} {
+	st32 4096 1
+	st32 $a $b
+	return [ld32 4096]
+}`,
+		},
+	},
+	{
+		// Load far out of bounds: OOBLoad for the checked cohort; SFI
+		// (write/jump only) has unprotected loads and reports the same
+		// bounds backstop, SFI-full masks the load and completes.
+		name: "oob-load",
+		tame: false,
+		args: []uint32{0x40000000, 0, 0},
+		src: tech.Source{
+			Name: "oob-load",
+			GEL: `func main(a, b, c) {
+	return ld32(a);
+}`,
+			Tcl: `proc main {a b c} {
+	return [ld32 $a]
+}`,
+		},
+	},
+	{
+		// In-bounds access inside the NIL page: fine everywhere except
+		// the explicit-NIL-check engine, which must trap NilDeref.
+		name: "nil-page",
+		tame: false,
+		args: []uint32{16, 0, 0},
+		src: tech.Source{
+			Name: "nil-page",
+			GEL: `func main(a, b, c) {
+	return ld32(a) + 5;
+}`,
+			Tcl: `proc main {a b c} {
+	return [expr {[ld32 $a] + 5}]
+}`,
+		},
+	},
+	{
+		// Byte-granularity traffic: ld8/st8 take the byte-path policy
+		// checks in every engine.
+		name: "bytes",
+		tame: true,
+		args: []uint32{64, 0xAB, 0},
+		src: tech.Source{
+			Name: "bytes",
+			GEL: `func main(a, b, c) {
+	var i = 0;
+	var acc = 0;
+	while (i < a) {
+		st8(4096 + i, b + i);
+		acc = acc + ld8(4096 + i);
+		i = i + 1;
+	}
+	return acc;
+}`,
+			Tcl: `proc main {a b c} {
+	set i 0
+	set acc 0
+	while {$i < $a} {
+		st8 [expr {4096 + $i}] [expr {$b + $i}]
+		set acc [expr {$acc + [ld8 [expr {4096 + $i}]]}]
+		incr i
+	}
+	return $acc
+}`,
+		},
+	},
+}

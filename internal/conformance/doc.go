@@ -1,0 +1,17 @@
+// Package conformance is the cross-technology oracle: the paper's central
+// premise is that six technology classes run *the same graft* and differ
+// only in cost and safety, so this package loads one program under every
+// technology class in the registry (plus the upcall wrapper) and asserts
+// agreement — on results, memory side effects, fuel accounting, and trap
+// kind/address — over a corpus of hand-written programs, randomly
+// generated programs, and the paper grafts themselves. A fault-injection
+// layer (the mem trap scheduler, fuel cliffs, upcall delivery failures,
+// and torn/short disk writes under the Logical Disk's recovery path)
+// drives every engine down the same *failure* paths, which is where
+// extension-safety claims actually live.
+//
+// The package is all tests; see docs/testing.md for the taxonomy, how to
+// run each tier, and how to add an engine to the matrix. The completeness
+// gates in zzz_coverage_test.go make removing an engine or skipping a
+// fault class a test failure rather than a silent hole.
+package conformance

@@ -1,0 +1,250 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// The conformance generator builds one random program AST and renders it
+// in both GEL and mini-Tcl, so every engine in the matrix — including
+// the script interpreter — executes the same computation. It extends the
+// dual generator the tech package uses for its GEL↔Tcl differential
+// test with an address-mode knob:
+//
+//   - genTame clamps every ld32/st32 address to a word-aligned location
+//     in [NilPageSize, progMemSize): no engine may trap, NIL checks and
+//     sandbox masks are identity, and all nine engines must agree
+//     exactly. Tame programs are also what the fault scheduler replays,
+//     because their access sequence is policy-independent.
+//   - genWild emits word-aligned but otherwise unconstrained addresses:
+//     mostly out of bounds, so the checked engines trap, the NIL
+//     engine may trap earlier, and the sandbox engines mask and keep
+//     going — the documented divergences checkProgram asserts.
+type genMode int
+
+const (
+	genTame genMode = iota
+	genWild
+)
+
+type cExpr interface {
+	gel() string
+	tcl() string
+}
+
+type cNum uint32
+
+func (n cNum) gel() string { return fmt.Sprintf("%d", uint32(n)) }
+func (n cNum) tcl() string { return fmt.Sprintf("%d", uint32(n)) }
+
+type cVar string
+
+func (v cVar) gel() string { return string(v) }
+func (v cVar) tcl() string { return "$" + string(v) }
+
+type cBin struct {
+	op   string
+	x, y cExpr
+}
+
+func (b cBin) gel() string { return "((" + b.x.gel() + ") " + b.op + " (" + b.y.gel() + "))" }
+func (b cBin) tcl() string { return "((" + b.x.tcl() + ") " + b.op + " (" + b.y.tcl() + "))" }
+
+type cUn struct {
+	op string
+	x  cExpr
+}
+
+func (u cUn) gel() string { return u.op + "(" + u.x.gel() + ")" }
+func (u cUn) tcl() string { return u.op + "(" + u.x.tcl() + ")" }
+
+// cAddr wraps an address expression per mode. Tame: fold into
+// [NilPageSize, progMemSize) on a word boundary. Wild: align only, so
+// value divergence between policies comes from range, not alignment.
+type cAddr struct {
+	mode genMode
+	e    cExpr
+}
+
+func (a cAddr) gel() string {
+	if a.mode == genTame {
+		return "(((" + a.e.gel() + ") % 15360 + 1024) * 4)"
+	}
+	return "((" + a.e.gel() + ") & 4294967292)"
+}
+
+func (a cAddr) tcl() string {
+	if a.mode == genTame {
+		return "(((" + a.e.tcl() + ") % 15360 + 1024) * 4)"
+	}
+	return "((" + a.e.tcl() + ") & 4294967292)"
+}
+
+type cLd32 struct{ addr cAddr }
+
+func (l cLd32) gel() string { return "ld32(" + l.addr.gel() + ")" }
+func (l cLd32) tcl() string { return "[ld32 [expr {" + l.addr.tcl() + "}]]" }
+
+type cStmt interface {
+	gelStmt(indent string) string
+	tclStmt(indent string) string
+}
+
+type cAssign struct {
+	name string
+	val  cExpr
+}
+
+func (a cAssign) gelStmt(in string) string {
+	return in + a.name + " = " + a.val.gel() + ";\n"
+}
+func (a cAssign) tclStmt(in string) string {
+	return in + "set " + a.name + " [expr {" + a.val.tcl() + "}]\n"
+}
+
+type cStore struct {
+	addr cAddr
+	val  cExpr
+}
+
+func (s cStore) gelStmt(in string) string {
+	return in + "st32(" + s.addr.gel() + ", " + s.val.gel() + ");\n"
+}
+func (s cStore) tclStmt(in string) string {
+	return in + "st32 [expr {" + s.addr.tcl() + "}] [expr {" + s.val.tcl() + "}]\n"
+}
+
+type cIf struct {
+	cond      cExpr
+	then, els []cStmt
+}
+
+func (i cIf) gelStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "if (" + i.cond.gel() + ") {\n")
+	for _, s := range i.then {
+		b.WriteString(s.gelStmt(in + "\t"))
+	}
+	b.WriteString(in + "} else {\n")
+	for _, s := range i.els {
+		b.WriteString(s.gelStmt(in + "\t"))
+	}
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+func (i cIf) tclStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "if {" + i.cond.tcl() + "} {\n")
+	for _, s := range i.then {
+		b.WriteString(s.tclStmt(in + "\t"))
+	}
+	b.WriteString(in + "} else {\n")
+	for _, s := range i.els {
+		b.WriteString(s.tclStmt(in + "\t"))
+	}
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+
+type cLoop struct {
+	counter string
+	bound   uint32
+	body    []cStmt
+}
+
+func (l cLoop) gelStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "{\n")
+	b.WriteString(in + "\tvar " + l.counter + " = 0;\n")
+	b.WriteString(fmt.Sprintf("%s\twhile (%s < %d) {\n", in, l.counter, l.bound))
+	b.WriteString(in + "\t\t" + l.counter + " = " + l.counter + " + 1;\n")
+	for _, s := range l.body {
+		b.WriteString(s.gelStmt(in + "\t\t"))
+	}
+	b.WriteString(in + "\t}\n")
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+func (l cLoop) tclStmt(in string) string {
+	var b strings.Builder
+	b.WriteString(in + "set " + l.counter + " 0\n")
+	b.WriteString(fmt.Sprintf("%swhile {$%s < %d} {\n", in, l.counter, l.bound))
+	b.WriteString(in + "\tincr " + l.counter + "\n")
+	for _, s := range l.body {
+		b.WriteString(s.tclStmt(in + "\t"))
+	}
+	b.WriteString(in + "}\n")
+	return b.String()
+}
+
+type progGen struct {
+	rng  *rand.Rand
+	mode genMode
+}
+
+var genVars = []string{"x", "y", "z"}
+
+func (g *progGen) expr(depth int) cExpr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return cNum(g.rng.Uint32() % 100000)
+		default:
+			return cVar(genVars[g.rng.Intn(len(genVars))])
+		}
+	}
+	switch g.rng.Intn(12) {
+	case 0:
+		return cUn{op: []string{"!", "~", "-"}[g.rng.Intn(3)], x: g.expr(depth - 1)}
+	case 1:
+		return cLd32{addr: cAddr{mode: g.mode, e: g.expr(depth - 1)}}
+	default:
+		ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+			"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+		return cBin{op: ops[g.rng.Intn(len(ops))], x: g.expr(depth - 1), y: g.expr(depth - 1)}
+	}
+}
+
+func (g *progGen) stmts(n, depth int) []cStmt {
+	out := make([]cStmt, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+func (g *progGen) stmt(depth int) cStmt {
+	switch r := g.rng.Intn(8); {
+	case r < 4:
+		return cAssign{name: genVars[g.rng.Intn(len(genVars))], val: g.expr(2)}
+	case r < 5:
+		return cStore{addr: cAddr{mode: g.mode, e: g.expr(1)}, val: g.expr(2)}
+	case r < 7 && depth > 0:
+		return cIf{cond: g.expr(1), then: g.stmts(2, depth-1), els: g.stmts(1, depth-1)}
+	case depth > 0:
+		return cLoop{
+			counter: fmt.Sprintf("i%d", depth),
+			bound:   g.rng.Uint32()%6 + 1,
+			body:    g.stmts(1, depth-1),
+		}
+	default:
+		return cAssign{name: "x", val: g.expr(1)}
+	}
+}
+
+// program renders one random program in both languages. Entry point is
+// main(a, b, c) returning a hash of the three mutable variables.
+func (g *progGen) program() (gelSrc, tclSrc string) {
+	body := g.stmts(5, 2)
+	var gb, tb strings.Builder
+	gb.WriteString("func main(a, b, c) {\n\tvar x = a;\n\tvar y = b;\n\tvar z = c;\n")
+	tb.WriteString("proc main {a b c} {\n\tset x $a\n\tset y $b\n\tset z $c\n")
+	for _, s := range body {
+		gb.WriteString(s.gelStmt("\t"))
+		tb.WriteString(s.tclStmt("\t"))
+	}
+	gb.WriteString("\treturn x ^ y + z;\n}\n")
+	tb.WriteString("\treturn [expr {$x ^ $y + $z}]\n}\n")
+	return gb.String(), tb.String()
+}

@@ -1,0 +1,421 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"graftlab/internal/grafts"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/upcall"
+)
+
+// The engine matrix holds the general-purpose carriers to the oracle
+// through arbitrary programs, but two registry classes cannot carry
+// arbitrary source: the Compiled* technologies need a hand-written Go
+// implementation, and the Domain class needs a HiPEC rendering. The
+// graft matrix closes that gap: every paper graft runs a deterministic
+// multi-step scenario under *every* technology that carries it — all of
+// tech.All (both VM modes for the bytecode class) plus the upcall
+// wrapper — and each step's result, error surface, and final memory
+// must agree across the carriers.
+
+// graftStep is one invocation in a scenario. pre, when set, mutates
+// graft memory first — the host-side writes a kernel would perform
+// between hook calls (re-marshaling run queues, feeding frames).
+// wantTrap/wantCode pin the step to an expected trap; otherwise the
+// step must succeed and (when wantSet) return want.
+type graftStep struct {
+	pre      func(m *mem.Memory)
+	entry    string
+	args     []uint32
+	want     uint32
+	wantSet  bool
+	wantTrap mem.TrapKind
+	wantCode uint32
+}
+
+func step(entry string, want uint32, args ...uint32) graftStep {
+	return graftStep{entry: entry, args: args, want: want, wantSet: true}
+}
+
+type graftScenario struct {
+	src     tech.Source
+	memSize uint32
+	// prep runs once after load against the raw graft (host-side setup:
+	// table marshaling, mapper initialization).
+	prep  func(t *testing.T, g tech.Graft)
+	steps []graftStep
+}
+
+// graftCarrier is one column of the per-graft matrix.
+type graftCarrier struct {
+	name   string
+	id     tech.ID
+	vmMode tech.VMMode
+	wrap   bool
+	// srcLevel marks carriers that execute the GEL/Tcl source itself
+	// (rather than a hand-written Compiled or HiPEC rendering): for
+	// those, final memory must also be byte-identical.
+	srcLevel bool
+}
+
+// graftCarriers expands tech.All into matrix columns. Built as a
+// function (not a literal) so the coverage gate can diff it against the
+// live registry: a technology added to tech.All without a column here
+// fails zzz_coverage_test.go.
+func graftCarriers() []graftCarrier {
+	var out []graftCarrier
+	for _, id := range tech.All {
+		if id == tech.Bytecode {
+			out = append(out,
+				graftCarrier{name: "bytecode-opt", id: id, vmMode: tech.VMOpt, srcLevel: true},
+				graftCarrier{name: "bytecode-baseline", id: id, vmMode: tech.VMBaseline, srcLevel: true})
+			continue
+		}
+		src := !tech.NeedsCompiledImpl(id) && id != tech.Domain
+		out = append(out, graftCarrier{name: string(id), id: id, srcLevel: src})
+	}
+	out = append(out, graftCarrier{name: "upcall", id: tech.NativeSafe, wrap: true, srcLevel: true})
+	return out
+}
+
+// carries reports whether id can carry src, mirroring the loader's
+// refusal rules; entries lists the entry points the scenario invokes
+// (the Domain class needs a HiPEC rendering for each).
+func carries(id tech.ID, src tech.Source, entries []string) bool {
+	if id == tech.Script && src.Tcl == "" {
+		return false
+	}
+	if tech.NeedsCompiledImpl(id) && src.Compiled == nil {
+		return false
+	}
+	if id == tech.Domain {
+		for _, e := range entries {
+			if _, ok := src.Hipec[e]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func graftScenarios() []graftScenario {
+	return []graftScenario{
+		{
+			src: grafts.PageEvict, memSize: grafts.PEMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				m := g.Memory()
+				// LRU chain (kernel-owned): pages 7, 9, 5, 11.
+				pages := []uint32{7, 9, 5, 11}
+				for i, p := range pages {
+					addr := uint32(grafts.PELRUNodeBase + 8*i)
+					next := uint32(0)
+					if i+1 < len(pages) {
+						next = addr + 8
+					}
+					m.St32U(addr, p)
+					m.St32U(addr+4, next)
+				}
+				writeHotList(m, []uint32{7, 9, 11})
+			},
+			steps: []graftStep{
+				// 5 is the first LRU page not on the hot list.
+				step("evict", 5, grafts.PELRUNodeBase),
+				{pre: func(m *mem.Memory) { writeHotList(m, []uint32{5, 7, 9, 11}) },
+					entry: "evict", args: []uint32{grafts.PELRUNodeBase}, want: 7, wantSet: true},
+				{pre: func(m *mem.Memory) { writeHotList(m, nil) },
+					entry: "evict", args: []uint32{grafts.PELRUNodeBase}, want: 7, wantSet: true},
+			},
+		},
+		{
+			src: grafts.MD5, memSize: grafts.MDMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				m := g.Memory()
+				grafts.SetupMD5Memory(m)
+				for i := uint32(0); i < 128; i++ {
+					m.St8U(grafts.MDBufAddr+i, uint32(i*7+3)&0xFF)
+				}
+			},
+			steps: []graftStep{
+				step("md5_init", 0),
+				{entry: "md5_update", args: []uint32{grafts.MDBufAddr, 64}},
+				{entry: "md5_update", args: []uint32{grafts.MDBufAddr + 64, 37}},
+				// The digest lands at MDOutAddr; the srcLevel memory
+				// comparison is what checks it across carriers.
+				{entry: "md5_final", args: []uint32{grafts.MDOutAddr}},
+			},
+		},
+		{
+			src: grafts.LDMap, memSize: grafts.LDMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				if _, err := grafts.NewGraftMapper(g, 256); err != nil {
+					t.Fatal(err)
+				}
+			},
+			steps: []graftStep{
+				step("ld_write", 0, 5),
+				step("ld_write", 1, 9),
+				step("ld_write", 2, 5), // remap: 5 moves to the next log slot
+				step("ld_write", 3, 255),
+				step("ld_read", 2, 5),
+				step("ld_read", 1, 9),
+				step("ld_read", 0xFFFFFFFF, 100), // unmapped
+				{entry: "ld_write", args: []uint32{999}, wantTrap: mem.TrapAbort, wantCode: 1},
+				{entry: "ld_read", args: []uint32{400}, wantTrap: mem.TrapAbort, wantCode: 1},
+				// The failed calls must not have disturbed the log head.
+				step("ld_write", 4, 17),
+			},
+		},
+		{
+			src: grafts.PacketFilter, memSize: grafts.PFMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				m := g.Memory()
+				grafts.ConfigurePacketFilter(m, 80)
+				writeUDPFrame(m, 80)
+			},
+			steps: []graftStep{
+				step("filter", 1, 60),
+				step("filter", 0, 41), // runt frame
+				{pre: func(m *mem.Memory) { m.St8U(grafts.PFBufAddr+23, 6) }, // TCP
+					entry: "filter", args: []uint32{60}, wantSet: true, want: 0},
+				{pre: func(m *mem.Memory) { writeUDPFrame(m, 81) }, // wrong port
+					entry: "filter", args: []uint32{60}, wantSet: true, want: 0},
+				{pre: func(m *mem.Memory) { writeUDPFrame(m, 80) },
+					entry: "filter", args: []uint32{60}, wantSet: true, want: 1},
+			},
+		},
+		{
+			src: grafts.SchedPolicy, memSize: grafts.SCMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				writeRunQueue(g.Memory(), [][3]uint32{
+					{1, 1, 10}, {2, 2, 50}, {3, 2, 20}, {4, 1, 5}, {5, 2, 90},
+				})
+			},
+			steps: []graftStep{
+				step("pick", 2, 5), // index 2 is the server with least runtime
+				step("pick", grafts.SCDecline, 0),
+				{pre: func(m *mem.Memory) { m.St32U(grafts.SCBase+1*grafts.SCStride+8, 5) },
+					entry: "pick", args: []uint32{5}, wantSet: true, want: 1},
+			},
+		},
+		{
+			src: grafts.ACL, memSize: grafts.ACLMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				writeACL(g.Memory(), [][3]uint32{
+					{1, 2, grafts.PermRead | grafts.PermWrite},
+					{grafts.ACLWildcard, 9, grafts.PermRead},
+					{3, grafts.ACLWildcard, grafts.PermExec},
+				})
+			},
+			steps: []graftStep{
+				step("check", 1, 1, 2, grafts.PermRead),
+				step("check", 0, 1, 2, grafts.PermExec),
+				step("check", 1, 42, 9, grafts.PermRead),
+				step("check", 1, 3, 77, grafts.PermExec),
+				step("check", 0, 3, 77, grafts.PermWrite), // first match denies write
+				step("check", 0, 9, 9, grafts.PermWrite),
+				step("check", 0, 6, 6, grafts.PermRead), // no matching entry
+			},
+		},
+		{
+			src: grafts.CacheHook, memSize: grafts.BCMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				m := g.Memory()
+				blocks := []uint32{100, 200, 300, 400}
+				m.St32U(grafts.BCCountAddr, uint32(len(blocks)))
+				for i, b := range blocks {
+					m.St32U(grafts.BCBase+uint32(i)*4, b)
+				}
+				writePinSet(m, []uint32{100, 200})
+			},
+			steps: []graftStep{
+				step("pickvictim", 2, 4),
+				{pre: func(m *mem.Memory) { writePinSet(m, []uint32{100, 200, 300}) },
+					entry: "pickvictim", args: []uint32{4}, wantSet: true, want: 3},
+				{pre: func(m *mem.Memory) { writePinSet(m, []uint32{100, 200, 300, 400}) },
+					entry: "pickvictim", args: []uint32{4}, wantSet: true, want: grafts.BCDecline},
+				step("pickvictim", grafts.BCDecline, 0),
+			},
+		},
+	}
+}
+
+func writeHotList(m *mem.Memory, pages []uint32) {
+	if len(pages) == 0 {
+		m.St32U(grafts.PEHotHeadAddr, 0)
+		return
+	}
+	m.St32U(grafts.PEHotHeadAddr, grafts.PEHotNodeBase)
+	for i, p := range pages {
+		addr := uint32(grafts.PEHotNodeBase + 8*i)
+		next := uint32(0)
+		if i+1 < len(pages) {
+			next = addr + 8
+		}
+		m.St32U(addr, p)
+		m.St32U(addr+4, next)
+	}
+}
+
+// writeUDPFrame marshals a minimal IPv4/UDP frame addressed to port into
+// the filter's buffer.
+func writeUDPFrame(m *mem.Memory, port uint16) {
+	for i := uint32(0); i < 60; i++ {
+		m.St8U(grafts.PFBufAddr+i, 0)
+	}
+	m.St8U(grafts.PFBufAddr+12, 0x08) // ethertype IPv4
+	m.St8U(grafts.PFBufAddr+13, 0x00)
+	m.St8U(grafts.PFBufAddr+23, 17) // UDP
+	m.St8U(grafts.PFBufAddr+36, uint32(port>>8))
+	m.St8U(grafts.PFBufAddr+37, uint32(port)&0xFF)
+}
+
+func writeRunQueue(m *mem.Memory, procs [][3]uint32) {
+	m.St32U(grafts.SCCountAddr, uint32(len(procs)))
+	for i, p := range procs {
+		base := uint32(grafts.SCBase) + uint32(i)*grafts.SCStride
+		m.St32U(base, p[0])
+		m.St32U(base+4, p[1])
+		m.St32U(base+8, p[2])
+	}
+}
+
+func writeACL(m *mem.Memory, entries [][3]uint32) {
+	m.St32U(grafts.ACLCountAddr, uint32(len(entries)))
+	for i, e := range entries {
+		base := uint32(grafts.ACLBase) + uint32(i)*grafts.ACLStride
+		m.St32U(base, e[0])
+		m.St32U(base+4, e[1])
+		m.St32U(base+8, e[2])
+	}
+}
+
+func writePinSet(m *mem.Memory, blocks []uint32) {
+	m.St32U(grafts.BCPinCountAddr, uint32(len(blocks)))
+	for i, b := range blocks {
+		m.St32U(grafts.BCPinBase+uint32(i)*4, b)
+	}
+}
+
+// graftOutcome is the observable record of one carrier running a full
+// scenario: per-step values and trap surfaces, plus the final memory.
+type graftOutcome struct {
+	carrier string
+	vals    []uint32
+	traps   []*mem.Trap
+	mem     []byte
+}
+
+func runGraftScenario(t *testing.T, c graftCarrier, sc graftScenario) graftOutcome {
+	t.Helper()
+	m := mem.New(sc.memSize)
+	g, err := tech.Load(c.id, sc.src, m, tech.Options{VM: c.vmMode})
+	if err != nil {
+		t.Fatalf("carrier %s: load %s: %v", c.name, sc.src.Name, err)
+	}
+	if sc.prep != nil {
+		sc.prep(t, g)
+	}
+	invoke := g
+	if c.wrap {
+		d := upcall.NewDomain(g, 0)
+		defer d.Close()
+		invoke = d
+	}
+	o := graftOutcome{carrier: c.name}
+	for i, s := range sc.steps {
+		if s.pre != nil {
+			s.pre(m)
+		}
+		v, err := invoke.Invoke(s.entry, s.args...)
+		var trap *mem.Trap
+		if err != nil && !errors.As(err, &trap) {
+			t.Fatalf("carrier %s step %d (%s): non-trap error %v", c.name, i, s.entry, err)
+		}
+		o.vals = append(o.vals, v)
+		o.traps = append(o.traps, trap)
+		switch {
+		case s.wantTrap != mem.TrapNone:
+			if trap == nil || trap.Kind != s.wantTrap || trap.Code != s.wantCode {
+				t.Fatalf("carrier %s step %d (%s): got (%d, %v), want trap %v code %d",
+					c.name, i, s.entry, v, err, s.wantTrap, s.wantCode)
+			}
+		case trap != nil:
+			t.Fatalf("carrier %s step %d (%s): unexpected trap %v", c.name, i, s.entry, err)
+		case s.wantSet && v != s.want:
+			t.Fatalf("carrier %s step %d (%s%v): got %d, want %d", c.name, i, s.entry, s.args, v, s.want)
+		}
+	}
+	o.mem = append([]byte(nil), m.Data...)
+	if !c.wrap {
+		markGraftTech(c.id)
+	}
+	return o
+}
+
+// TestGraftConformanceMatrix runs every paper graft under every carrying
+// technology and holds the carriers to step-by-step agreement. Carriage
+// is computed from the source's representations; a technology that
+// *should* carry a graft but refuses to load is a failure, and the
+// refusals themselves are asserted so a silently skipped carrier cannot
+// masquerade as coverage.
+func TestGraftConformanceMatrix(t *testing.T) {
+	for _, sc := range graftScenarios() {
+		sc := sc
+		t.Run(sc.src.Name, func(t *testing.T) {
+			entries := make([]string, 0, len(sc.steps))
+			for _, s := range sc.steps {
+				entries = append(entries, s.entry)
+			}
+			var ran []graftOutcome
+			var srcRef *graftOutcome
+			for _, c := range graftCarriers() {
+				c := c
+				if !carries(c.id, sc.src, entries) {
+					// The loader must refuse, not mishandle, a missing
+					// representation.
+					if _, err := tech.Load(c.id, sc.src, mem.New(sc.memSize), tech.Options{}); err == nil {
+						t.Fatalf("%s should refuse %s (missing representation)", c.name, sc.src.Name)
+					}
+					continue
+				}
+				o := runGraftScenario(t, c, sc)
+				ran = append(ran, o)
+				if c.srcLevel {
+					if srcRef == nil {
+						ref := o
+						srcRef = &ref
+					} else if string(srcRef.mem) != string(o.mem) {
+						t.Fatalf("%s: final memory diverges between %s and %s (first diff at %#x)",
+							sc.src.Name, srcRef.carrier, o.carrier, firstDiff(srcRef.mem, o.mem))
+					}
+				}
+			}
+			if len(ran) < 2 {
+				t.Fatalf("%s: only %d carriers ran — the matrix has collapsed", sc.src.Name, len(ran))
+			}
+			ref := ran[0]
+			for _, o := range ran[1:] {
+				for i := range sc.steps {
+					rt, ot := ref.traps[i], o.traps[i]
+					if (rt == nil) != (ot == nil) {
+						t.Fatalf("%s step %d: %s trap=%v, %s trap=%v",
+							sc.src.Name, i, ref.carrier, rt, o.carrier, ot)
+					}
+					if rt != nil {
+						if rt.Kind != ot.Kind || rt.Code != ot.Code {
+							t.Fatalf("%s step %d: %s trap {%v code=%d}, %s trap {%v code=%d}",
+								sc.src.Name, i, ref.carrier, rt.Kind, rt.Code, o.carrier, ot.Kind, ot.Code)
+						}
+						continue
+					}
+					if ref.vals[i] != o.vals[i] {
+						t.Fatalf("%s step %d (%s): %s=%d, %s=%d",
+							sc.src.Name, i, sc.steps[i].entry, ref.carrier, ref.vals[i], o.carrier, o.vals[i])
+					}
+				}
+			}
+		})
+	}
+}

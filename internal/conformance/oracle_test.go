@@ -1,0 +1,57 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graftlab/internal/tech"
+)
+
+// TestCorpusConformance runs every hand-written corpus program through
+// the full engine matrix.
+func TestCorpusConformance(t *testing.T) {
+	for _, p := range corpus {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			checkProgram(t, p.name, p.src, p.args, p.tame)
+		})
+	}
+}
+
+// TestRandomTameConformance generates dual-language programs whose
+// accesses are all aligned and in-bounds, and requires exact nine-way
+// agreement on each.
+func TestRandomTameConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		g := &progGen{rng: rng, mode: genTame}
+		gelSrc, tclSrc := g.program()
+		src := tech.Source{Name: fmt.Sprintf("tame-%d", i), GEL: gelSrc, Tcl: tclSrc}
+		args := []uint32{rng.Uint32(), rng.Uint32() % 65536, rng.Uint32() % 257}
+		checkProgram(t, src.Name, src, args, true)
+	}
+}
+
+// TestRandomWildConformance generates programs with unconstrained
+// (word-aligned) addresses: the checked cohort must agree exactly on
+// the trap, the NIL engine may trap earlier inside the NIL page, and
+// the sandbox engines must confine every stray access.
+func TestRandomWildConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		g := &progGen{rng: rng, mode: genWild}
+		gelSrc, tclSrc := g.program()
+		src := tech.Source{Name: fmt.Sprintf("wild-%d", i), GEL: gelSrc, Tcl: tclSrc}
+		args := []uint32{rng.Uint32(), rng.Uint32(), rng.Uint32() % 4096}
+		checkProgram(t, src.Name, src, args, false)
+	}
+}

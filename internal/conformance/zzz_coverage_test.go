@@ -1,0 +1,84 @@
+package conformance
+
+import (
+	"flag"
+	"testing"
+
+	"graftlab/internal/tech"
+)
+
+// requiredEngines is the contract for the general-purpose matrix: the
+// five native/SFI policies, both bytecode engines, the script
+// interpreter, and the upcall wrapper. Removing a row from engineMatrix
+// fails here before anything else runs.
+var requiredEngines = []string{
+	"native-unsafe", "native-safe", "native-safe-nil", "sfi", "sfi-full",
+	"bytecode-opt", "bytecode-baseline", "script", "upcall",
+}
+
+// requiredFaultClasses is the contract for the fault-injection half:
+// every failure path the harness claims to cover must actually have run.
+var requiredFaultClasses = []string{
+	"mem-scheduler", "fuel-cliff", "upcall-delivery",
+	"disk-torn-write", "disk-short-write",
+}
+
+// TestZZZCoverageGate is the anti-rot gate, named to sort last in the
+// package (go test runs tests in file order). It has a static half —
+// the matrices must span the registry — and a dynamic half — the suite
+// that just ran must actually have exercised every engine, every fault
+// class, and every technology in tech.All. Skipping an engine, losing a
+// fault-injection test, or adding a technology to the registry without
+// teaching the harness about it all fail here, loudly, instead of
+// silently shrinking coverage.
+func TestZZZCoverageGate(t *testing.T) {
+	// Static: every required engine has a matrix row, and every row is
+	// required (no dead rows either).
+	rows := map[string]bool{}
+	for _, e := range engineMatrix {
+		rows[e.name] = true
+	}
+	for _, name := range requiredEngines {
+		if !rows[name] {
+			t.Errorf("engineMatrix lost required engine %q", name)
+		}
+	}
+	if len(engineMatrix) != len(requiredEngines) {
+		t.Errorf("engineMatrix has %d rows, contract lists %d — update both together", len(engineMatrix), len(requiredEngines))
+	}
+
+	// Static: the graft matrix spans the live registry.
+	carrierIDs := map[tech.ID]bool{}
+	for _, c := range graftCarriers() {
+		if !c.wrap {
+			carrierIDs[c.id] = true
+		}
+	}
+	for _, id := range tech.All {
+		if !carrierIDs[id] {
+			t.Errorf("graft matrix has no carrier column for registry technology %q", id)
+		}
+	}
+
+	// Dynamic: only meaningful when the whole suite ran in this process.
+	if f := flag.Lookup("test.run"); f != nil && f.Value.String() != "" {
+		t.Skipf("dynamic gate skipped under -run=%q (partial suite)", f.Value.String())
+	}
+	coverMu.Lock()
+	defer coverMu.Unlock()
+	for _, name := range requiredEngines {
+		if !engineRuns[name] {
+			t.Errorf("engine %q was never exercised by the oracle this run", name)
+		}
+	}
+	for _, class := range requiredFaultClasses {
+		if !faultClassRuns[class] {
+			t.Errorf("fault-injection class %q never ran", class)
+		}
+	}
+	for _, id := range tech.All {
+		if !graftTechRuns[id] {
+			t.Errorf("technology %q never carried a graft through the conformance matrix this run", id)
+		}
+	}
+}

@@ -64,6 +64,13 @@ type Disk struct {
 	clock *vclock.Clock
 	head  uint32 // current head position in blocks
 	stats Stats
+
+	// Payload store and write-fault state (faults.go). payload is sparse
+	// and nil until the first WriteBlocks, so timing-only users pay
+	// nothing for it.
+	payload map[uint32][]byte
+	fault   *WriteFault
+	crashed bool
 }
 
 // New creates a disk with the given geometry on clock.

@@ -1,0 +1,139 @@
+// Block payloads and write-fault injection. The base model in disk.go is
+// timing-only, which is all the bandwidth tables need; the Logical Disk's
+// crash-consistency tests additionally need the bytes to survive (or get
+// torn) across a simulated crash, so the payload store and fault arming
+// live here and leave the timing paths untouched.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrCrashed is returned by payload writes once an armed write fault has
+// fired: the simulated machine lost power mid-request, and nothing more
+// reaches the platter until the "reboot" (ClearFault).
+var ErrCrashed = errors.New("disk: crashed by injected write fault")
+
+// WriteFaultMode selects how the interrupted block is left on the platter.
+type WriteFaultMode int
+
+const (
+	// ShortWrite drops the interrupted block entirely: blocks persisted
+	// before the cut survive, the rest never arrive (a lost sector write).
+	ShortWrite WriteFaultMode = iota
+	// TornWrite persists only the first half of the interrupted block, so
+	// the sector holds a mix of new and old bytes. This is the case that
+	// forces recovery to checksum rather than trust a magic prefix.
+	TornWrite
+)
+
+func (m WriteFaultMode) String() string {
+	if m == TornWrite {
+		return "torn-write"
+	}
+	return "short-write"
+}
+
+// WriteFault schedules a crash during payload writes: after FailAfter
+// further blocks have fully persisted, the next block is cut according to
+// Mode and the disk stays down until ClearFault. The counter spans
+// requests, so a kill point can land anywhere in a multi-request burst.
+type WriteFault struct {
+	Mode      WriteFaultMode
+	FailAfter uint64
+
+	left  uint64
+	armed bool
+}
+
+// ArmWriteFault schedules f on the disk; nil disarms. Arming also clears
+// a previous crash (the reboot).
+func (d *Disk) ArmWriteFault(f *WriteFault) {
+	d.fault = f
+	d.crashed = false
+	if f != nil {
+		f.left = f.FailAfter
+		f.armed = true
+	}
+}
+
+// Crashed reports whether an injected fault has fired and ClearFault has
+// not yet been called.
+func (d *Disk) Crashed() bool { return d.crashed }
+
+// ClearFault models the reboot: the crash state lifts, the fault plan is
+// removed, and the surviving payloads are readable for recovery.
+func (d *Disk) ClearFault() {
+	d.fault = nil
+	d.crashed = false
+}
+
+// WriteBlocks persists data (a whole number of blocks) starting at block,
+// charging the same timing model as Write. Under an armed fault the write
+// may be cut partway: persisted whole blocks survive, the interrupted
+// block is dropped or torn per the fault mode, and ErrCrashed is returned.
+func (d *Disk) WriteBlocks(block uint32, data []byte) (time.Duration, error) {
+	bs := int(d.geo.BlockSize)
+	if len(data) == 0 || len(data)%bs != 0 {
+		return 0, fmt.Errorf("disk: payload of %d bytes is not whole blocks of %d", len(data), bs)
+	}
+	nblocks := uint32(len(data) / bs)
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	if uint64(block)+uint64(nblocks) > uint64(d.geo.Blocks) {
+		return 0, fmt.Errorf("disk: access [%d,%d) beyond capacity %d", block, block+nblocks, d.geo.Blocks)
+	}
+	if d.payload == nil {
+		d.payload = make(map[uint32][]byte)
+	}
+	for i := uint32(0); i < nblocks; i++ {
+		if f := d.fault; f != nil && f.armed && f.left == 0 {
+			d.crashed = true
+			if f.Mode == TornWrite {
+				d.tear(block+i, data[int(i)*bs:int(i)*bs+bs/2])
+			}
+			// Charge for the blocks that made it; the torn half is noise.
+			if i > 0 {
+				if _, err := d.access(block, i, true); err != nil {
+					return 0, err
+				}
+			}
+			return 0, ErrCrashed
+		}
+		d.payload[block+i] = append([]byte(nil), data[int(i)*bs:int(i+1)*bs]...)
+		if f := d.fault; f != nil && f.armed {
+			f.left--
+		}
+	}
+	return d.access(block, nblocks, true)
+}
+
+// tear overwrites the leading bytes of a block, leaving the tail as it
+// was (zeroes if the block was never written).
+func (d *Disk) tear(block uint32, prefix []byte) {
+	old := d.payload[block]
+	buf := make([]byte, d.geo.BlockSize)
+	copy(buf, old)
+	copy(buf, prefix)
+	d.payload[block] = buf
+}
+
+// ReadBlock returns a copy of the persisted payload of one block, zeroes
+// if it was never written. Reads work on a crashed disk: recovery runs
+// after the reboot and must see exactly what survived.
+func (d *Disk) ReadBlock(block uint32) ([]byte, error) {
+	if block >= d.geo.Blocks {
+		return nil, fmt.Errorf("disk: read of block %d beyond capacity %d", block, d.geo.Blocks)
+	}
+	buf := make([]byte, d.geo.BlockSize)
+	copy(buf, d.payload[block])
+	if !d.crashed {
+		if _, err := d.access(block, 1, false); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,168 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"graftlab/internal/vclock"
+)
+
+func faultDisk() *Disk {
+	geo := DefaultGeometry()
+	geo.Blocks = 64
+	geo.BlockSize = 64
+	var clk vclock.Clock
+	return New(geo, &clk)
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestWriteBlocksRoundTrip(t *testing.T) {
+	d := faultDisk()
+	data := pattern(3*64, 7)
+	if _, err := d.WriteBlocks(10, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 3; i++ {
+		got, err := d.ReadBlock(10 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(data[i*64:(i+1)*64]) {
+			t.Fatalf("block %d payload mismatch", 10+i)
+		}
+	}
+	// Unwritten blocks read as zeroes.
+	got, err := d.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range got {
+		if c != 0 {
+			t.Fatal("unwritten block is not zero")
+		}
+	}
+}
+
+func TestWriteBlocksValidates(t *testing.T) {
+	d := faultDisk()
+	if _, err := d.WriteBlocks(0, make([]byte, 65)); err == nil {
+		t.Fatal("partial block accepted")
+	}
+	if _, err := d.WriteBlocks(0, nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := d.WriteBlocks(63, make([]byte, 2*64)); err == nil {
+		t.Fatal("write past capacity accepted")
+	}
+	if _, err := d.ReadBlock(64); err == nil {
+		t.Fatal("read past capacity accepted")
+	}
+}
+
+func TestShortWriteDropsInterruptedBlock(t *testing.T) {
+	d := faultDisk()
+	d.ArmWriteFault(&WriteFault{Mode: ShortWrite, FailAfter: 2})
+	data := pattern(4*64, 3)
+	_, err := d.WriteBlocks(20, data)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("disk not crashed")
+	}
+	// Blocks 20,21 persisted; 22 (the interrupted one) and 23 did not.
+	for i, want := range []bool{true, true, false, false} {
+		got, err := d.ReadBlock(uint32(20 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		persisted := string(got) == string(data[i*64:(i+1)*64])
+		if persisted != want {
+			t.Fatalf("block %d persisted=%v, want %v", 20+i, persisted, want)
+		}
+		if !want {
+			for _, c := range got {
+				if c != 0 {
+					t.Fatalf("dropped block %d holds data", 20+i)
+				}
+			}
+		}
+	}
+}
+
+func TestTornWritePersistsHalfBlock(t *testing.T) {
+	d := faultDisk()
+	// Pre-existing content so the torn block mixes old and new bytes.
+	old := pattern(64, 100)
+	if _, err := d.WriteBlocks(5, old); err != nil {
+		t.Fatal(err)
+	}
+	d.ArmWriteFault(&WriteFault{Mode: TornWrite, FailAfter: 0})
+	fresh := pattern(64, 200)
+	if _, err := d.WriteBlocks(5, fresh); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	d.ClearFault()
+	got, err := d.ReadBlock(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:32]) != string(fresh[:32]) {
+		t.Fatal("torn block's first half is not the new data")
+	}
+	if string(got[32:]) != string(old[32:]) {
+		t.Fatal("torn block's second half is not the old data")
+	}
+}
+
+func TestCrashedDiskRefusesWritesAllowsReads(t *testing.T) {
+	d := faultDisk()
+	if _, err := d.WriteBlocks(1, pattern(64, 9)); err != nil {
+		t.Fatal(err)
+	}
+	d.ArmWriteFault(&WriteFault{Mode: ShortWrite, FailAfter: 0})
+	if _, err := d.WriteBlocks(2, pattern(64, 10)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	// Down until the reboot: writes refused, reads (recovery) fine.
+	if _, err := d.WriteBlocks(3, pattern(64, 11)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write on crashed disk: err = %v, want ErrCrashed", err)
+	}
+	if _, err := d.ReadBlock(1); err != nil {
+		t.Fatalf("read on crashed disk: %v", err)
+	}
+	d.ClearFault()
+	if d.Crashed() {
+		t.Fatal("still crashed after ClearFault")
+	}
+	if _, err := d.WriteBlocks(3, pattern(64, 11)); err != nil {
+		t.Fatalf("write after reboot: %v", err)
+	}
+}
+
+func TestArmWriteFaultRearms(t *testing.T) {
+	d := faultDisk()
+	f := &WriteFault{Mode: ShortWrite, FailAfter: 1}
+	d.ArmWriteFault(f)
+	if _, err := d.WriteBlocks(0, pattern(2*64, 1)); !errors.Is(err, ErrCrashed) {
+		t.Fatal("first arming did not fire")
+	}
+	// Re-arming the same plan resets both the countdown and the crash.
+	d.ArmWriteFault(f)
+	if d.Crashed() {
+		t.Fatal("re-arm did not clear the crash")
+	}
+	if _, err := d.WriteBlocks(4, pattern(64, 2)); err != nil {
+		t.Fatalf("first block after re-arm: %v", err)
+	}
+	if _, err := d.WriteBlocks(5, pattern(64, 3)); !errors.Is(err, ErrCrashed) {
+		t.Fatal("re-armed fault did not fire on schedule")
+	}
+}

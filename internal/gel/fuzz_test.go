@@ -65,6 +65,40 @@ func main(n) {
 	}
 }
 
+// FuzzParse is the native-fuzzing version of the hammer above, run
+// continuously by `go test -fuzz=FuzzParse`: arbitrary input must never
+// panic the front end, and any program that parses and checks must
+// survive folding and print back to a form the parser and checker still
+// accept. Seeds live in testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"func main(a, b) { return a + b; }",
+		"func f(n) { if (n == 0) { return 0; } return n + f(n - 1); }",
+		"func main(a) { var i = 0; while (i < a) { st32(4096 + i * 4, i); i = i + 1; } return ld32(4096); }",
+		"func main() { abort(3); return 0; }",
+		"func main(a) { return ~(a) ^ -(a) + !(a); }",
+		"func broken(a { return; }",
+		"}{!!",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := Check(p); err != nil {
+			return
+		}
+		Fold(p)
+		out := Print(p)
+		if _, err := ParseAndCheck(out); err != nil {
+			t.Fatalf("printed program no longer parses and checks: %v\n%s", err, out)
+		}
+	})
+}
+
 // TestFoldNeverPanicsOnRandomPrograms folds whatever the random program
 // generator in the tech tests would produce, shaped locally.
 func TestFoldNeverPanicsOnRandomPrograms(t *testing.T) {

@@ -1,0 +1,203 @@
+// Durable variant of the Logical Disk segment writer, for the
+// crash-consistency tests. The base LD in ld.go is timing-only, which is
+// what the Table 6 benchmark measures; DurableLD additionally persists
+// block payloads and a per-segment summary block so the logical→physical
+// map can be rebuilt after a crash, in the LFS/Logical-Disk tradition
+// [DEJON93]: data blocks first, then a checksummed summary whose
+// checksum sits in the *last* word of the block, so a torn summary write
+// (a persisted prefix) can never validate.
+//
+// Recovery is a prefix scan: segments were filled in order with no
+// cleaner, so the first missing or invalid summary ends the log. A
+// mapping is durable exactly when its segment's summary is on disk —
+// the commit point the crash-consistency property checks against.
+package ld
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graftlab/internal/disk"
+)
+
+// summaryMagic marks a segment summary block.
+const summaryMagic = uint32(0x5D5E61A7) // "LD segment", squinting
+
+// DiskBlocks returns the total device size (data region + one summary
+// block per segment) needed for a durable log of dataBlocks blocks.
+func DiskBlocks(dataBlocks uint32) uint32 {
+	return dataBlocks + dataBlocks/SegmentBlocks
+}
+
+// DurableLD is the segment writer with payloads and summaries. It shares
+// the Mapper seam with LD, so the bookkeeping black box can be the
+// native table or any graft-backed implementation.
+type DurableLD struct {
+	dev        *disk.Disk
+	mapper     Mapper
+	dataBlocks uint32
+	blockSize  uint32
+	seg        uint32 // segment the open buffer will flush to
+	fill       uint32
+	buf        []byte   // pending payloads, fill blocks
+	lblocks    []uint32 // pending logical block numbers
+	flushes    uint64
+}
+
+// NewDurable builds a durable logical disk over dev whose data region is
+// dataBlocks blocks (a multiple of SegmentBlocks). The device must have
+// at least DiskBlocks(dataBlocks) blocks; the summary region begins at
+// block dataBlocks.
+func NewDurable(dev *disk.Disk, mapper Mapper, dataBlocks uint32) (*DurableLD, error) {
+	geo := dev.Geometry()
+	if dataBlocks == 0 || dataBlocks%SegmentBlocks != 0 {
+		return nil, fmt.Errorf("ld: data region %d blocks is not whole segments", dataBlocks)
+	}
+	if geo.Blocks < DiskBlocks(dataBlocks) {
+		return nil, fmt.Errorf("ld: device of %d blocks too small for %d data blocks + summaries", geo.Blocks, dataBlocks)
+	}
+	if geo.BlockSize < 4*(4+SegmentBlocks) {
+		return nil, fmt.Errorf("ld: block size %d too small for a segment summary", geo.BlockSize)
+	}
+	return &DurableLD{
+		dev:        dev,
+		mapper:     mapper,
+		dataBlocks: dataBlocks,
+		blockSize:  geo.BlockSize,
+		buf:        make([]byte, 0, SegmentBlocks*geo.BlockSize),
+		lblocks:    make([]uint32, 0, SegmentBlocks),
+	}, nil
+}
+
+// SegmentFlushes reports how many segments have been fully committed
+// (data and summary both acked by the device).
+func (l *DurableLD) SegmentFlushes() uint64 { return l.flushes }
+
+// Write accepts one block of payload for lblock. The mapping is made by
+// the Mapper immediately but becomes durable only when the segment
+// flushes; flushed reports whether this write completed a segment. A
+// device error (including an injected crash) leaves the pending segment
+// uncommitted, exactly as a power cut would.
+func (l *DurableLD) Write(lblock uint32, data []byte) (flushed bool, err error) {
+	if uint32(len(data)) != l.blockSize {
+		return false, fmt.Errorf("ld: payload of %d bytes, want one %d-byte block", len(data), l.blockSize)
+	}
+	p, err := l.mapper.MapWrite(lblock)
+	if err != nil {
+		return false, err
+	}
+	if p/SegmentBlocks >= l.dataBlocks/SegmentBlocks {
+		return false, fmt.Errorf("ld: mapper placed block at %d beyond data region %d", p, l.dataBlocks)
+	}
+	l.seg = p / SegmentBlocks
+	l.buf = append(l.buf, data...)
+	l.lblocks = append(l.lblocks, lblock)
+	l.fill++
+	if l.fill < SegmentBlocks {
+		return false, nil
+	}
+	if err := l.flush(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// flush writes the buffered data blocks, then the summary. Order matters:
+// a summary on disk asserts its data is too.
+func (l *DurableLD) flush() error {
+	if _, err := l.dev.WriteBlocks(l.seg*SegmentBlocks, l.buf); err != nil {
+		return err
+	}
+	sum := l.encodeSummary()
+	if _, err := l.dev.WriteBlocks(l.summaryBlock(l.seg), sum); err != nil {
+		return err
+	}
+	l.flushes++
+	l.fill = 0
+	l.buf = l.buf[:0]
+	l.lblocks = l.lblocks[:0]
+	return nil
+}
+
+func (l *DurableLD) summaryBlock(seg uint32) uint32 {
+	return l.dataBlocks + seg
+}
+
+// encodeSummary lays out: magic, seg, seq (seg+1 — the log has no
+// cleaner, so sequence equals position), count, count logical block
+// numbers; checksum in the final 4 bytes of the block.
+func (l *DurableLD) encodeSummary() []byte {
+	b := make([]byte, l.blockSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], summaryMagic)
+	le.PutUint32(b[4:], l.seg)
+	le.PutUint32(b[8:], l.seg+1)
+	le.PutUint32(b[12:], uint32(len(l.lblocks)))
+	for i, lb := range l.lblocks {
+		le.PutUint32(b[16+4*i:], lb)
+	}
+	le.PutUint32(b[l.blockSize-4:], summaryChecksum(b))
+	return b
+}
+
+// summaryChecksum is FNV-1a over the block minus its checksum word.
+func summaryChecksum(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b[:len(b)-4] {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// Read returns the current payload of lblock through the mapper.
+func (l *DurableLD) Read(lblock uint32) ([]byte, error) {
+	p, err := l.mapper.MapRead(lblock)
+	if err != nil {
+		return nil, err
+	}
+	if p == Unmapped {
+		return nil, fmt.Errorf("ld: read of unwritten logical block %d", lblock)
+	}
+	return l.dev.ReadBlock(p)
+}
+
+// Recover scans the summary region of a durable log after a crash and
+// rebuilds the logical→physical map. It returns the map (Unmapped for
+// blocks never durably written) and the number of committed segments.
+// The scan stops at the first absent or invalid summary: with in-order
+// segment fill, everything after it is by construction uncommitted.
+func Recover(dev *disk.Disk, dataBlocks uint32) (table []uint32, segments uint32, err error) {
+	if dataBlocks == 0 || dataBlocks%SegmentBlocks != 0 {
+		return nil, 0, fmt.Errorf("ld: data region %d blocks is not whole segments", dataBlocks)
+	}
+	table = make([]uint32, dataBlocks)
+	for i := range table {
+		table[i] = Unmapped
+	}
+	le := binary.LittleEndian
+	segCount := dataBlocks / SegmentBlocks
+	for seg := uint32(0); seg < segCount; seg++ {
+		b, err := dev.ReadBlock(dataBlocks + seg)
+		if err != nil {
+			return nil, 0, err
+		}
+		if le.Uint32(b[0:]) != summaryMagic ||
+			le.Uint32(b[4:]) != seg ||
+			le.Uint32(b[8:]) != seg+1 ||
+			le.Uint32(b[uint32(len(b))-4:]) != summaryChecksum(b) {
+			return table, seg, nil
+		}
+		count := le.Uint32(b[12:])
+		if count > SegmentBlocks {
+			return table, seg, nil
+		}
+		for i := uint32(0); i < count; i++ {
+			lb := le.Uint32(b[16+4*i:])
+			if lb < dataBlocks {
+				table[lb] = seg*SegmentBlocks + i
+			}
+		}
+	}
+	return table, segCount, nil
+}

@@ -1,0 +1,162 @@
+package ld
+
+import (
+	"testing"
+	"time"
+
+	"graftlab/internal/disk"
+	"graftlab/internal/vclock"
+)
+
+const (
+	durTestBlocks    = 64 // 4 segments
+	durTestBlockSize = 128
+)
+
+func durTestDisk() *disk.Disk {
+	geo := disk.DefaultGeometry()
+	geo.Blocks = DiskBlocks(durTestBlocks)
+	geo.BlockSize = durTestBlockSize
+	geo.AvgSeek = time.Microsecond
+	geo.TrackSeek = time.Microsecond
+	geo.HalfRotation = time.Microsecond
+	var clk vclock.Clock
+	return disk.New(geo, &clk)
+}
+
+func durPayload(tag byte) []byte {
+	b := make([]byte, durTestBlockSize)
+	for i := range b {
+		b[i] = tag ^ byte(i)
+	}
+	return b
+}
+
+func TestNewDurableValidates(t *testing.T) {
+	dev := durTestDisk()
+	if _, err := NewDurable(dev, NewNativeMapper(durTestBlocks), 17); err == nil {
+		t.Fatal("non-segment-aligned data region accepted")
+	}
+	if _, err := NewDurable(dev, NewNativeMapper(durTestBlocks), 0); err == nil {
+		t.Fatal("zero data region accepted")
+	}
+	if _, err := NewDurable(dev, NewNativeMapper(4096), 4096); err == nil {
+		t.Fatal("device smaller than data region + summaries accepted")
+	}
+}
+
+func TestDurableWriteReadRecover(t *testing.T) {
+	dev := durTestDisk()
+	l, err := NewDurable(dev, NewNativeMapper(durTestBlocks), durTestBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full segments: blocks 0..15 then 16..31, with 3 rewritten in
+	// the second segment.
+	for i := uint32(0); i < SegmentBlocks; i++ {
+		flushed, err := l.Write(i, durPayload(byte(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flushed != (i == SegmentBlocks-1) {
+			t.Fatalf("write %d: flushed=%v", i, flushed)
+		}
+	}
+	for i := uint32(0); i < SegmentBlocks; i++ {
+		lb := 16 + i
+		if i == 7 {
+			lb = 3 // remap
+		}
+		if _, err := l.Write(lb, durPayload(byte(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.SegmentFlushes() != 2 {
+		t.Fatalf("SegmentFlushes = %d", l.SegmentFlushes())
+	}
+
+	// Read through the mapper: remapped block 3 returns its newest data.
+	got, err := l.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(durPayload(107)) {
+		t.Fatal("remapped block did not return the newest payload")
+	}
+	if _, err := l.Read(60); err == nil {
+		t.Fatal("read of never-written block succeeded")
+	}
+
+	// Recovery from the device alone reproduces the same mapping.
+	table, segs, err := Recover(dev, durTestBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs != 2 {
+		t.Fatalf("recovered %d segments", segs)
+	}
+	if table[3] != 16+7 {
+		t.Fatalf("table[3] = %d, want %d", table[3], 16+7)
+	}
+	if table[0] != 0 || table[15] != 15 {
+		t.Fatalf("first segment mappings wrong: table[0]=%d table[15]=%d", table[0], table[15])
+	}
+	if table[60] != Unmapped {
+		t.Fatalf("never-written block mapped to %d", table[60])
+	}
+}
+
+func TestDurablePartialSegmentIsNotDurable(t *testing.T) {
+	dev := durTestDisk()
+	l, err := NewDurable(dev, NewNativeMapper(durTestBlocks), durTestBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 10; i++ { // less than a segment
+		if _, err := l.Write(i, durPayload(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	table, segs, err := Recover(dev, durTestBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs != 0 {
+		t.Fatalf("recovered %d segments from an unflushed log", segs)
+	}
+	for lb, p := range table {
+		if p != Unmapped {
+			t.Fatalf("unflushed write to %d recovered as durable", lb)
+		}
+	}
+}
+
+func TestRecoverRejectsCorruptSummary(t *testing.T) {
+	dev := durTestDisk()
+	l, err := NewDurable(dev, NewNativeMapper(durTestBlocks), durTestBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 2*SegmentBlocks; i++ {
+		if _, err := l.Write(i%durTestBlocks, durPayload(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip one byte inside the second segment's summary: the checksum
+	// must fail and the prefix scan must stop at one segment.
+	sum, err := dev.ReadBlock(durTestBlocks + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum[16] ^= 0xFF
+	if _, err := dev.WriteBlocks(durTestBlocks+1, sum); err != nil {
+		t.Fatal(err)
+	}
+	_, segs, err := Recover(dev, durTestBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs != 1 {
+		t.Fatalf("recovered %d segments past a corrupt summary", segs)
+	}
+}

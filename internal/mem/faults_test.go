@@ -1,0 +1,85 @@
+package mem
+
+import "testing"
+
+func TestFaultPlanCounting(t *testing.T) {
+	p := &FaultPlan{FailOn: 3}
+	if tr := p.Check(false, 100); tr != nil {
+		t.Fatalf("access 1 trapped: %v", tr)
+	}
+	if tr := p.Check(true, 200); tr != nil {
+		t.Fatalf("access 2 trapped: %v", tr)
+	}
+	tr := p.Check(false, 0x1234)
+	if tr == nil {
+		t.Fatal("access 3 did not trap")
+	}
+	if tr.Kind != TrapOOBLoad || tr.Addr != 0x1234 {
+		t.Fatalf("trap = {%v addr=%#x}, want OOBLoad at 0x1234", tr.Kind, tr.Addr)
+	}
+	// Past the scheduled access the plan is inert again.
+	if tr := p.Check(true, 50); tr != nil {
+		t.Fatalf("access 4 trapped: %v", tr)
+	}
+	if got := p.Accesses(); got != 4 {
+		t.Fatalf("Accesses() = %d, want 4", got)
+	}
+}
+
+func TestFaultPlanDefaultKinds(t *testing.T) {
+	load := &FaultPlan{FailOn: 1}
+	if tr := load.Check(false, 8); tr.Kind != TrapOOBLoad {
+		t.Fatalf("load fault kind = %v", tr.Kind)
+	}
+	store := &FaultPlan{FailOn: 1}
+	if tr := store.Check(true, 8); tr.Kind != TrapOOBStore {
+		t.Fatalf("store fault kind = %v", tr.Kind)
+	}
+	custom := &FaultPlan{FailOn: 1, Kind: TrapUnreachable}
+	if tr := custom.Check(true, 8); tr.Kind != TrapUnreachable {
+		t.Fatalf("override kind = %v", tr.Kind)
+	}
+}
+
+func TestFaultPlanZeroNeverFires(t *testing.T) {
+	p := &FaultPlan{} // FailOn 0: pure access counter
+	for i := uint32(0); i < 100; i++ {
+		if tr := p.Check(i%2 == 0, i); tr != nil {
+			t.Fatalf("disarmed plan trapped at access %d", i)
+		}
+	}
+	if p.Accesses() != 100 {
+		t.Fatalf("Accesses() = %d", p.Accesses())
+	}
+}
+
+func TestFaultPlanReset(t *testing.T) {
+	p := &FaultPlan{FailOn: 2}
+	p.Check(false, 1)
+	p.Reset()
+	if p.Accesses() != 0 {
+		t.Fatalf("Accesses after Reset = %d", p.Accesses())
+	}
+	if tr := p.Check(false, 1); tr != nil {
+		t.Fatal("first access after Reset trapped")
+	}
+	if tr := p.Check(false, 2); tr == nil {
+		t.Fatal("second access after Reset did not trap")
+	}
+}
+
+func TestMemoryArm(t *testing.T) {
+	m := New(4096)
+	if m.Faults() != nil {
+		t.Fatal("fresh memory has a fault plan")
+	}
+	p := &FaultPlan{FailOn: 1}
+	m.Arm(p)
+	if m.Faults() != p {
+		t.Fatal("Faults() did not return the armed plan")
+	}
+	m.Arm(nil)
+	if m.Faults() != nil {
+		t.Fatal("disarm failed")
+	}
+}

@@ -133,6 +133,9 @@ type Config struct {
 type Memory struct {
 	Data []byte
 	mask uint32
+	// faults is the armed fault-injection plan (see faults.go), nil in
+	// normal operation. Engines consult it at load time.
+	faults *FaultPlan
 }
 
 // New allocates a linear memory of the given size, which must be a power

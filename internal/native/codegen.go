@@ -311,6 +311,13 @@ func (c *codegen) builtin(ex *gel.Call, args []exprFn) (exprFn, error) {
 	mask := m.Mask()
 	size := uint32(len(data))
 
+	if f := m.Faults(); f != nil {
+		switch ex.Builtin {
+		case gel.BILd32, gel.BILd8, gel.BISt32, gel.BISt8:
+			return c.faultBuiltin(ex, args, f)
+		}
+	}
+
 	switch ex.Builtin {
 	case gel.BILd32:
 		addr := args[0]
@@ -509,6 +516,92 @@ func (c *codegen) builtin(ex *gel.Call, args []exprFn) (exprFn, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("native: %s: unknown builtin %q", ex.Pos, ex.Name)
+}
+
+// faultBuiltin emits the memory closures used when a mem.FaultPlan is
+// armed: operands are evaluated, the plan is consulted with the unmasked
+// address, and only then does the policy run — the same order every other
+// engine uses, so the Nth access is the same access everywhere. Fault
+// arming is a conformance-test mode, so these closures trade builtin()'s
+// compile-time policy specialization for one generic shape per operation.
+func (c *codegen) faultBuiltin(ex *gel.Call, args []exprFn, f *mem.FaultPlan) (exprFn, error) {
+	m := c.p.mem
+	cfg := c.p.cfg
+	switch ex.Builtin {
+	case gel.BILd32:
+		addr := args[0]
+		return func(fr *frame) uint32 {
+			a := addr(fr)
+			if t := f.Check(false, a); t != nil {
+				panic(t)
+			}
+			switch {
+			case cfg.Policy == mem.PolicyChecked:
+				m.CheckLoad(a, 4, cfg.NilCheck)
+			case cfg.Policy == mem.PolicySandbox && cfg.ReadProtect:
+				a = m.SandboxWord(a)
+			default:
+				m.CheckLoad(a, 4, false) // crash backstop
+			}
+			return m.Ld32U(a)
+		}, nil
+	case gel.BILd8:
+		addr := args[0]
+		return func(fr *frame) uint32 {
+			a := addr(fr)
+			if t := f.Check(false, a); t != nil {
+				panic(t)
+			}
+			switch {
+			case cfg.Policy == mem.PolicyChecked:
+				m.CheckLoad(a, 1, cfg.NilCheck)
+			case cfg.Policy == mem.PolicySandbox && cfg.ReadProtect:
+				a = m.Sandbox(a)
+			default:
+				m.CheckLoad(a, 1, false)
+			}
+			return m.Ld8U(a)
+		}, nil
+	case gel.BISt32:
+		addr, val := args[0], args[1]
+		return func(fr *frame) uint32 {
+			a := addr(fr)
+			v := val(fr)
+			if t := f.Check(true, a); t != nil {
+				panic(t)
+			}
+			switch cfg.Policy {
+			case mem.PolicyChecked:
+				m.CheckStore(a, 4, cfg.NilCheck)
+			case mem.PolicySandbox:
+				a = m.SandboxWord(a)
+			default:
+				m.CheckStore(a, 4, false)
+			}
+			m.St32U(a, v)
+			return 0
+		}, nil
+	case gel.BISt8:
+		addr, val := args[0], args[1]
+		return func(fr *frame) uint32 {
+			a := addr(fr)
+			v := val(fr)
+			if t := f.Check(true, a); t != nil {
+				panic(t)
+			}
+			switch cfg.Policy {
+			case mem.PolicyChecked:
+				m.CheckStore(a, 1, cfg.NilCheck)
+			case mem.PolicySandbox:
+				a = m.Sandbox(a)
+			default:
+				m.CheckStore(a, 1, false)
+			}
+			m.St8U(a, v)
+			return 0
+		}, nil
+	}
+	return nil, fmt.Errorf("native: %s: builtin %q is not a memory op", ex.Pos, ex.Name)
 }
 
 func le32(data []byte, a uint32) uint32 {

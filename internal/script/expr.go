@@ -3,6 +3,8 @@ package script
 import (
 	"fmt"
 	"strings"
+
+	"graftlab/internal/mem"
 )
 
 // evalExpr evaluates a Tcl-style arithmetic expression over u32 with the
@@ -303,7 +305,10 @@ func (e *exprParser) parseMultiplicative() (uint32, error) {
 			}
 			if y == 0 {
 				if !e.skip {
-					return 0, fmt.Errorf("script: expr: divide by zero")
+					// A trap, not a plain error: every other technology
+					// reports division by zero as mem.TrapDivZero, and the
+					// conformance oracle holds the script class to that too.
+					return 0, &mem.Trap{Kind: mem.TrapDivZero}
 				}
 				y = 1
 			}
@@ -315,7 +320,7 @@ func (e *exprParser) parseMultiplicative() (uint32, error) {
 			}
 			if y == 0 {
 				if !e.skip {
-					return 0, fmt.Errorf("script: expr: divide by zero")
+					return 0, &mem.Trap{Kind: mem.TrapDivZero}
 				}
 				y = 1
 			}

@@ -68,6 +68,36 @@ proc main {a} { return [hot $a] }`
 	}
 }
 
+// FuzzInterp is the native-fuzzing version of the hammer above, run
+// continuously by `go test -fuzz=FuzzInterp`: loading may fail and
+// invocation may trap, but nothing may panic or escape the 4 KB memory.
+// The fuel budget is what makes fuzzer-found infinite loops terminate.
+// Seeds live in testdata/fuzz/FuzzInterp.
+func FuzzInterp(f *testing.F) {
+	seeds := []string{
+		"proc main {a b} { return [expr {$a + $b}] }",
+		"proc main {a} { set i 0\nwhile {$i < $a} { st32 [expr {1024 + $i * 4}] $i\nincr i }\nreturn [ld32 1024] }",
+		"proc f {n} { if {$n == 0} { return 0 }\nreturn [expr {$n + [f [expr {$n - 1}]]}] }\nproc main {} { return [f 5] }",
+		"proc main {} { abort 7 }",
+		"proc main {a} { return [expr {$a / 0}] }",
+		"proc main {} { return [ld32 999999] }",
+		"proc main {} { while {1} { } }",
+		"proc {bad",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		in := New(mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+		in.Fuel = 10000
+		if err := in.Load(src); err != nil {
+			return
+		}
+		_, _ = in.Invoke("main")
+		_, _ = in.Invoke("main", 3, 4, 5)
+	})
+}
+
 // TestExprNeverPanics hammers the expression sub-parser directly.
 func TestExprNeverPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))

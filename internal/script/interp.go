@@ -421,6 +421,11 @@ func (in *Interp) cmdIf(words []string) (string, code, error) {
 }
 
 func (in *Interp) load(a uint32, word bool) (uint32, error) {
+	if f := in.mem.Faults(); f != nil {
+		if t := f.Check(false, a); t != nil {
+			return 0, t
+		}
+	}
 	width := uint32(1)
 	if word {
 		width = 4
@@ -441,6 +446,11 @@ func (in *Interp) load(a uint32, word bool) (uint32, error) {
 }
 
 func (in *Interp) store(a, v uint32, word bool) error {
+	if f := in.mem.Faults(); f != nil {
+		if t := f.Check(true, a); t != nil {
+			return t
+		}
+	}
 	width := uint32(1)
 	if word {
 		width = 4

@@ -14,6 +14,7 @@
 package upcall
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -45,7 +46,21 @@ type Domain struct {
 	quit    chan struct{}
 	done    chan struct{}
 	once    sync.Once
+
+	// Delivery-fault injection (conformance tests): dropEvery > 0 makes
+	// every Nth upcall fail with ErrDelivery before reaching the server,
+	// modeling a lost message on the kernel↔server transport. The graft
+	// never runs for a dropped call, and the domain stays usable.
+	dropEvery uint64
+	calls     uint64
 }
+
+// ErrDelivery is the transport failure injected by FailDelivery: the
+// upcall never reached the extension's domain. It is deliberately not a
+// *mem.Trap — the graft did not fault, the channel to it did — and
+// callers distinguish the two exactly as a kernel distinguishes a dead
+// server from a trapping extension.
+var ErrDelivery = errors.New("upcall: delivery failure (injected)")
 
 // NewDomain starts a server goroutine around g. latency is added to every
 // upcall by spinning, modeling the domain-crossing cost being swept in
@@ -83,6 +98,12 @@ func (d *Domain) Invoke(entry string, args ...uint32) (uint32, error) {
 	if traced {
 		t0 = time.Now()
 	}
+	if d.dropEvery > 0 {
+		d.calls++
+		if d.calls%d.dropEvery == 0 {
+			return 0, ErrDelivery
+		}
+	}
 	if d.latency > 0 {
 		spin(d.latency)
 	}
@@ -113,6 +134,14 @@ func (d *Domain) Close() {
 
 // Latency reports the synthetic per-upcall latency.
 func (d *Domain) Latency() time.Duration { return d.latency }
+
+// FailDelivery arms delivery-fault injection: every nth Invoke fails
+// with ErrDelivery without reaching the server (0 disarms). Not safe to
+// call concurrently with Invoke.
+func (d *Domain) FailDelivery(nth uint64) {
+	d.dropEvery = nth
+	d.calls = 0
+}
 
 // spin busy-waits for d; sleeping is far too coarse for the microsecond
 // latencies Figure 1 sweeps.

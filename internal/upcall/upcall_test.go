@@ -78,6 +78,92 @@ func TestDomainSyntheticLatency(t *testing.T) {
 	}
 }
 
+// TestDomainTrapEquivalence is the boundary's core safety contract: a
+// graft that traps in-kernel must surface the *same* *mem.Trap —
+// kind, address, and code — when every invocation instead crosses the
+// upcall boundary. The wrapper transports the trap; it must not wrap,
+// rewrite, or swallow it.
+func TestDomainTrapEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		gel   string
+		entry string
+		args  []uint32
+	}{
+		{name: "oob-store", entry: "main", args: []uint32{0x20000, 7},
+			gel: `func main(a, b) { st32(a, b); return 0; }`},
+		{name: "oob-load", entry: "main", args: []uint32{0x40000000},
+			gel: `func main(a) { return ld32(a); }`},
+		{name: "div-zero", entry: "main", args: []uint32{10, 0},
+			gel: `func main(a, b) { return a / b; }`},
+		{name: "abort", entry: "main", args: []uint32{9},
+			gel: `func main(a) { abort(a); return 0; }`},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			src := tech.Source{Name: c.name, GEL: c.gel}
+			direct, err := tech.Load(tech.NativeSafe, src, mem.New(1<<16), tech.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, directErr := direct.Invoke(c.entry, c.args...)
+
+			inner, err := tech.Load(tech.NativeSafe, src, mem.New(1<<16), tech.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := NewDomain(inner, 0)
+			defer d.Close()
+			_, wrappedErr := d.Invoke(c.entry, c.args...)
+
+			dt, ok := directErr.(*mem.Trap)
+			if !ok {
+				t.Fatalf("direct run did not trap: %v", directErr)
+			}
+			wt, ok := wrappedErr.(*mem.Trap)
+			if !ok {
+				t.Fatalf("upcall run did not surface a *mem.Trap: %v", wrappedErr)
+			}
+			if dt.Kind != wt.Kind || dt.Addr != wt.Addr || dt.Code != wt.Code {
+				t.Fatalf("trap diverges across the boundary: direct {%v addr=%#x code=%d}, upcall {%v addr=%#x code=%d}",
+					dt.Kind, dt.Addr, dt.Code, wt.Kind, wt.Addr, wt.Code)
+			}
+			// The boundary must stay usable after transporting a trap.
+			if _, err := d.Invoke(c.entry, c.args...); err == nil {
+				t.Fatal("second invocation unexpectedly succeeded")
+			}
+		})
+	}
+}
+
+// TestFailDelivery covers the injected transport failure: the error is
+// ErrDelivery — not a trap, the graft never ran — and disarming
+// restores normal service.
+func TestFailDelivery(t *testing.T) {
+	d := NewDomain(loadNoop(t), 0)
+	defer d.Close()
+	d.FailDelivery(2)
+	for i := 1; i <= 6; i++ {
+		v, err := d.Invoke("main", uint32(i))
+		if i%2 == 0 {
+			if err != ErrDelivery {
+				t.Fatalf("call %d: err=%v, want ErrDelivery", i, err)
+			}
+			continue
+		}
+		if err != nil || v != uint32(i)+1 {
+			t.Fatalf("call %d: %d, %v", i, v, err)
+		}
+	}
+	d.FailDelivery(0)
+	for i := 0; i < 4; i++ {
+		if _, err := d.Invoke("main", 1); err != nil {
+			t.Fatalf("after disarm: %v", err)
+		}
+	}
+}
+
 func TestDomainIsAGraft(t *testing.T) {
 	var _ tech.Graft = (*Domain)(nil)
 	d := NewDomain(loadNoop(t), 0)

@@ -228,6 +228,13 @@ func NewOpt(mod *bytecode.Module, m *mem.Memory, cfg mem.Config, oc OptConfig) (
 	if err := bytecode.Verify(mod); err != nil {
 		return nil, err
 	}
+	if m.Faults() != nil {
+		// Fault injection schedules traps on individual retired accesses;
+		// fused superinstructions collapse several accesses into one
+		// opcode, so arming forces plain translation. Load-time decision:
+		// an unarmed memory keeps the fused fast path untouched.
+		oc.NoFuse = true
+	}
 	v := &OptVM{mod: mod, mem: m}
 	v.fns = make([]xfunc, len(mod.Funcs))
 	for i, f := range mod.Funcs {
@@ -349,6 +356,7 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 	code := fn.code
 	data := v.mem.Data
 	mask := v.mem.Mask()
+	faults := v.mem.Faults()
 	pc := 0
 	sp := 0
 	for {
@@ -408,12 +416,18 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 
 		case xLd32U:
 			a := stack[sp-1]
+			if faults != nil {
+				faultCheck(faults, false, a, int(in.pc))
+			}
 			if uint64(a)+4 > uint64(len(data)) {
 				throwAt(mem.TrapOOBLoad, a, int(in.pc))
 			}
 			stack[sp-1] = ldw(data, a)
 		case xLd32N:
 			a := stack[sp-1]
+			if faults != nil {
+				faultCheck(faults, false, a, int(in.pc))
+			}
 			if a < mem.NilPageSize {
 				throwAt(mem.TrapNilDeref, a, int(in.pc))
 			}
@@ -422,15 +436,25 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 			}
 			stack[sp-1] = ldw(data, a)
 		case xLd32S:
-			stack[sp-1] = ldw(data, stack[sp-1]&mask&^3)
+			a := stack[sp-1]
+			if faults != nil {
+				faultCheck(faults, false, a, int(in.pc))
+			}
+			stack[sp-1] = ldw(data, a&mask&^3)
 		case xLd8U:
 			a := stack[sp-1]
+			if faults != nil {
+				faultCheck(faults, false, a, int(in.pc))
+			}
 			if a >= uint32(len(data)) {
 				throwAt(mem.TrapOOBLoad, a, int(in.pc))
 			}
 			stack[sp-1] = uint32(data[a])
 		case xLd8N:
 			a := stack[sp-1]
+			if faults != nil {
+				faultCheck(faults, false, a, int(in.pc))
+			}
 			if a < mem.NilPageSize {
 				throwAt(mem.TrapNilDeref, a, int(in.pc))
 			}
@@ -439,11 +463,18 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 			}
 			stack[sp-1] = uint32(data[a])
 		case xLd8S:
-			stack[sp-1] = uint32(data[stack[sp-1]&mask])
+			a := stack[sp-1]
+			if faults != nil {
+				faultCheck(faults, false, a, int(in.pc))
+			}
+			stack[sp-1] = uint32(data[a&mask])
 		case xSt32U:
 			val := stack[sp-1]
 			a := stack[sp-2]
 			sp -= 2
+			if faults != nil {
+				faultCheck(faults, true, a, int(in.pc))
+			}
 			if uint64(a)+4 > uint64(len(data)) {
 				throwAt(mem.TrapOOBStore, a, int(in.pc))
 			}
@@ -452,6 +483,9 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 			val := stack[sp-1]
 			a := stack[sp-2]
 			sp -= 2
+			if faults != nil {
+				faultCheck(faults, true, a, int(in.pc))
+			}
 			if a < mem.NilPageSize {
 				throwAt(mem.TrapNilDeref, a, int(in.pc))
 			}
@@ -463,11 +497,17 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 			val := stack[sp-1]
 			a := stack[sp-2]
 			sp -= 2
+			if faults != nil {
+				faultCheck(faults, true, a, int(in.pc))
+			}
 			stw(data, a&mask&^3, val)
 		case xSt8U:
 			val := stack[sp-1]
 			a := stack[sp-2]
 			sp -= 2
+			if faults != nil {
+				faultCheck(faults, true, a, int(in.pc))
+			}
 			if a >= uint32(len(data)) {
 				throwAt(mem.TrapOOBStore, a, int(in.pc))
 			}
@@ -476,6 +516,9 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 			val := stack[sp-1]
 			a := stack[sp-2]
 			sp -= 2
+			if faults != nil {
+				faultCheck(faults, true, a, int(in.pc))
+			}
 			if a < mem.NilPageSize {
 				throwAt(mem.TrapNilDeref, a, int(in.pc))
 			}
@@ -487,6 +530,9 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 			val := stack[sp-1]
 			a := stack[sp-2]
 			sp -= 2
+			if faults != nil {
+				faultCheck(faults, true, a, int(in.pc))
+			}
 			data[a&mask] = byte(val)
 
 		case xLLBin:

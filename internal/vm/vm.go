@@ -31,6 +31,16 @@ func throwAt(kind mem.TrapKind, addr uint32, pc int) {
 	panic(&mem.Trap{Kind: kind, Addr: addr, PC: pc})
 }
 
+// faultCheck consults an armed fault plan for one memory access and
+// throws the injected trap, stamped with the bytecode pc, when the
+// access index hits the schedule.
+func faultCheck(f *mem.FaultPlan, store bool, addr uint32, pc int) {
+	if t := f.Check(store, addr); t != nil {
+		t.PC = pc
+		panic(t)
+	}
+}
+
 // VM executes one loaded module against one linear memory.
 //
 // Concurrency: a VM is NOT safe for concurrent use. Invoke, Direct
@@ -170,6 +180,7 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 	readProtect := sandbox && v.cfg.ReadProtect
 	mask := v.mem.Mask()
 	metered := v.metered
+	faults := v.mem.Faults()
 
 	pc := 0
 	for {
@@ -285,6 +296,9 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			stack[len(stack)-1] = b2u(stack[len(stack)-1] == 0)
 		case bytecode.OpLd32:
 			a := stack[len(stack)-1]
+			if faults != nil {
+				faultCheck(faults, false, a, pc)
+			}
 			if checked {
 				if nilCheck && a < mem.NilPageSize {
 					throwAt(mem.TrapNilDeref, a, pc)
@@ -302,6 +316,9 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 				uint32(data[a+2])<<16 | uint32(data[a+3])<<24
 		case bytecode.OpLd8:
 			a := stack[len(stack)-1]
+			if faults != nil {
+				faultCheck(faults, false, a, pc)
+			}
 			if checked {
 				if nilCheck && a < mem.NilPageSize {
 					throwAt(mem.TrapNilDeref, a, pc)
@@ -320,6 +337,9 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			val := stack[len(stack)-1]
 			a := stack[len(stack)-2]
 			stack = stack[:len(stack)-2]
+			if faults != nil {
+				faultCheck(faults, true, a, pc)
+			}
 			if checked {
 				if nilCheck && a < mem.NilPageSize {
 					throwAt(mem.TrapNilDeref, a, pc)
@@ -341,6 +361,9 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			val := stack[len(stack)-1]
 			a := stack[len(stack)-2]
 			stack = stack[:len(stack)-2]
+			if faults != nil {
+				faultCheck(faults, true, a, pc)
+			}
 			if checked {
 				if nilCheck && a < mem.NilPageSize {
 					throwAt(mem.TrapNilDeref, a, pc)
