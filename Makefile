@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover cover-check conformance-short fuzz-smoke bench bench-smoke check experiments quick-experiments examples clean
+.PHONY: all build test test-short race stress cover cover-check conformance-short fuzz-smoke bench bench-smoke bench-check check experiments quick-experiments examples clean
 
 all: build test
 
@@ -25,6 +25,13 @@ test-short:
 
 race:
 	$(GO) test -race ./...
+
+# Concurrency stress suite under the race detector: pooled instances
+# hammered from many goroutines, the sharded pager, and the concurrent
+# conformance pass. A subset of `race`, kept separate so CI reports
+# data races in the multicore layer as their own failure.
+stress:
+	$(GO) test -race -count=1 -run 'Stress|Concurrent' ./...
 
 # COVER_FLOOR is the recorded baseline (82.2% when set): cover-check
 # fails if total statement coverage drops below it. Raise it when
@@ -62,6 +69,13 @@ bench:
 # code paths without paying measurement time.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run XXX .
+
+# Regression gate: rerun Table 5 at quick scale and compare against the
+# committed baseline. The 45% tolerance absorbs shared-runner noise while
+# still catching the 2x-and-worse slips that matter; see
+# `graftbench -check-against` for the comparison rules.
+bench-check:
+	$(GO) run ./cmd/graftbench -quick -experiment table5 -check-against BENCH_table5_baseline.json -check-tolerance 0.45
 
 # Regenerate the paper's evaluation (Tables 1-6, Figure 1, ablations,
 # packet filter). Minutes at paper scale; use quick-experiments for CI.

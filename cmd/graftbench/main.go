@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter]
+//	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter|scale]
 //	           [-figure1-csv out.csv] [-vm opt|baseline] [-json] [-json-out out.json]
 //	           [-telemetry] [-trace-out trace.jsonl]
+//	           [-check-against baseline.json] [-check-tolerance 0.30]
 //
 // -vm selects the bytecode engine for the vm rows: "opt" (default, the
 // load-time optimizing translator) or "baseline" (the reference
@@ -21,11 +22,18 @@
 // stream-filter passes, upcalls, LD segment flushes) into a bounded ring
 // and dumps them as JSONL to the given path.
 //
+// -check-against loads an archived BENCH_*.json and compares this run's
+// results against it (see internal/bench.CompareReports): a time-like
+// metric more than the tolerance slower, or a throughput more than the
+// tolerance lower, fails the run with exit status 1. `make bench-check`
+// wires this against the committed Table 5 baseline.
+//
 // Paper-scale runs (the default) take minutes, dominated by the script
 // (Tcl-class) rows; -quick keeps every code path but shrinks sizes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,7 +56,7 @@ func main() {
 
 	var (
 		experiment = flag.String("experiment", "all",
-			"which artifact to regenerate: all, table1..table6, figure1, ablation, pktfilter")
+			"which artifact to regenerate: all, table1..table6, figure1, ablation, pktfilter, scale")
 		quick  = flag.Bool("quick", false, "reduced sizes (CI-scale)")
 		csv    = flag.String("figure1-csv", "", "also write the Figure 1 series to this CSV file")
 		jsonB  = flag.Bool("json", false, "also write machine-readable results to BENCH_<experiment>.json")
@@ -56,6 +64,8 @@ func main() {
 		vmMode = flag.String("vm", "", `bytecode engine: "opt" (default) or "baseline"`)
 		telem  = flag.Bool("telemetry", false, "record per-graft invocation metrics and print/export them")
 		trace  = flag.String("trace-out", "", "record kernel events and dump them as JSONL to this path (implies -telemetry)")
+		checkP = flag.String("check-against", "", "compare results against this baseline BENCH_*.json; exit non-zero on regression")
+		tolF   = flag.Float64("check-tolerance", 0.30, "relative tolerance for -check-against (0.30 = 30%)")
 	)
 	flag.Parse()
 
@@ -87,9 +97,16 @@ func main() {
 		cfg.Telemetry = true
 	}
 
-	if err := run(cfg, exp, *csv, jsonPath, *quick); err != nil {
+	report, err := run(cfg, exp, *csv, jsonPath, *quick)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *checkP != "" {
+		if err := checkAgainst(report, *checkP, *tolF); err != nil {
+			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *trace != "" {
 		if err := dumpTrace(*trace); err != nil {
@@ -102,6 +119,32 @@ func main() {
 // traceRingCapacity bounds the kernel event ring; at ~48 bytes per event
 // this is a few MB, plenty for a full paper-scale run's kernel activity.
 const traceRingCapacity = 1 << 16
+
+// checkAgainst compares report with the baseline archived at path and
+// returns an error listing every metric that regressed beyond tol.
+func checkAgainst(report *bench.Report, path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline bench.Report
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	regs, compared := bench.CompareReports(&baseline, report, tol)
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no comparable metrics with this run", path)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d of %d metrics regressed beyond %.0f%% vs %s",
+			len(regs), compared, tol*100, path)
+	}
+	fmt.Printf("regression check: %d metrics within %.0f%% of %s\n", compared, tol*100, path)
+	return nil
+}
 
 // dumpTrace writes the retained kernel events as JSONL.
 func dumpTrace(path string) error {
@@ -125,7 +168,7 @@ func dumpTrace(path string) error {
 	return nil
 }
 
-func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) error {
+func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) (*bench.Report, error) {
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	report := &bench.Report{GeneratedNote: "paper-scale", Host: bench.CollectHost(), Config: &cfg}
 	if quick {
@@ -134,16 +177,16 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	known := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "table6": true, "figure1": true,
-		"ablation": true, "pktfilter": true,
+		"ablation": true, "pktfilter": true, "scale": true,
 	}
 	if !known[experiment] {
-		return fmt.Errorf("unknown experiment %q", experiment)
+		return nil, fmt.Errorf("unknown experiment %q", experiment)
 	}
 
 	if want("table1") {
 		res, err := bench.RunSignal(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.Signal = res
 		fmt.Println(res.Table())
@@ -153,7 +196,7 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 		var err error
 		evict, err = bench.RunEviction(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if want("table2") {
@@ -163,7 +206,7 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if want("table3") {
 		res, err := bench.RunFault(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.Fault = res
 		fmt.Println(res.Table())
@@ -171,7 +214,7 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if want("table4") {
 		res, err := bench.RunDisk(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.Disk = res
 		fmt.Println(res.Table())
@@ -179,7 +222,7 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if want("table5") {
 		res, err := bench.RunMD5(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.MD5 = res
 		fmt.Println(res.Table())
@@ -187,7 +230,7 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if want("table6") {
 		res, err := bench.RunLD(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.LD = res
 		fmt.Println(res.Table())
@@ -195,13 +238,13 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if want("figure1") {
 		fig, err := bench.RunFigure1(cfg, evict)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.Figure1 = fig
 		fmt.Println(fig.Table())
 		if csvPath != "" {
 			if err := os.WriteFile(csvPath, []byte(fig.CSV()), 0o644); err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Printf("figure 1 series written to %s\n\n", csvPath)
 		}
@@ -209,7 +252,7 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if want("pktfilter") {
 		res, err := bench.RunPacketFilter(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.PacketFilter = res
 		fmt.Println(res.Table())
@@ -217,9 +260,20 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if want("ablation") {
 		res, err := bench.RunAblation(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.Ablation = res
+		fmt.Println(res.Table())
+	}
+	if experiment == "scale" {
+		// E7 runs only on request: it is the one experiment whose model is
+		// concurrent, so folding it into "all" would interleave goroutines
+		// with the single-threaded tables' timing loops.
+		res, err := bench.RunScale(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Scale = res
 		fmt.Println(res.Table())
 	}
 	if snaps := telemetry.SnapshotAll(); len(snaps) > 0 {
@@ -233,12 +287,12 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) err
 	if jsonPath != "" {
 		data, err := report.Encode()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("machine-readable results written to %s (%s)\n", jsonPath, bench.DurationsNote)
 	}
-	return nil
+	return report, nil
 }

@@ -26,7 +26,7 @@ func microConfig() bench.Config {
 }
 
 func TestUnknownExperimentRejected(t *testing.T) {
-	if err := run(microConfig(), "table99", "", "", true); err == nil {
+	if _, err := run(microConfig(), "table99", "", "", true); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -36,7 +36,7 @@ func TestIndividualExperiments(t *testing.T) {
 	for _, exp := range []string{"table2", "table3", "table4", "table5", "table6", "ablation", "pktfilter"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(cfg, exp, "", "", true); err != nil {
+			if _, err := run(cfg, exp, "", "", true); err != nil {
 				t.Fatalf("%s: %v", exp, err)
 			}
 		})
@@ -47,7 +47,7 @@ func TestFigure1WritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "fig1.csv")
 	js := filepath.Join(dir, "results.json")
-	if err := run(microConfig(), "figure1", csv, js, true); err != nil {
+	if _, err := run(microConfig(), "figure1", csv, js, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(js)
@@ -82,6 +82,45 @@ func TestDefaultJSONPath(t *testing.T) {
 	}
 }
 
+// TestCheckAgainst pins the CLI end of the regression gate: a matching
+// baseline passes, a wildly faster baseline fails, a disjoint or missing
+// one errors.
+func TestCheckAgainst(t *testing.T) {
+	cfg := microConfig()
+	report, err := run(cfg, "table5", "", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeBaseline := func(r *bench.Report) string {
+		data, err := r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if err := checkAgainst(report, writeBaseline(report), 0.30); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	fast := *report.MD5
+	fast.Rows = append([]bench.MD5Row(nil), report.MD5.Rows...)
+	for i := range fast.Rows {
+		fast.Rows[i].Total /= 100
+	}
+	if err := checkAgainst(report, writeBaseline(&bench.Report{MD5: &fast}), 0.30); err == nil {
+		t.Fatal("100x regression passed the gate")
+	}
+	if err := checkAgainst(report, writeBaseline(&bench.Report{}), 0.30); err == nil {
+		t.Fatal("baseline with no comparable metrics accepted")
+	}
+	if err := checkAgainst(report, filepath.Join(t.TempDir(), "missing.json"), 0.30); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}
+
 // TestVMBaselineSelectable pins that the -vm=baseline plumbing reaches the
 // vm rows: a baseline-config run must still produce correct results.
 func TestVMBaselineSelectable(t *testing.T) {
@@ -91,7 +130,7 @@ func TestVMBaselineSelectable(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.VM = mode
-	if err := run(cfg, "table5", "", "", true); err != nil {
+	if _, err := run(cfg, "table5", "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := tech.ParseVMMode("nonsense"); err == nil {

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// The regression checker turns archived BENCH_*.json reports into a
+// gate: rerun an experiment, compare it against a committed baseline,
+// and fail when a metric moved outside tolerance in the bad direction.
+// Improvements never fail the gate — the baseline is a floor under
+// quality, not a pin on exact numbers.
+
+// Regression is one metric that moved outside tolerance.
+type Regression struct {
+	Experiment string  // "table2", "table5", "table6", "scale"
+	Row        string  // technology (plus workload/workers where relevant)
+	Metric     string  // what was compared
+	Baseline   float64 // baseline value (ns for durations)
+	Current    float64
+	Ratio      float64 // Current / Baseline
+}
+
+// String renders one regression for the CLI.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %s %.4g -> %.4g (x%.2f)",
+		r.Experiment, r.Row, r.Metric, r.Baseline, r.Current, r.Ratio)
+}
+
+// CompareReports diffs current against baseline with relative tolerance
+// tol (0.30 allows a 30% move). Time-like metrics regress when current
+// exceeds baseline*(1+tol); throughputs regress when current falls below
+// baseline*(1-tol). Only experiments present in BOTH reports are
+// compared, and raw durations are compared only when the workload sizes
+// match — otherwise the dimensionless normalized column stands in, so a
+// paper-scale baseline can still gate a quick-scale rerun. Returns the
+// regressions and how many metrics were compared.
+func CompareReports(baseline, current *Report, tol float64) ([]Regression, int) {
+	c := &comparer{tol: tol}
+
+	if b, cur := baseline.Evict, current.Evict; b != nil && cur != nil {
+		rows := make(map[string]EvictRow, len(b.Rows))
+		for _, r := range b.Rows {
+			rows[r.Tech] = r
+		}
+		sameSize := b.HotListLen == cur.HotListLen
+		for _, r := range cur.Rows {
+			br, ok := rows[r.Tech]
+			if !ok {
+				continue
+			}
+			if sameSize {
+				c.worseAbove("table2", r.Tech, "per_eviction_ns", float64(br.Per), float64(r.Per))
+			} else {
+				c.worseAbove("table2", r.Tech, "normalized", br.Normalized, r.Normalized)
+			}
+		}
+	}
+	if b, cur := baseline.MD5, current.MD5; b != nil && cur != nil {
+		rows := make(map[string]MD5Row, len(b.Rows))
+		for _, r := range b.Rows {
+			rows[r.Tech] = r
+		}
+		sameSize := b.Bytes == cur.Bytes
+		for _, r := range cur.Rows {
+			br, ok := rows[r.Tech]
+			if !ok {
+				continue
+			}
+			if sameSize {
+				c.worseAbove("table5", r.Tech, "total_ns", float64(br.Total), float64(r.Total))
+			} else {
+				c.worseAbove("table5", r.Tech, "normalized", br.Normalized, r.Normalized)
+			}
+		}
+	}
+	if b, cur := baseline.LD, current.LD; b != nil && cur != nil {
+		rows := make(map[string]LDRow, len(b.Rows))
+		for _, r := range b.Rows {
+			rows[r.Tech] = r
+		}
+		sameSize := b.Writes == cur.Writes
+		for _, r := range cur.Rows {
+			br, ok := rows[r.Tech]
+			if !ok {
+				continue
+			}
+			if sameSize {
+				c.worseAbove("table6", r.Tech, "total_ns", float64(br.Total), float64(r.Total))
+			} else {
+				c.worseAbove("table6", r.Tech, "normalized", br.Normalized, r.Normalized)
+			}
+		}
+	}
+	if b, cur := baseline.Scale, current.Scale; b != nil && cur != nil &&
+		b.ServiceTime == cur.ServiceTime {
+		type key struct{ workload, tech string }
+		rows := make(map[key]ScaleRow, len(b.Rows))
+		for _, r := range b.Rows {
+			rows[key{r.Workload, r.Tech}] = r
+		}
+		for _, r := range cur.Rows {
+			br, ok := rows[key{r.Workload, r.Tech}]
+			if !ok {
+				continue
+			}
+			cells := make(map[int]ScaleCell, len(br.Cells))
+			for _, cl := range br.Cells {
+				cells[cl.Workers] = cl
+			}
+			for _, cl := range r.Cells {
+				bc, ok := cells[cl.Workers]
+				if !ok {
+					continue
+				}
+				row := fmt.Sprintf("%s/%s w=%d", r.Workload, r.Tech, cl.Workers)
+				c.worseBelow("scale", row, "ops_per_sec", bc.Throughput, cl.Throughput)
+			}
+		}
+	}
+	return c.regs, c.compared
+}
+
+type comparer struct {
+	tol      float64
+	compared int
+	regs     []Regression
+}
+
+// worseAbove flags current > baseline*(1+tol): time-like metrics.
+func (c *comparer) worseAbove(exp, row, metric string, base, cur float64) {
+	c.record(exp, row, metric, base, cur, base > 0 && cur > base*(1+c.tol))
+}
+
+// worseBelow flags current < baseline*(1-tol): throughput-like metrics.
+func (c *comparer) worseBelow(exp, row, metric string, base, cur float64) {
+	c.record(exp, row, metric, base, cur, base > 0 && cur < base*(1-c.tol))
+}
+
+func (c *comparer) record(exp, row, metric string, base, cur float64, bad bool) {
+	c.compared++
+	if !bad {
+		return
+	}
+	ratio := 0.0
+	if base > 0 {
+		ratio = cur / base
+	}
+	c.regs = append(c.regs, Regression{
+		Experiment: exp, Row: row, Metric: metric,
+		Baseline: base, Current: cur, Ratio: ratio,
+	})
+}
+
+var _ = time.Nanosecond // durations compare in ns, per DurationsNote

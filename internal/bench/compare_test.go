@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// md5Report builds a minimal Table 5 report for comparator tests.
+func md5Report(bytes int, total time.Duration, normalized float64) *Report {
+	return &Report{MD5: &MD5Result{
+		Bytes: bytes,
+		Rows: []MD5Row{{Tech: "compiled-unsafe", Total: total, Normalized: normalized}},
+	}}
+}
+
+func scaleReport(service time.Duration, thr float64) *Report {
+	return &Report{Scale: &ScaleResult{
+		ServiceTime: service,
+		Rows: []ScaleRow{{
+			Workload: "md5", Tech: "compiled-unsafe",
+			Cells: []ScaleCell{{Workers: 4, Throughput: thr}},
+		}},
+	}}
+}
+
+func TestCompareIdenticalReportsClean(t *testing.T) {
+	base := md5Report(1<<20, 100*time.Millisecond, 1)
+	regs, compared := CompareReports(base, md5Report(1<<20, 100*time.Millisecond, 1), 0.30)
+	if len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+	if compared == 0 {
+		t.Fatal("nothing compared")
+	}
+}
+
+func TestCompareFlagsSlowdown(t *testing.T) {
+	base := md5Report(1<<20, 100*time.Millisecond, 1)
+	regs, _ := CompareReports(base, md5Report(1<<20, 200*time.Millisecond, 2), 0.30)
+	if len(regs) != 1 {
+		t.Fatalf("2x slowdown not flagged: %v", regs)
+	}
+	if regs[0].Experiment != "table5" || regs[0].Metric != "total_ns" {
+		t.Fatalf("wrong regression identity: %+v", regs[0])
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Fatalf("ratio = %v, want ~2", regs[0].Ratio)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := md5Report(1<<20, 100*time.Millisecond, 1)
+	regs, _ := CompareReports(base, md5Report(1<<20, 10*time.Millisecond, 1), 0.30)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	base := md5Report(1<<20, 100*time.Millisecond, 1)
+	if regs, _ := CompareReports(base, md5Report(1<<20, 129*time.Millisecond, 1), 0.30); len(regs) != 0 {
+		t.Fatalf("move inside tolerance flagged: %v", regs)
+	}
+	if regs, _ := CompareReports(base, md5Report(1<<20, 131*time.Millisecond, 1), 0.30); len(regs) != 1 {
+		t.Fatalf("move outside tolerance not flagged: %v", regs)
+	}
+}
+
+// Different workload sizes must fall back to the dimensionless
+// normalized column, so a paper-scale baseline gates a quick rerun.
+func TestCompareNormalizedFallback(t *testing.T) {
+	base := md5Report(1<<20, 400*time.Millisecond, 2)
+	cur := md5Report(256<<10, 100*time.Millisecond, 2) // raw 4x apart, same normalized
+	if regs, _ := CompareReports(base, cur, 0.30); len(regs) != 0 {
+		t.Fatalf("size-mismatched raw durations compared: %v", regs)
+	}
+	cur = md5Report(256<<10, 100*time.Millisecond, 4)
+	regs, _ := CompareReports(base, cur, 0.30)
+	if len(regs) != 1 || regs[0].Metric != "normalized" {
+		t.Fatalf("normalized regression not flagged: %v", regs)
+	}
+}
+
+// Throughput compares in the opposite direction: lower is worse.
+func TestCompareThroughputDirection(t *testing.T) {
+	base := scaleReport(200*time.Microsecond, 1000)
+	if regs, _ := CompareReports(base, scaleReport(200*time.Microsecond, 500), 0.30); len(regs) != 1 {
+		t.Fatalf("throughput collapse not flagged: %v", regs)
+	}
+	if regs, _ := CompareReports(base, scaleReport(200*time.Microsecond, 2000), 0.30); len(regs) != 0 {
+		t.Fatalf("throughput gain flagged: %v", regs)
+	}
+	// A different service time changes the model; those cells are skipped.
+	if _, compared := CompareReports(base, scaleReport(100*time.Microsecond, 10), 0.30); compared != 0 {
+		t.Fatal("cells with mismatched service time compared")
+	}
+}
+
+func TestCompareDisjointReports(t *testing.T) {
+	base := &Report{Evict: &EvictResult{Rows: []EvictRow{{Tech: "script", Per: time.Millisecond}}}}
+	regs, compared := CompareReports(base, md5Report(1<<20, time.Millisecond, 1), 0.30)
+	if compared != 0 || len(regs) != 0 {
+		t.Fatalf("disjoint reports compared: %d metrics, %v", compared, regs)
+	}
+}

@@ -47,6 +47,18 @@ type Config struct {
 	// SimFaultTime overrides the simulated page-fault service time; zero
 	// derives it from Geometry (seek + rotation + one-page transfer).
 	SimFaultTime time.Duration
+	// ScaleServiceTime is the simulated per-request device wait in the
+	// E7 closed-loop scalability experiment: the I/O time a request's
+	// graft decision is amortized against. Real wall time, so the
+	// experiment keeps its shape on any host.
+	ScaleServiceTime time.Duration
+	// ScaleOps is E7's per-worker request count for the compiled classes
+	// (slower classes run a reduced count, like the other tables).
+	ScaleOps int
+	// ScaleLDBlocks sizes the logical disk for E7's ldmap workload; it
+	// must exceed the largest per-worker request count so the append log
+	// never fills mid-measurement.
+	ScaleLDBlocks int
 	// VM selects the bytecode engine for every experiment's vm rows:
 	// "opt" (default, the optimizing translator) or "baseline" (the
 	// instruction-at-a-time reference interpreter).
@@ -72,6 +84,10 @@ func Default() Config {
 		FaultPages:     4096,
 		DiskWriteBytes: 8 << 20,
 		Geometry:       disk.DefaultGeometry(),
+
+		ScaleServiceTime: 200 * time.Microsecond,
+		ScaleOps:         256,
+		ScaleLDBlocks:    16384,
 	}
 }
 
@@ -87,6 +103,8 @@ func Quick() Config {
 	c.SignalIters = 100
 	c.FaultPages = 512
 	c.DiskWriteBytes = 2 << 20
+	c.ScaleOps = 64
+	c.ScaleLDBlocks = 4096
 	return c
 }
 

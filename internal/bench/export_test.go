@@ -27,6 +27,21 @@ func TestEncodeRoundTrip(t *testing.T) {
 			Graft: "page-evict", Tech: "compiled-unsafe",
 			Invocations: 42, LatencyP50: time.Microsecond,
 		}},
+		Scale: &ScaleResult{
+			ServiceTime:  200 * time.Microsecond,
+			WorkerCounts: []int{1, 2, 4},
+			MaxProcs:     1,
+			Rows: []ScaleRow{{
+				Workload: "md5", Tech: "compiled-unsafe", PaperName: "C (unsafe, in-kernel)",
+				OpsPerWorker: 256, Instances: 4,
+				Cells: []ScaleCell{{
+					Workers: 4, Ops: 1024, Throughput: 3500.5, Speedup: 3.9,
+					P50: 210 * time.Microsecond,
+					P95: 400 * time.Microsecond,
+					P99: 800 * time.Microsecond,
+				}},
+			}},
+		},
 	}
 	data, err := r.Encode()
 	if err != nil {
@@ -52,5 +67,40 @@ func TestEncodeRoundTrip(t *testing.T) {
 	tel := m["telemetry"].([]any)[0].(map[string]any)
 	if tel["invocations"].(float64) != 42 || tel["latency_p50"].(float64) != 1000 {
 		t.Errorf("telemetry snapshot mangled: %v", tel)
+	}
+
+	// BENCH_scale.json schema: snake_case keys, integer-ns percentiles,
+	// per-worker-count cells — what external plotting consumes.
+	scale := m["scale"].(map[string]any)
+	if scale["service_time"].(float64) != 200000 {
+		t.Errorf("scale service_time = %v, want 200000 ns", scale["service_time"])
+	}
+	srow := scale["rows"].([]any)[0].(map[string]any)
+	for _, key := range []string{"workload", "tech", "paper_name", "ops_per_worker", "instances", "cells"} {
+		if _, ok := srow[key]; !ok {
+			t.Fatalf("scale row lacks %q: %v", key, srow)
+		}
+	}
+	cell := srow["cells"].([]any)[0].(map[string]any)
+	for field, want := range map[string]float64{
+		"workers": 4, "ops": 1024, "speedup": 3.9,
+		"p50": 210000, "p95": 400000, "p99": 800000,
+	} {
+		if v, ok := cell[field].(float64); !ok || v != want {
+			t.Errorf("scale cell %s = %v, want %v", field, cell[field], want)
+		}
+	}
+	if cell["ops_per_sec"].(float64) != 3500.5 {
+		t.Errorf("scale cell ops_per_sec = %v", cell["ops_per_sec"])
+	}
+
+	// A decoded report must reconstruct the same scale numbers — the
+	// contract -check-against depends on.
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if regs, compared := CompareReports(r, &back, 0.01); len(regs) != 0 || compared == 0 {
+		t.Fatalf("round-tripped report does not compare clean: %d metrics, %v", compared, regs)
 	}
 }

@@ -148,7 +148,9 @@ func TestCrashConsistencyKillPoints(t *testing.T) {
 	if testing.Short() {
 		points = 60
 	}
-	rng := rand.New(rand.NewSource(75))
+	seed75 := suiteSeed(75, 4)
+	t.Logf("crash kill-point seed %d (replay with -seed)", seed75)
+	rng := rand.New(rand.NewSource(seed75))
 	// A full run issues 15 segments × 17 device writes; kill points are
 	// drawn past that too, to exercise the crash-free path.
 	const maxAccesses = 15*(ld.SegmentBlocks+1) + 10
@@ -174,7 +176,9 @@ func TestCrashConsistencyAcrossTechnologies(t *testing.T) {
 	if testing.Short() {
 		points = 4
 	}
-	rng := rand.New(rand.NewSource(76))
+	seed76 := suiteSeed(76, 5)
+	t.Logf("cross-technology kill-point seed %d (replay with -seed)", seed76)
+	rng := rand.New(rand.NewSource(seed76))
 	ran := 0
 	for _, id := range tech.All {
 		id := id

@@ -20,7 +20,9 @@ import (
 // aligned.
 func TestFaultSchedulerAgreesAcrossEngines(t *testing.T) {
 	markFaultClass("mem-scheduler")
-	rng := rand.New(rand.NewSource(73))
+	seed := suiteSeed(73, 2)
+	t.Logf("fault-scheduler seed %d (replay with -seed)", seed)
+	rng := rand.New(rand.NewSource(seed))
 
 	var programs []corpusProgram
 	for _, p := range corpus {
@@ -150,7 +152,9 @@ func engineByName(t *testing.T, name string) engineDef {
 // (PR 1's block-granular metering preserves the completion threshold).
 func TestFuelCliffs(t *testing.T) {
 	markFaultClass("fuel-cliff")
-	rng := rand.New(rand.NewSource(74))
+	seed := suiteSeed(74, 3)
+	t.Logf("fuel-cliff seed %d (replay with -seed)", seed)
+	rng := rand.New(rand.NewSource(seed))
 	programs := []string{"memsweep", "recursion", "bytes"}
 	probes := 6
 	if testing.Short() {

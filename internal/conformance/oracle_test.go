@@ -23,7 +23,9 @@ func TestCorpusConformance(t *testing.T) {
 // accesses are all aligned and in-bounds, and requires exact nine-way
 // agreement on each.
 func TestRandomTameConformance(t *testing.T) {
-	rng := rand.New(rand.NewSource(71))
+	seed := suiteSeed(71, 0)
+	t.Logf("tame generator seed %d (replay with -seed)", seed)
+	rng := rand.New(rand.NewSource(seed))
 	n := 60
 	if testing.Short() {
 		n = 12
@@ -42,7 +44,9 @@ func TestRandomTameConformance(t *testing.T) {
 // the trap, the NIL engine may trap earlier inside the NIL page, and
 // the sandbox engines must confine every stray access.
 func TestRandomWildConformance(t *testing.T) {
-	rng := rand.New(rand.NewSource(72))
+	seed := suiteSeed(72, 1)
+	t.Logf("wild generator seed %d (replay with -seed)", seed)
+	rng := rand.New(rand.NewSource(seed))
 	n := 60
 	if testing.Short() {
 		n = 12

@@ -1,0 +1,81 @@
+package grafts
+
+import (
+	"fmt"
+
+	"graftlab/internal/kernel"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+// PooledEvictionPolicy carries the pageevict graft on the sharded
+// pager's Prioritization hook. The single-threaded arrangement — the
+// pager mirrors its LRU chain into the one graft memory the policy
+// reads — cannot survive concurrency: the hook runs outside the shard
+// lock, so the chain could change under the graft mid-walk. Instead,
+// every ChooseVictim checks an instance out of a tech.Pool, writes the
+// shard's LRU snapshot (taken under the lock by the kernel) as the
+// familiar {page, next} node chain into that instance's private memory,
+// and invokes the unmodified graft on it. The graft sees exactly the
+// data structure it was written for; the kernel revalidates the
+// proposal after the walk, as §3.1 requires.
+//
+// The hot list must be baked into each instance by the pool's Setup
+// (SetupHotList); it is application state that changes only between
+// runs, not per decision.
+type PooledEvictionPolicy struct {
+	pool *tech.Pool
+}
+
+// NewPooledEvictionPolicy wraps a pool of pageevict instances (each
+// exporting "evict" and laid out per the PE* constants).
+func NewPooledEvictionPolicy(pool *tech.Pool) *PooledEvictionPolicy {
+	return &PooledEvictionPolicy{pool: pool}
+}
+
+// SetupHotList returns a tech.PoolConfig Setup that writes pages as the
+// application hot list into each fresh instance memory.
+func SetupHotList(pages []kernel.PageID) func(m *mem.Memory) error {
+	return func(m *mem.Memory) error {
+		if len(pages) > PEMaxHot {
+			return fmt.Errorf("grafts: hot list %d exceeds capacity %d", len(pages), PEMaxHot)
+		}
+		hl := NewHotList(m)
+		hl.Set(pages)
+		return nil
+	}
+}
+
+// ChooseVictim implements kernel.ShardPolicy.
+func (p *PooledEvictionPolicy) ChooseVictim(shard int, lru []kernel.PageID, candidate kernel.PageID) (kernel.PageID, error) {
+	if len(lru) == 0 {
+		return kernel.InvalidPage, nil
+	}
+	it, err := p.pool.Get()
+	if err != nil {
+		return kernel.InvalidPage, err
+	}
+	m := it.Memory()
+	if need := uint64(PELRUNodeBase) + uint64(len(lru))*kernel.LRUNodeSize; need > uint64(m.Size()) {
+		p.pool.Put(it)
+		return kernel.InvalidPage, fmt.Errorf("grafts: LRU snapshot of %d nodes needs %d bytes, memory has %d",
+			len(lru), need, m.Size())
+	}
+	for i, page := range lru {
+		addr := uint32(PELRUNodeBase + kernel.LRUNodeSize*i)
+		next := uint32(0)
+		if i+1 < len(lru) {
+			next = addr + kernel.LRUNodeSize
+		}
+		m.St32U(addr, uint32(page))
+		m.St32U(addr+4, next)
+	}
+	v, err := it.Invoke("evict", PELRUNodeBase)
+	p.pool.Put(it)
+	if err != nil {
+		return kernel.InvalidPage, err
+	}
+	return kernel.PageID(v), nil
+}
+
+var _ kernel.ShardPolicy = (*PooledEvictionPolicy)(nil)

@@ -1,0 +1,292 @@
+// Sharded pager: the multicore form of the demand pager. The single
+// Pager is single-threaded by contract — every hook point in the paper
+// runs in a 1995 uniprocessor kernel — but the roadmap's production
+// system serves concurrent traffic, so page lookups, LRU maintenance,
+// and eviction decisions must scale across cores. The design is the
+// classic one (Linux split-LRU, per-memcg lock striping): partition
+// pages over independent shards, each with its own lock, LRU chain, and
+// virtual clock, and never hold a shard lock across a graft invocation.
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"graftlab/internal/telemetry"
+	"graftlab/internal/vclock"
+)
+
+// ShardPolicy is the concurrent Prioritization hook. ChooseVictim
+// receives a snapshot of the shard's LRU chain (eviction order, head
+// first) taken under the shard lock, and runs WITHOUT the lock held —
+// the graft may take microseconds to milliseconds (Table 2), and
+// stalling every other access to the shard for that long would erase
+// the concurrency the shards exist to provide. The proposal is
+// revalidated under the lock before it is honored (the §3.1 candidate
+// check, extended with an optimistic-concurrency recheck): a proposal
+// that went non-resident while the graft ran is rejected exactly like
+// an invalid one.
+//
+// Implementations that carry a graft use a tech.Pool so concurrent
+// shards never share an engine; see grafts.PooledEvictionPolicy.
+type ShardPolicy interface {
+	ChooseVictim(shard int, lru []PageID, candidate PageID) (PageID, error)
+}
+
+// ShardPolicyFunc adapts a function to ShardPolicy.
+type ShardPolicyFunc func(shard int, lru []PageID, candidate PageID) (PageID, error)
+
+// ChooseVictim calls f.
+func (f ShardPolicyFunc) ChooseVictim(shard int, lru []PageID, candidate PageID) (PageID, error) {
+	return f(shard, lru, candidate)
+}
+
+// ShardedPagerConfig sizes a ShardedPager.
+type ShardedPagerConfig struct {
+	// Shards is the number of independent partitions (rounded up to 1).
+	// Sizing rule of thumb: at least the worker count, so two workers
+	// only collide when they touch the same partition of the page space.
+	Shards int
+	// Frames is the total number of physical frames, distributed across
+	// shards (each shard needs at least one).
+	Frames int
+	// FaultTime is the virtual cost of servicing one fault, charged to
+	// the faulting shard's clock.
+	FaultTime time.Duration
+}
+
+// pagerShard is one partition. Everything inside is guarded by mu
+// except the counters, which live in the sharded telemetry counters on
+// the parent so Stats never takes a lock.
+type pagerShard struct {
+	mu sync.Mutex
+	p  *Pager
+	// clock accumulates this shard's virtual fault-service time. Per
+	// shard: shards model independent paging devices, and a shared
+	// clock would be the one global cache line every fault touches.
+	clock vclock.Clock
+	_     [24]byte // keep neighboring shards off one another's lines
+}
+
+// ShardedPager is a demand pager safe for concurrent Access from many
+// goroutines. Pages map to shards by page number modulo the shard count
+// (sequential scans stripe round-robin over shards); each shard is an
+// ordinary Pager driven through its frame primitives, so the LRU
+// semantics within a shard are exactly the single-threaded pager's.
+//
+// Counters are per-shard (telemetry.ShardedCounter), so the bookkeeping
+// on the hit path is one uncontended atomic add — instrumentation stays
+// within its ≤2% budget no matter how many workers hammer the pager.
+type ShardedPager struct {
+	shards    []pagerShard
+	policy    ShardPolicy
+	faultTime time.Duration
+
+	hits            *telemetry.ShardedCounter
+	faults          *telemetry.ShardedCounter
+	evictions       *telemetry.ShardedCounter
+	policyCalls     *telemetry.ShardedCounter
+	policyOverrides *telemetry.ShardedCounter
+	policyRejected  *telemetry.ShardedCounter
+	policyErrors    *telemetry.ShardedCounter
+}
+
+// NewShardedPager builds a pager with cfg.Frames distributed over
+// cfg.Shards partitions.
+func NewShardedPager(cfg ShardedPagerConfig) (*ShardedPager, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Frames < cfg.Shards {
+		return nil, fmt.Errorf("kernel: %d frames cannot cover %d shards", cfg.Frames, cfg.Shards)
+	}
+	sp := &ShardedPager{
+		shards:          make([]pagerShard, cfg.Shards),
+		faultTime:       cfg.FaultTime,
+		hits:            telemetry.NewShardedCounter(cfg.Shards),
+		faults:          telemetry.NewShardedCounter(cfg.Shards),
+		evictions:       telemetry.NewShardedCounter(cfg.Shards),
+		policyCalls:     telemetry.NewShardedCounter(cfg.Shards),
+		policyOverrides: telemetry.NewShardedCounter(cfg.Shards),
+		policyRejected:  telemetry.NewShardedCounter(cfg.Shards),
+		policyErrors:    telemetry.NewShardedCounter(cfg.Shards),
+	}
+	base, extra := cfg.Frames/cfg.Shards, cfg.Frames%cfg.Shards
+	for s := range sp.shards {
+		frames := base
+		if s < extra {
+			frames++
+		}
+		p, err := NewPager(PagerConfig{Frames: frames}, &sp.shards[s].clock)
+		if err != nil {
+			return nil, err
+		}
+		sp.shards[s].p = p
+	}
+	return sp, nil
+}
+
+// SetPolicy installs (or removes, with nil) the eviction hook. Install
+// before concurrent use; the policy pointer itself is not synchronized.
+func (sp *ShardedPager) SetPolicy(policy ShardPolicy) { sp.policy = policy }
+
+// Shards reports the partition count.
+func (sp *ShardedPager) Shards() int { return len(sp.shards) }
+
+// shardOf maps a page to its partition.
+func (sp *ShardedPager) shardOf(page PageID) int {
+	return int(uint32(page) % uint32(len(sp.shards)))
+}
+
+// Resident reports whether page is in memory.
+func (sp *ShardedPager) Resident(page PageID) bool {
+	sh := &sp.shards[sp.shardOf(page)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.Resident(page)
+}
+
+// ResidentCount reports how many frames are occupied across all shards.
+func (sp *ShardedPager) ResidentCount() int {
+	var n int
+	for s := range sp.shards {
+		sh := &sp.shards[s]
+		sh.mu.Lock()
+		n += sh.p.ResidentCount()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// VirtualTime reports the total fault-service time charged across all
+// shard clocks (the shards model independent devices, so the sum is the
+// aggregate service cost, not elapsed wall time).
+func (sp *ShardedPager) VirtualTime() time.Duration {
+	var total time.Duration
+	for s := range sp.shards {
+		sh := &sp.shards[s]
+		sh.mu.Lock()
+		total += sh.clock.Now()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Stats sums the per-shard counters into the familiar PagerStats shape.
+// Lock-free; concurrent with accesses the result is a consistent-enough
+// kernel statistic, not a linearizable snapshot.
+func (sp *ShardedPager) Stats() PagerStats {
+	return PagerStats{
+		Hits:            sp.hits.Sum(),
+		Faults:          sp.faults.Sum(),
+		Evictions:       sp.evictions.Sum(),
+		PolicyCalls:     sp.policyCalls.Sum(),
+		PolicyOverrides: sp.policyOverrides.Sum(),
+		PolicyRejected:  sp.policyRejected.Sum(),
+		PolicyErrors:    sp.policyErrors.Sum(),
+	}
+}
+
+// LRUPages returns shard s's resident pages in eviction order.
+func (sp *ShardedPager) LRUPages(s int) []PageID {
+	sh := &sp.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.LRUPages()
+}
+
+// Access references page, faulting it in if needed, and reports whether
+// it was a hit. Safe for concurrent use. Faults charge FaultTime to the
+// faulting shard's clock; evictions consult the ShardPolicy hook with
+// the shard lock released (see ShardPolicy).
+func (sp *ShardedPager) Access(page PageID) (hit bool, err error) {
+	if page == InvalidPage {
+		return false, fmt.Errorf("kernel: access to invalid page")
+	}
+	s := sp.shardOf(page)
+	sh := &sp.shards[s]
+	sh.mu.Lock()
+	if sh.p.Touch(page) {
+		sh.mu.Unlock()
+		sp.hits.Add(s, 1)
+		return true, nil
+	}
+	sp.faults.Add(s, 1)
+	sh.clock.Advance(sp.faultTime)
+	if err := sp.faultIn(s, sh, page); err != nil {
+		return false, err
+	}
+	telemetry.Emit(telemetry.EvPageFault, uint64(page), uint64(s), 0)
+	return false, nil
+}
+
+// faultIn makes page resident in shard s. Called with sh.mu held;
+// returns with it released. The loop is the optimistic-concurrency
+// dance: pick a candidate under the lock, consult the policy without
+// it, revalidate everything after re-acquiring — including that no
+// other goroutine faulted the very same page in meanwhile.
+func (sp *ShardedPager) faultIn(s int, sh *pagerShard, page PageID) error {
+	for {
+		if f, ok := sh.p.TakeFreeFrame(); ok {
+			sh.p.InstallPage(f, page)
+			sh.mu.Unlock()
+			return nil
+		}
+		candidate, ok := sh.p.Candidate()
+		if !ok {
+			sh.mu.Unlock()
+			return fmt.Errorf("kernel: shard %d has no evictable frame", s)
+		}
+		victim := candidate
+		outcome := uint64(telemetry.EvictDefault)
+		if sp.policy != nil {
+			sp.policyCalls.Add(s, 1)
+			snap := sh.p.AppendLRU(nil) // fresh slice: the policy reads it unlocked
+			sh.mu.Unlock()
+			proposal, perr := sp.policy.ChooseVictim(s, snap, candidate)
+			sh.mu.Lock()
+			if sh.p.Touch(page) {
+				// Another goroutine faulted page in while the policy ran;
+				// the fault is serviced, nothing left to install.
+				sh.mu.Unlock()
+				return nil
+			}
+			switch {
+			case perr != nil:
+				sp.policyErrors.Add(s, 1)
+				outcome = telemetry.EvictErrored
+				if victim, ok = sh.p.Candidate(); !ok {
+					continue // frames moved while unlocked; retry from the top
+				}
+			case proposal == InvalidPage || proposal == candidate:
+				outcome = telemetry.EvictAccepted
+				if victim, ok = sh.p.Candidate(); !ok {
+					continue
+				}
+			case sh.p.Resident(proposal):
+				sp.policyOverrides.Add(s, 1)
+				outcome = telemetry.EvictOverride
+				victim = proposal
+			default:
+				// Invalid or stale proposal: the kernel "keeps track of
+				// candidate pages and graft-proposed alternates" (§3.1) and
+				// falls back to its own choice.
+				sp.policyRejected.Add(s, 1)
+				outcome = telemetry.EvictRejected
+				if victim, ok = sh.p.Candidate(); !ok {
+					continue
+				}
+			}
+		}
+		if f, ok := sh.p.EvictResident(victim); ok {
+			sp.evictions.Add(s, 1)
+			sh.p.InstallPage(f, page)
+			sh.mu.Unlock()
+			telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(victim), outcome)
+			return nil
+		}
+		// The victim went non-resident in the unlocked window; retry with
+		// fresh shard state.
+	}
+}

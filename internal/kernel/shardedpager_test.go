@@ -1,0 +1,242 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestShardedPager(t *testing.T, shards, frames int) *ShardedPager {
+	t.Helper()
+	sp, err := NewShardedPager(ShardedPagerConfig{
+		Shards: shards, Frames: frames, FaultTime: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestShardedPagerConfigValidation(t *testing.T) {
+	if _, err := NewShardedPager(ShardedPagerConfig{Shards: 8, Frames: 4}); err == nil {
+		t.Fatal("fewer frames than shards accepted")
+	}
+	sp, err := NewShardedPager(ShardedPagerConfig{Shards: 0, Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Shards() != 1 {
+		t.Fatalf("zero shards rounded to %d, want 1", sp.Shards())
+	}
+}
+
+// TestShardedPagerSingleThreadedSemantics pins that one shard behaves
+// exactly like the plain pager: LRU order, hit/fault/eviction counts,
+// and the virtual clock charging.
+func TestShardedPagerSingleThreadedSemantics(t *testing.T) {
+	sp := newTestShardedPager(t, 1, 3)
+	for _, p := range []PageID{10, 11, 12} {
+		if hit, err := sp.Access(p); err != nil || hit {
+			t.Fatalf("cold access of %d: hit=%v err=%v", p, hit, err)
+		}
+	}
+	if hit, _ := sp.Access(10); !hit {
+		t.Fatal("resident page missed")
+	}
+	// 11 is now the LRU head; faulting 13 must evict it.
+	if _, err := sp.Access(13); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Resident(11) {
+		t.Fatal("LRU head survived eviction")
+	}
+	st := sp.Stats()
+	if st.Hits != 1 || st.Faults != 4 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 4 faults / 1 eviction", st)
+	}
+	if got, want := sp.VirtualTime(), 4*time.Millisecond; got != want {
+		t.Fatalf("virtual time %v, want %v", got, want)
+	}
+	if sp.ResidentCount() != 3 {
+		t.Fatalf("resident count %d, want 3", sp.ResidentCount())
+	}
+	if _, err := sp.Access(InvalidPage); err == nil {
+		t.Fatal("access to invalid page accepted")
+	}
+}
+
+// TestShardedPagerPolicyOutcomes pins the §3.1 revalidation contract on
+// the concurrent hook: overrides of resident proposals are honored,
+// non-resident or invalid proposals fall back to the kernel candidate,
+// and policy errors are absorbed.
+func TestShardedPagerPolicyOutcomes(t *testing.T) {
+	sp := newTestShardedPager(t, 1, 3)
+	for _, p := range []PageID{10, 11, 12} {
+		if _, err := sp.Access(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var propose func(lru []PageID, candidate PageID) (PageID, error)
+	sp.SetPolicy(ShardPolicyFunc(func(shard int, lru []PageID, candidate PageID) (PageID, error) {
+		return propose(lru, candidate)
+	}))
+
+	// Override: propose the most-recently-used resident page.
+	propose = func(lru []PageID, candidate PageID) (PageID, error) {
+		if len(lru) == 0 || candidate != lru[0] {
+			t.Errorf("hook saw lru=%v candidate=%v", lru, candidate)
+		}
+		return lru[len(lru)-1], nil
+	}
+	if _, err := sp.Access(20); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Resident(12) {
+		t.Fatal("override victim still resident")
+	}
+	if !sp.Resident(10) {
+		t.Fatal("kernel candidate evicted despite override")
+	}
+
+	// Rejection: a non-resident proposal falls back to the candidate.
+	propose = func(lru []PageID, candidate PageID) (PageID, error) { return 99999, nil }
+	if _, err := sp.Access(21); err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: InvalidPage defers to the kernel.
+	propose = func(lru []PageID, candidate PageID) (PageID, error) { return InvalidPage, nil }
+	if _, err := sp.Access(22); err != nil {
+		t.Fatal(err)
+	}
+	// Error: absorbed, kernel choice stands.
+	propose = func(lru []PageID, candidate PageID) (PageID, error) { return 0, fmt.Errorf("graft trapped") }
+	if _, err := sp.Access(23); err != nil {
+		t.Fatal(err)
+	}
+
+	st := sp.Stats()
+	if st.PolicyCalls != 4 || st.PolicyOverrides != 1 || st.PolicyRejected != 1 || st.PolicyErrors != 1 {
+		t.Fatalf("policy stats = %+v, want 4 calls / 1 override / 1 rejected / 1 error", st)
+	}
+}
+
+// TestStressShardedPagerConcurrentAccess hammers Access from many
+// goroutines with a policy installed and checks the global invariants:
+// counters sum to the access count, residency never exceeds the frame
+// budget, and every shard still services faults.
+func TestStressShardedPagerConcurrentAccess(t *testing.T) {
+	workers, iters := 8, 400
+	if testing.Short() {
+		workers, iters = 4, 100
+	}
+	sp := newTestShardedPager(t, 4, 64)
+	var policyCalls atomic.Uint64
+	sp.SetPolicy(ShardPolicyFunc(func(shard int, lru []PageID, candidate PageID) (PageID, error) {
+		policyCalls.Add(1)
+		switch {
+		case len(lru) == 0:
+			return InvalidPage, nil
+		case candidate%3 == 0:
+			return lru[len(lru)-1], nil // override
+		case candidate%3 == 1:
+			return 1 << 30, nil // rejected: never resident
+		}
+		return candidate, nil // accepted
+	}))
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				// 128-page working set over 64 frames: plenty of hits AND
+				// constant eviction pressure on every shard.
+				if _, err := sp.Access(PageID(rng.Intn(128))); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := sp.Stats()
+	total := uint64(workers * iters)
+	if st.Hits+st.Faults != total {
+		t.Fatalf("hits %d + faults %d != %d accesses", st.Hits, st.Faults, total)
+	}
+	if st.Evictions > st.Faults {
+		t.Fatalf("%d evictions exceed %d faults", st.Evictions, st.Faults)
+	}
+	if got := sp.ResidentCount(); got > 64 {
+		t.Fatalf("resident count %d exceeds 64 frames", got)
+	}
+	if st.PolicyCalls != policyCalls.Load() {
+		t.Fatalf("counted %d policy calls, hook ran %d times", st.PolicyCalls, policyCalls.Load())
+	}
+	if st.PolicyOverrides+st.PolicyRejected+st.PolicyErrors > st.PolicyCalls {
+		t.Fatalf("policy outcome counts exceed calls: %+v", st)
+	}
+	if sp.VirtualTime() != time.Duration(st.Faults)*time.Millisecond {
+		t.Fatalf("virtual time %v does not match %d faults", sp.VirtualTime(), st.Faults)
+	}
+	for s := 0; s < sp.Shards(); s++ {
+		if len(sp.LRUPages(s)) == 0 {
+			t.Fatalf("shard %d serviced no pages", s)
+		}
+	}
+}
+
+// TestStressShardedPagerSlowPolicy gives the unlocked policy window real
+// width (the hook sleeps), so the optimistic-concurrency retry paths —
+// raced-in pages, vanished victims — actually execute under load.
+func TestStressShardedPagerSlowPolicy(t *testing.T) {
+	workers, iters := 8, 60
+	if testing.Short() {
+		workers, iters = 4, 20
+	}
+	sp := newTestShardedPager(t, 2, 8)
+	sp.SetPolicy(ShardPolicyFunc(func(shard int, lru []PageID, candidate PageID) (PageID, error) {
+		time.Sleep(100 * time.Microsecond)
+		if len(lru) > 1 {
+			return lru[1], nil
+		}
+		return candidate, nil
+	}))
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Tiny working set: workers constantly fault the same pages,
+				// making raced-in revalidation and victim churn likely.
+				if _, err := sp.Access(PageID((w + i) % 24)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sp.Stats(); st.Hits+st.Faults != uint64(workers*iters) {
+		t.Fatalf("stats %+v do not sum to %d accesses", st, workers*iters)
+	}
+}

@@ -24,20 +24,27 @@ type FuelReporter interface {
 //
 // Budget discipline (<=2%, measured in BenchmarkAblationTelemetry and
 // recorded in docs/observability.md): a locked atomic add per invocation
-// alone costs ~6ns — over 2% of a ~250ns compiled graft — so the
-// invocation count is batched in a plain local counter and flushed to
-// the shared atomic at each sampling point (every 256th call by default).
-// The engines are single-threaded by contract (kernel hook points
-// serialize invocations), so the local counter has one writer; Snapshot
-// readers see counts that lag a live call path by at most one sampling
-// interval. The unsampled, error-free invocation pays a register
-// increment, a mask test, and (metered engines only) one fuel read.
+// alone costs ~6ns — over 2% of a ~250ns compiled graft — so BOTH the
+// invocation count and the fuel total are batched in plain local
+// counters and flushed to the shared atomics at each sampling point
+// (every 256th call by default) and on every error. Each wrapper (and
+// each Direct closure it hands out) has exactly one writer: a Graft is
+// single-goroutine by contract, and concurrent callers go through
+// tech.Pool, where every pooled instance gets its own wrapper flushing
+// into the shared per-(graft,technology) accumulator. Under contention
+// that leaves one uncontended-in-the-common-case atomic add per 256
+// calls — the reason instrumented multicore runs stay inside the same
+// <=2% envelope as single-threaded ones. Snapshot readers see counts
+// that lag each live call path by at most one sampling interval. The
+// unsampled, error-free invocation pays a register increment, a mask
+// test, and (metered engines only) one fuel read.
 type instrumented struct {
-	inner Graft
-	met   *telemetry.GraftMetrics
-	fuel  FuelReporter // nil unless the engine is metered
-	mask  uint64       // sampling mask, captured at wrap time
-	n     uint64       // batched invocation count for the Invoke path
+	inner   Graft
+	met     *telemetry.GraftMetrics
+	fuel    FuelReporter // nil unless the engine is metered
+	mask    uint64       // sampling mask, captured at wrap time
+	n       uint64       // batched invocation count for the Invoke path
+	fuelAcc int64        // batched fuel for the Invoke path
 }
 
 // Instrument wraps g so its invocations are recorded under the
@@ -61,13 +68,14 @@ func instrument(g Graft, graft string, id ID, metered bool) Graft {
 func (ig *instrumented) Invoke(entry string, args ...uint32) (uint32, error) {
 	ig.n++
 	if ig.n&ig.mask == 0 {
-		// Sampling point: flush the batched count and time this call.
+		// Sampling point: flush the batched counts and time this call.
 		ig.met.AddInvocations(ig.mask + 1)
 		t0 := time.Now()
 		v, err := ig.inner.Invoke(entry, args...)
 		ig.met.RecordLatency(time.Since(t0))
 		if ig.fuel != nil {
-			ig.met.AddFuel(ig.fuel.FuelUsed())
+			ig.met.AddFuel(ig.fuelAcc + ig.fuel.FuelUsed())
+			ig.fuelAcc = 0
 		}
 		if err != nil {
 			ig.met.RecordError(err)
@@ -76,9 +84,15 @@ func (ig *instrumented) Invoke(entry string, args ...uint32) (uint32, error) {
 	}
 	v, err := ig.inner.Invoke(entry, args...)
 	if ig.fuel != nil {
-		ig.met.AddFuel(ig.fuel.FuelUsed())
+		ig.fuelAcc += ig.fuel.FuelUsed()
 	}
 	if err != nil {
+		// Errors are already the slow path: flush so trap forensics see
+		// exact fuel, then classify.
+		if ig.fuel != nil {
+			ig.met.AddFuel(ig.fuelAcc)
+			ig.fuelAcc = 0
+		}
 		ig.met.RecordError(err)
 	}
 	return v, err
@@ -118,6 +132,7 @@ func (ig *instrumented) Direct(entry string) (func(args []uint32) (uint32, error
 			return v, err
 		}, true
 	}
+	var fuelAcc int64
 	return func(args []uint32) (uint32, error) {
 		local++
 		if local&mask == 0 {
@@ -125,15 +140,18 @@ func (ig *instrumented) Direct(entry string) (func(args []uint32) (uint32, error
 			t0 := time.Now()
 			v, err := fn(args)
 			met.RecordLatency(time.Since(t0))
-			met.AddFuel(fuel.FuelUsed())
+			met.AddFuel(fuelAcc + fuel.FuelUsed())
+			fuelAcc = 0
 			if err != nil {
 				met.RecordError(err)
 			}
 			return v, err
 		}
 		v, err := fn(args)
-		met.AddFuel(fuel.FuelUsed())
+		fuelAcc += fuel.FuelUsed()
 		if err != nil {
+			met.AddFuel(fuelAcc)
+			fuelAcc = 0
 			met.RecordError(err)
 		}
 		return v, err

@@ -23,6 +23,7 @@ package tech
 import (
 	"fmt"
 
+	"graftlab/internal/bytecode"
 	"graftlab/internal/compile"
 	"graftlab/internal/gel"
 	"graftlab/internal/hipec"
@@ -268,7 +269,7 @@ func load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
 		if opts.Optimize {
 			gel.Fold(prog)
 		}
-		np, err := native.Compile(prog, m, cfg)
+		np, err := nativeCompile(prog, m, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("tech %s: %w", id, err)
 		}
@@ -286,24 +287,7 @@ func load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tech %s: %w", id, err)
 		}
-		mode, err := ParseVMMode(string(opts.VM))
-		if err != nil {
-			return nil, err
-		}
-		if mode == VMBaseline {
-			v, err := vm.New(mod, m, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("tech %s: %w", id, err)
-			}
-			v.Fuel = opts.Fuel
-			return v, nil
-		}
-		v, err := vm.NewOpt(mod, m, cfg, vm.OptConfig{})
-		if err != nil {
-			return nil, fmt.Errorf("tech %s: %w", id, err)
-		}
-		v.Fuel = opts.Fuel
-		return v, nil
+		return newVMEngine(mod, m, cfg, opts)
 	case Script:
 		if src.Tcl == "" {
 			return nil, fmt.Errorf("tech %s: graft %q has no script translation", id, src.Name)
@@ -330,6 +314,37 @@ func load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
 		return g, nil
 	}
 	return nil, fmt.Errorf("tech: unknown technology %q", id)
+}
+
+// nativeCompile binds a parsed (and possibly folded) GEL program to m
+// under cfg. Shared by load and Pool.newInstance: the parsed program is
+// immutable, so many instances can be compiled from it concurrently.
+func nativeCompile(prog *gel.Program, m *mem.Memory, cfg mem.Config) (*native.Prog, error) {
+	return native.Compile(prog, m, cfg)
+}
+
+// newVMEngine instantiates the selected bytecode engine over a compiled
+// module. Shared by load and Pool.newInstance: the module is immutable
+// after compile+verify, so instances translate from it concurrently.
+func newVMEngine(mod *bytecode.Module, m *mem.Memory, cfg mem.Config, opts Options) (Graft, error) {
+	mode, err := ParseVMMode(string(opts.VM))
+	if err != nil {
+		return nil, err
+	}
+	if mode == VMBaseline {
+		v, err := vm.New(mod, m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", Bytecode, err)
+		}
+		v.Fuel = opts.Fuel
+		return v, nil
+	}
+	v, err := vm.NewOpt(mod, m, cfg, vm.OptConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("tech %s: %w", Bytecode, err)
+	}
+	v.Fuel = opts.Fuel
+	return v, nil
 }
 
 // hipecGraft adapts verified HiPEC-class programs to the Graft interface.

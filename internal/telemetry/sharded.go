@@ -1,0 +1,59 @@
+package telemetry
+
+import "sync/atomic"
+
+// cacheLine is the padding unit for sharded counters. 64 bytes on every
+// platform this repo targets; being wrong only costs a little false
+// sharing, never correctness.
+const cacheLine = 64
+
+// paddedUint64 is one counter cell on its own cache line, so two shards
+// incrementing "the same" counter never ping-pong a line between cores.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// ShardedCounter is a striped uint64 counter for hot paths that already
+// know which shard they are on (the sharded pager's hit/fault/eviction
+// counts). A single shared atomic serializes every writer on one cache
+// line; striping by shard makes each add an uncontended atomic on a
+// private line — the difference between instrumentation costing ~1% and
+// ~20% under multicore contention (BenchmarkShardedCounter records the
+// gap). Reads sum the cells, so Sum is O(shards) and monotonic but not
+// a linearizable snapshot — exactly the contract kernel statistics have
+// always had.
+type ShardedCounter struct {
+	cells []paddedUint64
+}
+
+// NewShardedCounter allocates a counter with n stripes (minimum 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{cells: make([]paddedUint64, n)}
+}
+
+// Add increments stripe shard by delta. shard is reduced modulo the
+// stripe count, so callers may pass any non-negative shard index.
+func (c *ShardedCounter) Add(shard int, delta uint64) {
+	c.cells[shard%len(c.cells)].v.Add(delta)
+}
+
+// Sum totals every stripe.
+func (c *ShardedCounter) Sum() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+// Reset zeroes every stripe. Not atomic with respect to concurrent
+// adders; quiesce writers first, as with every stats reset in the repo.
+func (c *ShardedCounter) Reset() {
+	for i := range c.cells {
+		c.cells[i].v.Store(0)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graftlab/internal/mem"
@@ -50,9 +51,12 @@ type Domain struct {
 	// Delivery-fault injection (conformance tests): dropEvery > 0 makes
 	// every Nth upcall fail with ErrDelivery before reaching the server,
 	// modeling a lost message on the kernel↔server transport. The graft
-	// never runs for a dropped call, and the domain stays usable.
-	dropEvery uint64
-	calls     uint64
+	// never runs for a dropped call, and the domain stays usable. Both
+	// counters are atomic: Invoke may be called from many goroutines
+	// (the channel protocol serializes the server side already, and the
+	// fault plan must not be the one racy piece of the crossing).
+	dropEvery atomic.Uint64
+	calls     atomic.Uint64
 }
 
 // ErrDelivery is the transport failure injected by FailDelivery: the
@@ -98,9 +102,8 @@ func (d *Domain) Invoke(entry string, args ...uint32) (uint32, error) {
 	if traced {
 		t0 = time.Now()
 	}
-	if d.dropEvery > 0 {
-		d.calls++
-		if d.calls%d.dropEvery == 0 {
+	if nth := d.dropEvery.Load(); nth > 0 {
+		if d.calls.Add(1)%nth == 0 {
 			return 0, ErrDelivery
 		}
 	}
@@ -136,11 +139,22 @@ func (d *Domain) Close() {
 func (d *Domain) Latency() time.Duration { return d.latency }
 
 // FailDelivery arms delivery-fault injection: every nth Invoke fails
-// with ErrDelivery without reaching the server (0 disarms). Not safe to
-// call concurrently with Invoke.
+// with ErrDelivery without reaching the server (0 disarms).
 func (d *Domain) FailDelivery(nth uint64) {
-	d.dropEvery = nth
-	d.calls = 0
+	d.calls.Store(0)
+	d.dropEvery.Store(nth)
+}
+
+// PoolWrapper adapts NewDomain to tech.PoolConfig.Wrap: the
+// domain-per-worker mode, where every pooled instance runs behind its
+// own user-level server. N concurrent workers then pay N independent
+// protection-domain crossings instead of serializing on one server's
+// request channel — the user-level analogue of per-CPU eBPF programs.
+func PoolWrapper(latency time.Duration) func(tech.Graft) (tech.Graft, func()) {
+	return func(g tech.Graft) (tech.Graft, func()) {
+		d := NewDomain(g, latency)
+		return d, d.Close
+	}
 }
 
 // spin busy-waits for d; sleeping is far too coarse for the microsecond
