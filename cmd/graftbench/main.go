@@ -7,6 +7,8 @@
 //	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter|scale]
 //	           [-figure1-csv out.csv] [-vm opt|baseline] [-json] [-json-out out.json]
 //	           [-telemetry] [-trace-out trace.jsonl]
+//	           [-profile-out p.folded] [-profile-interval N]
+//	           [-spans-out spans.json] [-span-sample N]
 //	           [-check-against baseline.json] [-check-tolerance 0.30]
 //
 // -vm selects the bytecode engine for the vm rows: "opt" (default, the
@@ -20,7 +22,15 @@
 // are printed after the run and attached to the JSON report. -trace-out
 // additionally records kernel events (page faults, eviction decisions,
 // stream-filter passes, upcalls, LD segment flushes) into a bounded ring
-// and dumps them as JSONL to the given path.
+// and dumps them as JSONL to the given path (last line is an accounting
+// footer with emitted/retained/dropped counts).
+//
+// -profile-out enables the fuel-attributed sampling profiler and writes
+// a folded-stack (flamegraph-ready) profile; -profile-interval sets the
+// fuel units between samples. -spans-out enables causal span tracing and
+// writes Chrome trace-event JSON loadable at ui.perfetto.dev;
+// -span-sample records one root span in N. All of these imply
+// -telemetry; see docs/observability.md for the workflow.
 //
 // -check-against loads an archived BENCH_*.json and compares this run's
 // results against it (see internal/bench.CompareReports): a time-like
@@ -66,6 +76,11 @@ func main() {
 		trace  = flag.String("trace-out", "", "record kernel events and dump them as JSONL to this path (implies -telemetry)")
 		checkP = flag.String("check-against", "", "compare results against this baseline BENCH_*.json; exit non-zero on regression")
 		tolF   = flag.Float64("check-tolerance", 0.30, "relative tolerance for -check-against (0.30 = 30%)")
+
+		profOut      = flag.String("profile-out", "", "sample graft fuel and write a folded-stack (flamegraph) profile to this path (implies -telemetry)")
+		profInterval = flag.Int64("profile-interval", telemetry.DefaultProfileInterval, "fuel units between profiler samples")
+		spansOut     = flag.String("spans-out", "", "record causal spans and write Chrome trace-event JSON (Perfetto-loadable) to this path (implies -telemetry)")
+		spanSample   = flag.Int("span-sample", 64, "sample every Nth root span for -spans-out")
 	)
 	flag.Parse()
 
@@ -92,6 +107,21 @@ func main() {
 		*telem = true
 		telemetry.EnableTrace(traceRingCapacity)
 	}
+	if *profOut != "" {
+		*telem = true
+		if _, err := telemetry.EnableProfiler(*profInterval); err != nil {
+			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *spansOut != "" {
+		*telem = true
+		if err := telemetry.SetSpanSampleEvery(*spanSample); err != nil {
+			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+			os.Exit(2)
+		}
+		telemetry.EnableSpans(spanRingCapacity)
+	}
 	if *telem {
 		telemetry.SetEnabled(true)
 		cfg.Telemetry = true
@@ -114,11 +144,76 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *profOut != "" {
+		if err := dumpProfile(*profOut); err != nil {
+			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *spansOut != "" {
+		if err := dumpSpans(*spansOut); err != nil {
+			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // traceRingCapacity bounds the kernel event ring; at ~48 bytes per event
 // this is a few MB, plenty for a full paper-scale run's kernel activity.
 const traceRingCapacity = 1 << 16
+
+// spanRingCapacity bounds the causal span ring. Spans are sampled (one
+// root in -span-sample), so this holds minutes of paper-scale activity.
+const spanRingCapacity = 1 << 15
+
+// dumpProfile writes the folded-stack fuel profile and prints the
+// per-line attribution table.
+func dumpProfile(path string) error {
+	p := telemetry.CurrentProfile()
+	if p == nil {
+		return fmt.Errorf("no profile recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteFolded(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("folded fuel profile written to %s (%d sites, %d fuel attributed)\n",
+		path, len(p.Samples()), p.TotalFuel())
+	if table := p.LineTable(); table != "" {
+		fmt.Print(table)
+	}
+	return nil
+}
+
+// dumpSpans writes the recorded causal spans as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func dumpSpans(path string) error {
+	st := telemetry.CurrentSpans()
+	if st == nil {
+		return fmt.Errorf("no spans recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("causal span trace written to %s (%d spans retained, %d dropped)\n",
+		path, st.Len(), st.Dropped())
+	return nil
+}
 
 // checkAgainst compares report with the baseline archived at path and
 // returns an error listing every metric that regressed beyond tol.

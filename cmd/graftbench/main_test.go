@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"graftlab/internal/bench"
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 )
 
 // microConfig keeps CLI tests fast while exercising every experiment path.
@@ -135,5 +138,113 @@ func TestVMBaselineSelectable(t *testing.T) {
 	}
 	if _, err := tech.ParseVMMode("nonsense"); err == nil {
 		t.Fatal("bad -vm value accepted")
+	}
+}
+
+// TestObservabilityExportFlags drives the full -profile-out / -spans-out /
+// -trace-out pipeline at micro scale: enable every collector the CLI
+// flags would enable, run one direct-dispatch experiment (profiler
+// samples) and one kernel-mediated experiment (span roots), and require
+// each dump to be well-formed — folded stacks with integer weights,
+// Chrome trace JSON with complete duration events, and a JSONL trace
+// whose last line is the accounting footer.
+func TestObservabilityExportFlags(t *testing.T) {
+	dir := t.TempDir()
+	telemetry.EnableTrace(1 << 12)
+	if _, err := telemetry.EnableProfiler(256); err != nil {
+		t.Fatal(err)
+	}
+	telemetry.EnableSpans(1 << 12)
+	if err := telemetry.SetSpanSampleEvery(8); err != nil {
+		t.Fatal(err)
+	}
+	telemetry.SetEnabled(true)
+	t.Cleanup(func() {
+		telemetry.SetEnabled(false)
+		telemetry.DisableSpans()
+		telemetry.DisableProfiler()
+		telemetry.DisableTrace()
+		_ = telemetry.SetSpanSampleEvery(64)
+		telemetry.ResetMetrics()
+	})
+
+	cfg := microConfig()
+	cfg.Telemetry = true
+	// table2 exercises the metered engines (profiler hits); table6
+	// routes writes through the Logical Disk (span roots).
+	for _, exp := range []string{"table2", "table6"} {
+		if _, err := run(cfg, exp, "", "", true); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+
+	prof := filepath.Join(dir, "profile.folded")
+	if err := dumpProfile(prof); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(folded) == 0 || folded[0] == "" {
+		t.Fatal("folded profile is empty")
+	}
+	for _, line := range folded {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Count(fields[0], ";") != 2 {
+			t.Fatalf("malformed folded line %q, want graft;tech;site weight", line)
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			t.Fatalf("folded weight in %q is not an integer: %v", line, err)
+		}
+	}
+
+	spansPath := filepath.Join(dir, "spans.json")
+	if err := dumpSpans(spansPath); err != nil {
+		t.Fatal(err)
+	}
+	sdata, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(sdata, &chrome); err != nil {
+		t.Fatalf("-spans-out is not valid Chrome trace JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("span export recorded no events from the LD run")
+	}
+	for _, e := range chrome.TraceEvents {
+		if e.Ph != "X" || e.Name == "" {
+			t.Fatalf("malformed trace event %+v", e)
+		}
+	}
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	if err := dumpTrace(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	tdata, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlines := strings.Split(strings.TrimSpace(string(tdata)), "\n")
+	var footer struct {
+		Footer  bool   `json:"footer"`
+		Emitted uint64 `json:"emitted"`
+	}
+	if err := json.Unmarshal([]byte(tlines[len(tlines)-1]), &footer); err != nil || !footer.Footer {
+		t.Fatalf("trace JSONL does not end with the accounting footer: %q", tlines[len(tlines)-1])
+	}
+	if footer.Emitted == 0 {
+		t.Error("trace footer reports zero emitted events after a traced run")
 	}
 }

@@ -106,7 +106,7 @@ func printTelemetry() {
 	}
 	fmt.Println(t)
 	if tr := telemetry.CurrentTrace(); tr != nil {
-		fmt.Printf("kernel events (%d retained, %d overwritten):\n", tr.Len(), tr.Overwritten())
+		fmt.Printf("kernel events (%d retained, %d dropped by ring overwrite):\n", tr.Len(), tr.Overwritten())
 		counts := tr.CountByKind()
 		kinds := make([]string, 0, len(counts))
 		for kind := range counts {

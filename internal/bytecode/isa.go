@@ -150,6 +150,21 @@ type Func struct {
 	NArgs   int
 	NLocals int // includes NArgs
 	Code    []Instr
+	// Lines, when non-nil, is the debug line table: Lines[i] is the
+	// 1-based source line that produced Code[i] (0 when unknown). It is
+	// in-memory only — Encode drops it and Decode leaves it nil — so the
+	// binary module format is unchanged; the profiler degrades to
+	// function-granular attribution for modules loaded from disk.
+	Lines []int32
+}
+
+// Line returns the 1-based source line for Code[pc], or 0 when the
+// function carries no line table or pc is out of range.
+func (f *Func) Line(pc int) int {
+	if pc >= 0 && pc < len(f.Lines) {
+		return int(f.Lines[pc])
+	}
+	return 0
 }
 
 // Module is a compiled unit of graft code.

@@ -48,10 +48,15 @@ type funcCompiler struct {
 	prog  *gel.Program
 	out   *bytecode.Func
 	loops []loopCtx
+	// line is the 1-based source line of the statement/expression being
+	// lowered; every emitted instruction is stamped with it, building the
+	// debug line table the sampling profiler maps samples through.
+	line int32
 }
 
 func (c *funcCompiler) emit(op bytecode.Op, a uint32) int {
 	c.out.Code = append(c.out.Code, bytecode.Instr{Op: op, A: a})
+	c.out.Lines = append(c.out.Lines, c.line)
 	return len(c.out.Code) - 1
 }
 
@@ -67,6 +72,7 @@ func (c *funcCompiler) compileFunc(fd *gel.FuncDecl) error {
 		NArgs:   len(fd.Params),
 		NLocals: fd.NLocals,
 	}
+	c.line = int32(fd.Pos.Line)
 	if err := c.block(fd.Body); err != nil {
 		return err
 	}
@@ -86,6 +92,7 @@ func (c *funcCompiler) block(b *gel.Block) error {
 }
 
 func (c *funcCompiler) stmt(s gel.Stmt) error {
+	c.line = int32(s.Position().Line)
 	switch st := s.(type) {
 	case *gel.Block:
 		return c.block(st)
@@ -183,6 +190,7 @@ var binOpTable = map[gel.BinOp]bytecode.Op{
 }
 
 func (c *funcCompiler) expr(e gel.Expr) error {
+	c.line = int32(e.Position().Line)
 	switch ex := e.(type) {
 	case *gel.NumberLit:
 		c.emit(bytecode.OpConst, ex.Val)

@@ -180,3 +180,67 @@ func TestEncodedModuleRoundTripsAndRuns(t *testing.T) {
 		t.Fatalf("decoded module: %d, %v", got, err)
 	}
 }
+
+func TestLineTableCoversEveryInstruction(t *testing.T) {
+	src := `func main(a) {
+	var i = 0;
+	while (i < a) {
+		i = i + 1;
+	}
+	return i;
+}`
+	prog, err := gel.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func("main")
+	if f == nil {
+		t.Fatal("no main")
+	}
+	if len(f.Lines) != len(f.Code) {
+		t.Fatalf("line table has %d entries for %d instructions", len(f.Lines), len(f.Code))
+	}
+	seen := map[int]bool{}
+	for pc := range f.Code {
+		line := f.Line(pc)
+		if line < 1 || line > 7 {
+			t.Errorf("pc %d attributed to line %d, outside source", pc, line)
+		}
+		seen[line] = true
+	}
+	// The loop body's increment (line 4) and the return (line 6) must
+	// both own instructions.
+	for _, want := range []int{2, 4, 6} {
+		if !seen[want] {
+			t.Errorf("no instruction attributed to line %d (saw %v)", want, seen)
+		}
+	}
+	// Out-of-range PCs resolve to 0, never panic.
+	if f.Line(-1) != 0 || f.Line(len(f.Code)+5) != 0 {
+		t.Error("out-of-range pc did not resolve to 0")
+	}
+}
+
+func TestLineTableEmptyBodyUsesDeclLine(t *testing.T) {
+	prog, err := gel.ParseAndCheck("func main() {}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func("main")
+	if len(f.Lines) != len(f.Code) {
+		t.Fatalf("line table has %d entries for %d instructions", len(f.Lines), len(f.Code))
+	}
+	for pc := range f.Code {
+		if f.Line(pc) != 1 {
+			t.Errorf("pc %d attributed to line %d, want decl line 1", pc, f.Line(pc))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
+)
+
+// TestWatchdogQuarantinesRunaway drives the runaway-graft watchdog
+// against the fuel-cliff fixtures: a graft whose every invocation hits
+// the fuel limit must be flagged and quarantined within the configured
+// SLO window, quarantine must deny both the live wrapper and fresh
+// loads, and the well-behaved engine matrix — every technology running
+// the same corpus with a generous budget — must never trip it.
+func TestWatchdogQuarantinesRunaway(t *testing.T) {
+	markFaultClass("runaway-watchdog")
+	telemetry.ResetMetrics()
+	telemetry.SetEnabled(true)
+	if err := telemetry.SetSampleInterval(1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		telemetry.ClearQuarantines()
+		telemetry.SetEnabled(false)
+		if err := telemetry.SetSampleInterval(256); err != nil {
+			t.Fatal(err)
+		}
+		telemetry.ResetMetrics()
+	})
+
+	// The runaway: memsweep with a starvation budget — every invocation
+	// preempts on fuel, the §4 "extension that runs too long" case.
+	runaway := corpusByName(t, "memsweep")
+	m := mem.New(progMemSize)
+	g, err := tech.Load(tech.Bytecode, runaway.src, m, tech.Options{Fuel: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := g.Invoke("main", runaway.args...); err == nil {
+			t.Fatal("starvation budget did not preempt")
+		}
+	}
+
+	// The well-behaved cohort: every matrix engine runs the tame corpus
+	// program to completion enough times to clear MinInvocations.
+	tame := corpusByName(t, "bytes")
+	for _, e := range engineMatrix {
+		for i := 0; i < 20; i++ {
+			o := runEngine(t, e, tame.src, "main", tame.args, oracleFuel, nil)
+			if o.err != nil {
+				t.Fatalf("%s: tame run failed: %v", e.name, o.err)
+			}
+		}
+	}
+
+	const window = 10 * time.Millisecond
+	w := telemetry.NewWatchdog(telemetry.SLO{
+		MaxPreemptRate: 0.5,
+		MinInvocations: 16,
+		Quarantine:     true,
+	})
+	w.Start(window)
+	defer w.Stop()
+
+	deadline := time.Now().Add(200 * window)
+	for time.Now().Before(deadline) && !telemetry.Quarantined(runaway.src.Name, string(tech.Bytecode)) {
+		time.Sleep(window / 2)
+	}
+	if !telemetry.Quarantined(runaway.src.Name, string(tech.Bytecode)) {
+		t.Fatal("runaway graft not quarantined within the SLO window")
+	}
+
+	vs := w.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("watchdog flagged %d pairs, want only the runaway: %v", len(vs), vs)
+	}
+	if vs[0].Graft != runaway.src.Name || vs[0].Tech != string(tech.Bytecode) {
+		t.Fatalf("flagged %s/%s", vs[0].Graft, vs[0].Tech)
+	}
+	if vs[0].PreemptRate <= 0.5 {
+		t.Errorf("violation preempt rate %.2f, want > 0.5", vs[0].PreemptRate)
+	}
+
+	// Quarantine must deny the live wrapper (at its next sampling
+	// point) and any fresh load of the same pair.
+	denied := false
+	for i := 0; i < 3; i++ {
+		if _, err := g.Invoke("main", runaway.args...); errors.Is(err, telemetry.ErrQuarantined) {
+			denied = true
+			break
+		}
+	}
+	if !denied {
+		t.Error("live wrapper still serving a quarantined graft")
+	}
+	if _, err := tech.Load(tech.Bytecode, runaway.src, mem.New(progMemSize), tech.Options{Fuel: 64}); !errors.Is(err, telemetry.ErrQuarantined) {
+		t.Errorf("fresh load of quarantined pair: %v", err)
+	}
+
+	// No well-behaved pair was flagged or quarantined.
+	for _, e := range engineMatrix {
+		if telemetry.Quarantined(tame.src.Name, string(e.id)) {
+			t.Errorf("well-behaved pair %s/%s quarantined", tame.src.Name, e.id)
+		}
+	}
+}

@@ -20,7 +20,7 @@ var requiredEngines = []string{
 // every failure path the harness claims to cover must actually have run.
 var requiredFaultClasses = []string{
 	"mem-scheduler", "fuel-cliff", "upcall-delivery",
-	"disk-torn-write", "disk-short-write",
+	"disk-torn-write", "disk-short-write", "runaway-watchdog",
 }
 
 // TestZZZCoverageGate is the anti-rot gate, named to sort last in the

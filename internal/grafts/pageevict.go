@@ -6,6 +6,7 @@ import (
 	"graftlab/internal/kernel"
 	"graftlab/internal/mem"
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 )
 
 // Graft-memory layout for the page-eviction graft. All structures sit
@@ -202,6 +203,31 @@ func (p *GraftEvictionPolicy) ChooseVictim(pg *kernel.Pager, candidate kernel.Pa
 		return kernel.InvalidPage, nil
 	}
 	v, err := p.g.Invoke("evict", head)
+	if err != nil {
+		return kernel.InvalidPage, err
+	}
+	return kernel.PageID(v), nil
+}
+
+// ChooseVictimSpan implements kernel.SpanEvictionPolicy: the policy
+// step is recorded as a child of the kernel eviction span, and the
+// context is forwarded into the engine so the trace nests
+// kernel->policy->engine(->upcall).
+func (p *GraftEvictionPolicy) ChooseVictimSpan(ctx telemetry.SpanCtx, pg *kernel.Pager, candidate kernel.PageID) (kernel.PageID, error) {
+	head := pg.HeadAddr()
+	if head == 0 {
+		return kernel.InvalidPage, nil
+	}
+	sp := telemetry.ChildSpan(ctx, "policy:evict", "policy")
+	if !sp.Active() {
+		return p.ChooseVictim(pg, candidate)
+	}
+	v, err := tech.InvokeSpan(p.g, sp.Ctx(), "evict", head)
+	var errBit uint64
+	if err != nil {
+		errBit = 1
+	}
+	sp.End(uint64(candidate), errBit)
 	if err != nil {
 		return kernel.InvalidPage, err
 	}

@@ -6,6 +6,7 @@ import (
 	"graftlab/internal/kernel"
 	"graftlab/internal/mem"
 	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
 )
 
 // PooledEvictionPolicy carries the pageevict graft on the sharded
@@ -48,6 +49,30 @@ func SetupHotList(pages []kernel.PageID) func(m *mem.Memory) error {
 
 // ChooseVictim implements kernel.ShardPolicy.
 func (p *PooledEvictionPolicy) ChooseVictim(shard int, lru []kernel.PageID, candidate kernel.PageID) (kernel.PageID, error) {
+	return p.choose(telemetry.SpanCtx{}, lru)
+}
+
+// ChooseVictimSpan implements kernel.SpanShardPolicy: the policy step
+// is recorded as a child of the kernel eviction span and the context is
+// forwarded into the checked-out pool instance's engine.
+func (p *PooledEvictionPolicy) ChooseVictimSpan(ctx telemetry.SpanCtx, shard int, lru []kernel.PageID, candidate kernel.PageID) (kernel.PageID, error) {
+	sp := telemetry.ChildSpan(ctx, "policy:evict", "policy")
+	if !sp.Active() {
+		return p.choose(telemetry.SpanCtx{}, lru)
+	}
+	v, err := p.choose(sp.Ctx(), lru)
+	var errBit uint64
+	if err != nil {
+		errBit = 1
+	}
+	sp.End(uint64(shard), errBit)
+	return v, err
+}
+
+// choose checks an instance out, mirrors the LRU snapshot into its
+// memory, and runs the graft; a live ctx is forwarded so the engine
+// invocation nests under the policy span.
+func (p *PooledEvictionPolicy) choose(ctx telemetry.SpanCtx, lru []kernel.PageID) (kernel.PageID, error) {
 	if len(lru) == 0 {
 		return kernel.InvalidPage, nil
 	}
@@ -70,7 +95,12 @@ func (p *PooledEvictionPolicy) ChooseVictim(shard int, lru []kernel.PageID, cand
 		m.St32U(addr, uint32(page))
 		m.St32U(addr+4, next)
 	}
-	v, err := it.Invoke("evict", PELRUNodeBase)
+	var v uint32
+	if ctx.Active() {
+		v, err = tech.InvokeSpan(it.Graft, ctx, "evict", PELRUNodeBase)
+	} else {
+		v, err = it.Invoke("evict", PELRUNodeBase)
+	}
 	p.pool.Put(it)
 	if err != nil {
 		return kernel.InvalidPage, err
@@ -79,3 +109,4 @@ func (p *PooledEvictionPolicy) ChooseVictim(shard int, lru []kernel.PageID, cand
 }
 
 var _ kernel.ShardPolicy = (*PooledEvictionPolicy)(nil)
+var _ kernel.SpanShardPolicy = (*PooledEvictionPolicy)(nil)

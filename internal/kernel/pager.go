@@ -42,6 +42,15 @@ func (f EvictionPolicyFunc) ChooseVictim(p *Pager, candidate PageID) (PageID, er
 	return f(p, candidate)
 }
 
+// SpanEvictionPolicy is the optional span-aware variant of
+// EvictionPolicy: when causal tracing has sampled the current eviction,
+// the kernel hands the policy its span context so the policy (and the
+// engine below it) can record nested child spans. Policies that don't
+// implement it are called through ChooseVictim as usual.
+type SpanEvictionPolicy interface {
+	ChooseVictimSpan(ctx telemetry.SpanCtx, p *Pager, candidate PageID) (PageID, error)
+}
+
 // PagerStats counts pager activity.
 type PagerStats struct {
 	Hits            uint64
@@ -287,7 +296,7 @@ func (p *Pager) chooseVictim() (PageID, error) {
 		return candidate, nil
 	}
 	p.stats.PolicyCalls++
-	proposal, err := p.policy.ChooseVictim(p, candidate)
+	proposal, err := p.policyVictim(candidate)
 	if err != nil {
 		p.stats.PolicyErrors++
 		telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(candidate), telemetry.EvictErrored)
@@ -305,6 +314,25 @@ func (p *Pager) chooseVictim() (PageID, error) {
 	p.stats.PolicyOverrides++
 	telemetry.Emit(telemetry.EvEvictDecision, uint64(candidate), uint64(proposal), telemetry.EvictOverride)
 	return proposal, nil
+}
+
+// policyVictim consults the Prioritization hook, opening a
+// "kernel:evict" root span around the call when causal tracing samples
+// this eviction and handing the context down through span-aware
+// policies so one trace shows kernel->policy->engine->upcall nested.
+func (p *Pager) policyVictim(candidate PageID) (PageID, error) {
+	sp := telemetry.RootSpan("kernel:evict", "kernel")
+	if sp.Active() {
+		if sep, ok := p.policy.(SpanEvictionPolicy); ok {
+			proposal, err := sep.ChooseVictimSpan(sp.Ctx(), p, candidate)
+			sp.End(uint64(candidate), uint64(proposal))
+			return proposal, err
+		}
+		proposal, err := p.policy.ChooseVictim(p, candidate)
+		sp.End(uint64(candidate), uint64(proposal))
+		return proposal, err
+	}
+	return p.policy.ChooseVictim(p, candidate)
 }
 
 // LRUPages returns the resident pages in eviction order (head first);

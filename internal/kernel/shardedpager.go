@@ -34,6 +34,14 @@ type ShardPolicy interface {
 	ChooseVictim(shard int, lru []PageID, candidate PageID) (PageID, error)
 }
 
+// SpanShardPolicy is the optional span-aware variant of ShardPolicy:
+// when causal tracing has sampled the current fault, the kernel hands
+// the policy its span context so policy and engine work nest under the
+// kernel eviction span. Policies without it get ChooseVictim as usual.
+type SpanShardPolicy interface {
+	ChooseVictimSpan(ctx telemetry.SpanCtx, shard int, lru []PageID, candidate PageID) (PageID, error)
+}
+
 // ShardPolicyFunc adapts a function to ShardPolicy.
 type ShardPolicyFunc func(shard int, lru []PageID, candidate PageID) (PageID, error)
 
@@ -244,7 +252,7 @@ func (sp *ShardedPager) faultIn(s int, sh *pagerShard, page PageID) error {
 			sp.policyCalls.Add(s, 1)
 			snap := sh.p.AppendLRU(nil) // fresh slice: the policy reads it unlocked
 			sh.mu.Unlock()
-			proposal, perr := sp.policy.ChooseVictim(s, snap, candidate)
+			proposal, perr := sp.shardVictim(s, snap, candidate)
 			sh.mu.Lock()
 			if sh.p.Touch(page) {
 				// Another goroutine faulted page in while the policy ran;
@@ -289,4 +297,22 @@ func (sp *ShardedPager) faultIn(s int, sh *pagerShard, page PageID) error {
 		// The victim went non-resident in the unlocked window; retry with
 		// fresh shard state.
 	}
+}
+
+// shardVictim consults the ShardPolicy hook, opening a "kernel:evict"
+// root span when causal tracing samples this fault and handing the
+// context down through span-aware policies. Runs unlocked (see faultIn).
+func (sp *ShardedPager) shardVictim(s int, lru []PageID, candidate PageID) (PageID, error) {
+	span := telemetry.RootSpan("kernel:evict", "kernel")
+	if span.Active() {
+		if sep, ok := sp.policy.(SpanShardPolicy); ok {
+			proposal, err := sep.ChooseVictimSpan(span.Ctx(), s, lru, candidate)
+			span.End(uint64(s), uint64(proposal))
+			return proposal, err
+		}
+		proposal, err := sp.policy.ChooseVictim(s, lru, candidate)
+		span.End(uint64(s), uint64(proposal))
+		return proposal, err
+	}
+	return sp.policy.ChooseVictim(s, lru, candidate)
 }

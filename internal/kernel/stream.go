@@ -35,20 +35,36 @@ func NewChain(sink func(p []byte) error, filters ...Filter) *Chain {
 	return &Chain{filters: filters, sink: sink}
 }
 
-// Write pushes p through every filter and into the sink.
+// Write pushes p through every filter and into the sink. When causal
+// tracing samples this write, each filter pass is recorded as a child
+// of a "kernel:stream" root span.
 func (c *Chain) Write(p []byte) (int, error) {
 	data := p
 	var err error
+	root := telemetry.RootSpan("kernel:stream", "kernel")
 	for i, f := range c.filters {
 		in := len(data)
+		fs := telemetry.ChildSpan(root.Ctx(), "filter:"+f.Name(), "stream")
 		data, err = f.Process(data)
+		if fs.Active() {
+			fs.End(uint64(in), uint64(len(data)))
+		}
 		if err != nil {
+			if root.Active() {
+				root.End(uint64(len(p)), 1)
+			}
 			return 0, fmt.Errorf("kernel: stream filter %q: %w", f.Name(), err)
 		}
 		telemetry.Emit(telemetry.EvStreamPass, uint64(i), uint64(in), uint64(len(data)))
 		if len(data) == 0 {
+			if root.Active() {
+				root.End(uint64(len(p)), 0)
+			}
 			return len(p), nil // filter buffered everything
 		}
+	}
+	if root.Active() {
+		root.End(uint64(len(p)), uint64(len(data)))
 	}
 	c.written += uint64(len(data))
 	if err := c.sink(data); err != nil {

@@ -112,10 +112,14 @@ func New(dev *disk.Disk, mapper Mapper, timed bool) *LD {
 func (l *LD) Stats() Stats { return l.stats }
 
 // Write accepts a write to lblock: bookkeeping through the Mapper, then a
-// segment flush to the device whenever 16 blocks have accumulated.
+// segment flush to the device whenever 16 blocks have accumulated. When
+// causal tracing samples this write, the remap call is recorded under a
+// "ld:write" root span (with the segment flush as a sibling child).
 func (l *LD) Write(lblock uint32) error {
 	var p uint32
 	var err error
+	root := telemetry.RootSpan("ld:write", "ld")
+	ms := telemetry.ChildSpan(root.Ctx(), "ld:remap", "ld")
 	if l.timed {
 		t0 := time.Now()
 		p, err = l.mapper.MapWrite(lblock)
@@ -123,21 +127,37 @@ func (l *LD) Write(lblock uint32) error {
 	} else {
 		p, err = l.mapper.MapWrite(lblock)
 	}
+	if ms.Active() {
+		ms.End(uint64(lblock), uint64(p))
+	}
 	if err != nil {
+		if root.Active() {
+			root.End(uint64(lblock), 1)
+		}
 		return err
 	}
 	l.stats.Writes++
 	l.seg = p / SegmentBlocks
 	l.fill++
 	if l.fill == SegmentBlocks {
+		fs := telemetry.ChildSpan(root.Ctx(), "ld:segment-flush", "ld")
 		d, err := l.dev.Write(l.seg*SegmentBlocks, SegmentBlocks)
 		if err != nil {
+			if root.Active() {
+				root.End(uint64(lblock), 1)
+			}
 			return err
+		}
+		if fs.Active() {
+			fs.End(uint64(l.seg), SegmentBlocks)
 		}
 		l.stats.DiskTime += d
 		l.stats.SegmentFlush++
 		l.fill = 0
 		telemetry.Emit(telemetry.EvLDSegment, uint64(l.seg), uint64(l.seg*SegmentBlocks), SegmentBlocks)
+	}
+	if root.Active() {
+		root.End(uint64(lblock), uint64(p))
 	}
 	return nil
 }

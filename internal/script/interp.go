@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"graftlab/internal/mem"
+	"graftlab/internal/telemetry"
 )
 
 // result codes, after Tcl's TCL_OK/TCL_BREAK/...
@@ -72,6 +73,25 @@ type Interp struct {
 	parseCache map[string]*cachedScript
 
 	depth int
+
+	// Sampling-profiler state (see SetProfile). The script interpreter's
+	// fuel unit is one command, so the countdown ticks per command and
+	// samples attribute to command names — the word parser keeps no line
+	// numbers, so this class has no source-line resolution.
+	prof      *telemetry.ProfScope
+	profEvery int64
+	profTick  int64
+}
+
+// SetProfile attaches a sampling-profiler scope: every `every` executed
+// commands record one sample of weight `every` against the command name
+// being dispatched. A nil scope detaches.
+func (in *Interp) SetProfile(s *telemetry.ProfScope, every int64) {
+	if s == nil || every < 1 {
+		in.prof, in.profEvery, in.profTick = nil, 0, 0
+		return
+	}
+	in.prof, in.profEvery, in.profTick = s, every, every
 }
 
 // MaxCallDepth bounds proc recursion.
@@ -194,6 +214,13 @@ func (in *Interp) eval(src string) (string, code, error) {
 func (in *Interp) invokeWords(words []string) (string, code, error) {
 	if err := in.burn(); err != nil {
 		return "", cOK, err
+	}
+	if in.profEvery != 0 {
+		in.profTick--
+		if in.profTick <= 0 {
+			in.profTick += in.profEvery
+			in.prof.Hit(words[0], 0, in.profEvery)
+		}
 	}
 	switch words[0] {
 	case "set":

@@ -1,0 +1,55 @@
+package script
+
+import (
+	"testing"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/telemetry"
+)
+
+// The script profiler ticks per executed command and attributes samples
+// to command names (the word parser keeps no line numbers): a loop-heavy
+// proc should put its weight on the loop's commands.
+func TestScriptProfileAttribution(t *testing.T) {
+	in := New(mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+	in.Fuel = 1 << 20
+	src := "proc main {n} {\n  set i 0\n  set s 0\n  while {$i < $n} {\n    set s [expr {$s + $i}]\n    incr i\n  }\n  return $s\n}"
+	if err := in.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	p, err := telemetry.NewProfile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetProfile(p.Scope("loop", "script"), 4)
+	if _, err := in.Invoke("main", 200); err != nil {
+		t.Fatal(err)
+	}
+	samples := p.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	byCmd := map[string]int64{}
+	var total int64
+	for _, s := range samples {
+		if s.Line != 0 {
+			t.Errorf("script sample carries line %d, want 0", s.Line)
+		}
+		byCmd[s.Func] += s.Fuel
+		total += s.Fuel
+	}
+	loop := byCmd["set"] + byCmd["expr"] + byCmd["incr"] + byCmd["while"]
+	if share := float64(loop) / float64(total); share < 0.9 {
+		t.Errorf("loop commands own %.1f%% of weight, want >=90%% (%v)", 100*share, byCmd)
+	}
+
+	// Detached interpreter stops sampling.
+	before := p.TotalFuel()
+	in.SetProfile(nil, 0)
+	if _, err := in.Invoke("main", 200); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalFuel() != before {
+		t.Error("detached profiler still collecting")
+	}
+}

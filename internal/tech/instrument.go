@@ -1,6 +1,7 @@
 package tech
 
 import (
+	"fmt"
 	"time"
 
 	"graftlab/internal/mem"
@@ -39,12 +40,16 @@ type FuelReporter interface {
 // unsampled, error-free invocation pays a register increment, a mask
 // test, and (metered engines only) one fuel read.
 type instrumented struct {
-	inner   Graft
-	met     *telemetry.GraftMetrics
-	fuel    FuelReporter // nil unless the engine is metered
-	mask    uint64       // sampling mask, captured at wrap time
-	n       uint64       // batched invocation count for the Invoke path
-	fuelAcc int64        // batched fuel for the Invoke path
+	inner    Graft
+	met      *telemetry.GraftMetrics
+	fuel     FuelReporter // nil unless the engine is metered
+	mask     uint64       // sampling mask, captured at wrap time
+	n        uint64       // batched invocation count for the Invoke path
+	fuelAcc  int64        // batched fuel for the Invoke path
+	spanName string       // "engine:<technology>", precomputed at wrap time
+	span     telemetry.SpanCtx
+	denied   bool // cached quarantine verdict, refreshed at sampling points
+	quarErr  error
 }
 
 // Instrument wraps g so its invocations are recorded under the
@@ -57,21 +62,67 @@ func Instrument(g Graft, graft string, id ID) Graft {
 
 func instrument(g Graft, graft string, id ID, metered bool) Graft {
 	met := telemetry.Register(graft, string(id))
-	ig := &instrumented{inner: g, met: met, mask: met.Mask()}
+	ig := &instrumented{inner: g, met: met, mask: met.Mask(), spanName: "engine:" + string(id)}
+	ig.quarErr = fmt.Errorf("tech %s: graft %q: %w", id, graft, telemetry.ErrQuarantined)
 	if fr, ok := g.(FuelReporter); ok && metered {
 		ig.fuel = fr
 	}
 	return ig
 }
 
+// callInner dispatches to the inner graft, routing through its
+// InvokeSpan when a causal span context is pending so a pool-worker
+// engine (or a wrapped upcall domain) can keep nesting child spans.
+func (ig *instrumented) callInner(entry string, args ...uint32) (uint32, error) {
+	if ig.span.Active() {
+		if si, ok := ig.inner.(SpanInvoker); ok {
+			return si.InvokeSpan(ig.span, entry, args...)
+		}
+	}
+	return ig.inner.Invoke(entry, args...)
+}
+
+// InvokeSpan implements SpanInvoker: the invocation is recorded as an
+// "engine" child span of ctx, and the context is handed further down
+// so upcall crossings nest inside the engine span.
+func (ig *instrumented) InvokeSpan(ctx telemetry.SpanCtx, entry string, args ...uint32) (uint32, error) {
+	sp := telemetry.ChildSpan(ctx, ig.spanName, "engine")
+	if !sp.Active() {
+		return ig.Invoke(entry, args...)
+	}
+	ig.span = sp.Ctx()
+	v, err := ig.Invoke(entry, args...)
+	ig.span = telemetry.SpanCtx{}
+	var fuelUsed uint64
+	if ig.fuel != nil {
+		fuelUsed = uint64(ig.fuel.FuelUsed())
+	}
+	var errBit uint64
+	if err != nil {
+		errBit = 1
+	}
+	sp.End(fuelUsed, errBit)
+	return v, err
+}
+
 // Invoke implements Graft.
 func (ig *instrumented) Invoke(entry string, args ...uint32) (uint32, error) {
+	if ig.denied {
+		// Denied is already the slow path: re-read the shared flag so a
+		// lifted quarantine restores service immediately.
+		if ig.met.Quarantined() {
+			return 0, ig.quarErr
+		}
+		ig.denied = false
+	}
 	ig.n++
 	if ig.n&ig.mask == 0 {
-		// Sampling point: flush the batched counts and time this call.
+		// Sampling point: flush the batched counts, refresh the cached
+		// watchdog verdict, and time this call.
+		ig.denied = ig.met.Quarantined()
 		ig.met.AddInvocations(ig.mask + 1)
 		t0 := time.Now()
-		v, err := ig.inner.Invoke(entry, args...)
+		v, err := ig.callInner(entry, args...)
 		ig.met.RecordLatency(time.Since(t0))
 		if ig.fuel != nil {
 			ig.met.AddFuel(ig.fuelAcc + ig.fuel.FuelUsed())
@@ -82,7 +133,7 @@ func (ig *instrumented) Invoke(entry string, args ...uint32) (uint32, error) {
 		}
 		return v, err
 	}
-	v, err := ig.inner.Invoke(entry, args...)
+	v, err := ig.callInner(entry, args...)
 	if ig.fuel != nil {
 		ig.fuelAcc += ig.fuel.FuelUsed()
 	}
@@ -111,11 +162,20 @@ func (ig *instrumented) Direct(entry string) (func(args []uint32) (uint32, error
 	met := ig.met
 	fuel := ig.fuel
 	mask := ig.mask
+	quarErr := ig.quarErr
 	var local uint64
+	var denied bool
 	if fuel == nil {
 		return func(args []uint32) (uint32, error) {
+			if denied {
+				if met.Quarantined() {
+					return 0, quarErr
+				}
+				denied = false
+			}
 			local++
 			if local&mask == 0 {
+				denied = met.Quarantined()
 				met.AddInvocations(mask + 1)
 				t0 := time.Now()
 				v, err := fn(args)
@@ -134,8 +194,15 @@ func (ig *instrumented) Direct(entry string) (func(args []uint32) (uint32, error
 	}
 	var fuelAcc int64
 	return func(args []uint32) (uint32, error) {
+		if denied {
+			if met.Quarantined() {
+				return 0, quarErr
+			}
+			denied = false
+		}
 		local++
 		if local&mask == 0 {
+			denied = met.Quarantined()
 			met.AddInvocations(mask + 1)
 			t0 := time.Now()
 			v, err := fn(args)

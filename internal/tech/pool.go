@@ -141,6 +141,7 @@ func (p *Pool) newInstance() (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachProfile(g, p.src.Name, p.id)
 	it := &Instance{mem: m}
 	if p.cfg.Wrap != nil {
 		g, it.close = p.cfg.Wrap(g)
@@ -218,13 +219,29 @@ func (p *Pool) Put(it *Instance) {
 }
 
 // Invoke checks out an instance, invokes entry on it, and returns it:
-// the convenience path for callers without a per-worker checkout.
+// the convenience path for callers without a per-worker checkout. When
+// span tracing is enabled the checkout is recorded as a "pool" root
+// span with the engine invocation nested inside it.
 func (p *Pool) Invoke(entry string, args ...uint32) (uint32, error) {
+	sp := telemetry.RootSpan("pool:"+p.src.Name, "pool")
 	it, err := p.Get()
 	if err != nil {
+		if sp.Active() {
+			sp.End(0, 1)
+		}
 		return 0, err
 	}
-	v, err := it.Graft.Invoke(entry, args...)
+	var v uint32
+	if sp.Active() {
+		v, err = InvokeSpan(it.Graft, sp.Ctx(), entry, args...)
+		var errBit uint64
+		if err != nil {
+			errBit = 1
+		}
+		sp.End(uint64(len(args)), errBit)
+	} else {
+		v, err = it.Graft.Invoke(entry, args...)
+	}
 	p.Put(it)
 	return v, err
 }

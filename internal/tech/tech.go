@@ -240,13 +240,65 @@ type Options struct {
 // Load loads src under the named technology, bound to memory m. While
 // telemetry is enabled (telemetry.SetEnabled), the returned graft is
 // wrapped with per-invocation metrics; the decision is made once at load
-// time so a disabled run pays nothing per call.
+// time so a disabled run pays nothing per call. Load also consults the
+// watchdog deny-list — a quarantined (graft, technology) pair is refused
+// with telemetry.ErrQuarantined — and, while the sampling profiler is
+// enabled, hands the engine its profiling scope.
 func Load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
+	if telemetry.Enabled() && telemetry.Quarantined(src.Name, string(id)) {
+		return nil, fmt.Errorf("tech %s: graft %q: %w", id, src.Name, telemetry.ErrQuarantined)
+	}
 	g, err := load(id, src, m, opts)
-	if err != nil || telemetry.Disabled() {
+	if err != nil {
 		return g, err
 	}
+	attachProfile(g, src.Name, id)
+	if telemetry.Disabled() {
+		return g, nil
+	}
 	return instrument(g, src.Name, id, opts.Fuel > 0), nil
+}
+
+// ProfileSetter is the optional engine interface the sampling profiler
+// wires through: both bytecode engines and the script interpreter
+// implement it (the only classes with a fuel-granular execution loop to
+// piggyback on; the compiled and codegen classes run native Go and are
+// profiled by the host profiler instead).
+type ProfileSetter interface {
+	SetProfile(s *telemetry.ProfScope, every int64)
+}
+
+// attachProfile hands g its profiler scope when a profile is installed
+// and the engine supports one. Like the metrics wrap, the decision is
+// load-time only.
+func attachProfile(g Graft, graft string, id ID) {
+	p := telemetry.CurrentProfile()
+	if p == nil {
+		return
+	}
+	if ps, ok := g.(ProfileSetter); ok {
+		ps.SetProfile(p.Scope(graft, string(id)), p.Interval())
+	}
+}
+
+// SpanInvoker is the optional interface wrappers implement to thread a
+// causal span context through an invocation (the instrumented metrics
+// wrapper and upcall.Domain do; raw engines do not need to — the engine
+// span is recorded by the wrapper around them).
+type SpanInvoker interface {
+	InvokeSpan(ctx telemetry.SpanCtx, entry string, args ...uint32) (uint32, error)
+}
+
+// InvokeSpan invokes entry on g, threading ctx when g supports it and
+// falling back to a plain Invoke when it does not (or when ctx is
+// inactive, in which case the span-aware path would be a no-op anyway).
+func InvokeSpan(g Graft, ctx telemetry.SpanCtx, entry string, args ...uint32) (uint32, error) {
+	if ctx.Active() {
+		if si, ok := g.(SpanInvoker); ok {
+			return si.InvokeSpan(ctx, entry, args...)
+		}
+	}
+	return g.Invoke(entry, args...)
 }
 
 // load is the uninstrumented loader behind Load.

@@ -56,6 +56,31 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / int64(n))
 }
 
+// Merge folds other's samples into h — the snapshot-combining path for
+// views that aggregate one graft across shards or pool workers. Both
+// histograms may be live; each bucket transfers atomically, so the
+// merged result is a consistent-enough union for quantile reads (exact
+// when other is quiescent).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	for i := 0; i < numBuckets; i++ {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		old := h.max.Load()
+		if om <= old || h.max.CompareAndSwap(old, om) {
+			break
+		}
+	}
+}
+
 // Quantile estimates the q-th quantile (q in [0,1]) by nearest rank over
 // the buckets with linear interpolation inside the matched bucket. The
 // top estimate is clamped to the recorded maximum.

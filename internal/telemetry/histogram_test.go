@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram: count %d mean %v max %v", h.Count(), h.Mean(), h.Max())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(300 * time.Nanosecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Every quantile of a one-sample distribution is that sample's
+	// bucket; the estimate must land in [256ns, 300ns] (clamped to max).
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 256*time.Nanosecond || got > 300*time.Nanosecond {
+			t.Errorf("Quantile(%v) = %v, want within [256ns, 300ns]", q, got)
+		}
+	}
+	if h.Max() != 300*time.Nanosecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramAllZeroBucket(t *testing.T) {
+	// Zero-length samples land in bucket 0, whose lower bound is 0 and
+	// whose width is zero — quantiles must not fabricate latency.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(0)
+	}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("all-zero Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("mean %v max %v, want 0", h.Mean(), h.Max())
+	}
+	// Negative durations clamp into bucket 0 too.
+	h.Record(-time.Second)
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("after negative sample Quantile(1) = %v, want 0", got)
+	}
+}
+
+func TestHistogramMergeQuantiles(t *testing.T) {
+	// Two shard-local histograms with disjoint ranges: fast samples in
+	// one, a slow tail in the other. The merged view must rank across
+	// both populations.
+	var fast, slow, merged Histogram
+	for i := 0; i < 90; i++ {
+		fast.Record(100 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		slow.Record(40 * time.Microsecond)
+	}
+	merged.Merge(&fast)
+	merged.Merge(&slow)
+
+	if merged.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", merged.Count())
+	}
+	if got := merged.Max(); got != 40*time.Microsecond {
+		t.Errorf("merged max = %v, want 40µs", got)
+	}
+	// p50 comes from the fast population (same power-of-two bucket as
+	// 100ns), p99 from the slow tail.
+	if got := merged.Quantile(0.5); got < 64*time.Nanosecond || got > 128*time.Nanosecond {
+		t.Errorf("merged p50 = %v, want within fast bucket [64ns,128ns]", got)
+	}
+	if got := merged.Quantile(0.99); got < 32*time.Microsecond || got > 40*time.Microsecond {
+		t.Errorf("merged p99 = %v, want within slow bucket", got)
+	}
+	wantMean := (90*100*time.Nanosecond + 10*40*time.Microsecond) / 100
+	if got := merged.Mean(); got != wantMean {
+		t.Errorf("merged mean = %v, want %v", got, wantMean)
+	}
+
+	// Merging nil or self must be a no-op.
+	before := merged.Count()
+	merged.Merge(nil)
+	merged.Merge(&merged)
+	if merged.Count() != before {
+		t.Errorf("nil/self merge changed count: %d -> %d", before, merged.Count())
+	}
+}

@@ -29,3 +29,72 @@ func BenchmarkHotPath(b *testing.B) {
 	})
 	ResetMetrics()
 }
+
+// Prices the profiler and span-tracer pieces the same way: the
+// disabled paths must be branch-cheap (they sit on engine hot loops
+// and kernel emit points), the enabled paths amortize against their
+// sampling intervals.
+func BenchmarkObservabilityHotPath(b *testing.B) {
+	b.Run("rootspan-disabled", func(b *testing.B) {
+		DisableSpans()
+		for i := 0; i < b.N; i++ {
+			sp := RootSpan("bench", "bench")
+			if sp.Active() {
+				b.Fatal("span active while disabled")
+			}
+		}
+	})
+	b.Run("rootspan-sampled-64", func(b *testing.B) {
+		EnableSpans(1 << 12)
+		defer DisableSpans()
+		for i := 0; i < b.N; i++ {
+			sp := RootSpan("bench", "bench")
+			if sp.Active() {
+				sp.End(0, 0)
+			}
+		}
+	})
+	b.Run("root+child+end-every", func(b *testing.B) {
+		EnableSpans(1 << 12)
+		if err := SetSpanSampleEvery(1); err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			DisableSpans()
+			_ = SetSpanSampleEvery(64)
+		}()
+		for i := 0; i < b.N; i++ {
+			sp := RootSpan("bench", "bench")
+			cs := ChildSpan(sp.Ctx(), "child", "bench")
+			cs.End(0, 0)
+			sp.End(0, 0)
+		}
+	})
+	b.Run("profscope-hit", func(b *testing.B) {
+		p, err := NewProfile(DefaultProfileInterval)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := p.Scope("bench", "compiled-unsafe")
+		for i := 0; i < b.N; i++ {
+			s.Hit("evict", 7, DefaultProfileInterval)
+		}
+	})
+	b.Run("profiler-tick-amortized", func(b *testing.B) {
+		// What a metered engine actually pays per fuel charge: a
+		// countdown, with one Hit per DefaultProfileInterval units.
+		p, err := NewProfile(DefaultProfileInterval)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := p.Scope("bench", "bytecode")
+		tick, every := int64(DefaultProfileInterval), int64(DefaultProfileInterval)
+		for i := 0; i < b.N; i++ {
+			tick -= 8 // typical block cost
+			if tick <= 0 {
+				tick += every
+				s.Hit("md5_block", 42, every)
+			}
+		}
+	})
+}

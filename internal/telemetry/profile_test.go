@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileIntervalValidation(t *testing.T) {
+	for _, bad := range []int64{0, -1, -4096} {
+		if _, err := NewProfile(bad); err == nil {
+			t.Errorf("NewProfile(%d) accepted", bad)
+		}
+		if _, err := EnableProfiler(bad); bad != 0 && err == nil {
+			t.Errorf("EnableProfiler(%d) accepted", bad)
+		}
+	}
+	// 0 is the "use the default" spelling for EnableProfiler only.
+	p, err := EnableProfiler(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Interval() != DefaultProfileInterval {
+		t.Errorf("default interval = %d", p.Interval())
+	}
+	DisableProfiler()
+	if ProfilerEnabled() || CurrentProfile() != nil {
+		t.Error("profiler still enabled after DisableProfiler")
+	}
+}
+
+func TestProfileAccumulation(t *testing.T) {
+	p, err := NewProfile(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scope("evict", "bytecode")
+	for i := 0; i < 10; i++ {
+		s.Hit("evict", 12, 256)
+	}
+	for i := 0; i < 3; i++ {
+		s.Hit("evict", 20, 256)
+	}
+	s.Hit("helper", 0, 256)
+
+	samples := p.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("got %d sites, want 3", len(samples))
+	}
+	// Heaviest first.
+	top := samples[0]
+	if top.Func != "evict" || top.Line != 12 || top.Fuel != 10*256 || top.Hits != 10 {
+		t.Errorf("top sample = %+v", top)
+	}
+	if got, want := p.TotalFuel(), int64(14*256); got != want {
+		t.Errorf("TotalFuel = %d, want %d", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("folded output: %d lines", len(lines))
+	}
+	if lines[0] != "evict;bytecode;evict:12 2560" {
+		t.Errorf("folded line 0 = %q", lines[0])
+	}
+	// Line 0 sites fold without the :line suffix.
+	if !strings.HasPrefix(lines[2], "evict;bytecode;helper ") {
+		t.Errorf("line-less site folded as %q", lines[2])
+	}
+
+	table := p.LineTable()
+	if !strings.Contains(table, "evict:12") || !strings.Contains(table, "71.4%") {
+		t.Errorf("LineTable missing top site or share:\n%s", table)
+	}
+}

@@ -70,10 +70,22 @@ func init() { sampleMask.Store(defaultSampleInterval - 1) }
 
 // SetSampleInterval sets how often an invocation's latency is timed: 1
 // times every call, n times every n-th (rounded down to a power of two).
-// It affects grafts registered after the call.
-func SetSampleInterval(n int) {
+// It affects grafts registered after the call; zero and negative
+// intervals are rejected with an error and leave the current interval
+// unchanged.
+//
+// The interval trades accuracy for overhead. Timing costs two clock
+// reads (~100ns virtualized), so interval 1 is exact but can dominate a
+// ~200ns compiled invocation, while the default 256 amortizes the clock
+// cost below a nanosecond at the price of resolution: a latency spike
+// confined to fewer than ~interval consecutive invocations may fall
+// between samples entirely, and quantiles need on the order of 100
+// samples (interval × 100 invocations) before they stabilize. Batched
+// counters also flush at sampling points, so live snapshots lag a hot
+// loop by up to one interval.
+func SetSampleInterval(n int) error {
 	if n < 1 {
-		n = 1
+		return fmt.Errorf("telemetry: sample interval must be >= 1, got %d", n)
 	}
 	// Round down to a power of two so sampling is a mask, not a divide.
 	p := 1
@@ -81,6 +93,7 @@ func SetSampleInterval(n int) {
 		p *= 2
 	}
 	sampleMask.Store(uint64(p - 1))
+	return nil
 }
 
 // GraftMetrics accumulates one (graft, technology) pair's runtime
@@ -98,6 +111,12 @@ type GraftMetrics struct {
 
 	latency Histogram
 	mask    uint64 // latency sampling mask (interval-1)
+
+	// quarantined is set by the watchdog when the pair breaches its SLO
+	// with quarantine enabled; tech.Load refuses quarantined pairs and
+	// live instrumented wrappers deny further invocations at their next
+	// sampling point.
+	quarantined atomic.Bool
 }
 
 // Inc counts one invocation and returns the new total (the caller uses
@@ -162,6 +181,38 @@ func (m *GraftMetrics) FuelConsumed() int64 { return m.fuel.Load() }
 // Latency exposes the sampled-latency histogram.
 func (m *GraftMetrics) Latency() *Histogram { return &m.latency }
 
+// Quarantine marks the pair as denied at dispatch (see Watchdog).
+func (m *GraftMetrics) Quarantine() { m.quarantined.Store(true) }
+
+// Unquarantine lifts a quarantine.
+func (m *GraftMetrics) Unquarantine() { m.quarantined.Store(false) }
+
+// Quarantined reports whether the pair is currently denied.
+func (m *GraftMetrics) Quarantined() bool { return m.quarantined.Load() }
+
+// ErrQuarantined is wrapped by dispatch-time denials of quarantined
+// grafts.
+var ErrQuarantined = errors.New("telemetry: graft quarantined by watchdog")
+
+// Quarantined reports whether the (graft, technology) pair is on the
+// watchdog's deny-list. Pairs never registered are not quarantined.
+func Quarantined(graft, tech string) bool {
+	key := graft + "\x00" + tech
+	registry.mu.Lock()
+	m := registry.byKey[key]
+	registry.mu.Unlock()
+	return m != nil && m.Quarantined()
+}
+
+// ClearQuarantines lifts every quarantine without touching counters.
+func ClearQuarantines() {
+	registry.mu.Lock()
+	for _, m := range registry.byKey {
+		m.quarantined.Store(false)
+	}
+	registry.mu.Unlock()
+}
+
 // GraftSnapshot is the JSON-friendly view of one GraftMetrics; durations
 // are integer nanoseconds like every other duration the repo exports.
 type GraftSnapshot struct {
@@ -177,6 +228,7 @@ type GraftSnapshot struct {
 	LatencyP95      time.Duration     `json:"latency_p95,omitempty"`
 	LatencyP99      time.Duration     `json:"latency_p99,omitempty"`
 	LatencyMax      time.Duration     `json:"latency_max,omitempty"`
+	Quarantined     bool              `json:"quarantined,omitempty"`
 }
 
 // Snapshot copies the counters into an exportable form.
@@ -189,6 +241,7 @@ func (m *GraftMetrics) Snapshot() GraftSnapshot {
 		FuelConsumed:    m.fuel.Load(),
 		FuelPreemptions: m.FuelPreemptions(),
 		LatencySamples:  m.latency.Count(),
+		Quarantined:     m.quarantined.Load(),
 	}
 	for k := 0; k < numTrapKinds; k++ {
 		if n := m.traps[k].Load(); n > 0 {

@@ -182,8 +182,8 @@ func TestTraceJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
-	if len(lines) != 2 {
-		t.Fatalf("got %d lines", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 events + footer", len(lines))
 	}
 	var ev struct {
 		Seq  uint64 `json:"seq"`
@@ -204,6 +204,42 @@ func TestTraceJSONL(t *testing.T) {
 	}
 	if err := json.Unmarshal(lines[1], &ev); err != nil || ev.Kind != "ld_segment" {
 		t.Errorf("line 1: %v, kind %q", err, ev.Kind)
+	}
+	var foot struct {
+		Footer   bool   `json:"footer"`
+		Emitted  uint64 `json:"emitted"`
+		Retained int    `json:"retained"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(lines[2], &foot); err != nil {
+		t.Fatalf("footer is not valid JSON: %v", err)
+	}
+	if !foot.Footer || foot.Emitted != 2 || foot.Retained != 2 || foot.Dropped != 0 {
+		t.Errorf("footer = %+v, want footer:true emitted:2 retained:2 dropped:0", foot)
+	}
+}
+
+func TestTraceJSONLFooterDropped(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvPageFault, uint64(i), 0, 0)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	var foot struct {
+		Footer   bool   `json:"footer"`
+		Emitted  uint64 `json:"emitted"`
+		Retained int    `json:"retained"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &foot); err != nil {
+		t.Fatalf("footer: %v", err)
+	}
+	if !foot.Footer || foot.Emitted != 10 || foot.Retained != 4 || foot.Dropped != 6 {
+		t.Errorf("footer = %+v, want emitted:10 retained:4 dropped:6", foot)
 	}
 }
 

@@ -157,6 +157,14 @@ func (t *Trace) CountByKind() map[string]uint64 {
 //
 // seq is the global emission index (gaps mean ring eviction), t is
 // wall-clock UnixNano, and a/b/c are the kind-specific operands.
+//
+// The final line is a footer making ring truncation visible instead of
+// silent:
+//
+//	{"footer":true,"emitted":70000,"retained":65536,"dropped":4464}
+//
+// dropped counts events lost to ring wrap; consumers that only want
+// events can skip any line carrying "footer".
 func (t *Trace) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range t.Events() {
@@ -167,6 +175,12 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 			e.Seq, e.Time, e.Kind.String(), e.A, e.B, e.C); err != nil {
 			return err
 		}
+	}
+	dropped := t.Overwritten()
+	if _, err := fmt.Fprintf(bw,
+		`{"footer":true,"emitted":%d,"retained":%d,"dropped":%d}`+"\n",
+		uint64(t.Len())+dropped, t.Len(), dropped); err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Runaway-graft watchdog: the §4 "extension that runs too long" story
+// made operational. The metered engines already bound each invocation
+// with fuel; the watchdog watches the aggregate signals the rest of the
+// package collects — fuel-preemption counters, sampled latency
+// quantiles, mean fuel per invocation, and (when the profiler is on)
+// the hottest sampled site — and flags any (graft, technology) pair
+// breaching a configured SLO. With Quarantine set, a flagged pair is
+// also put on the deny-list dispatch consults: tech.Load refuses it and
+// live instrumented wrappers start failing invocations with
+// ErrQuarantined at their next sampling point.
+
+// SLO configures the watchdog's per-pair thresholds. Zero-valued
+// thresholds are "no limit"; a pair must exceed at least one non-zero
+// threshold to be flagged.
+type SLO struct {
+	// MaxP99 flags pairs whose sampled p99 latency exceeds it.
+	MaxP99 time.Duration
+	// MaxMeanFuel flags pairs whose mean fuel per invocation exceeds it.
+	MaxMeanFuel int64
+	// MaxPreemptRate flags pairs whose fuel-preemption fraction
+	// (preemptions / invocations) exceeds it, e.g. 0.5.
+	MaxPreemptRate float64
+	// MinInvocations gates flagging until a pair has enough invocations
+	// for its statistics to mean anything (default 16 when zero).
+	MinInvocations uint64
+	// Quarantine, when set, puts flagged pairs on the dispatch deny-list
+	// in addition to reporting them.
+	Quarantine bool
+}
+
+// Violation describes one flagged pair at the moment it breached.
+type Violation struct {
+	Graft, Tech string
+	Reason      string
+	Invocations uint64
+	P99         time.Duration
+	MeanFuel    int64
+	PreemptRate float64
+	// HotSite is the pair's heaviest profiled site ("func:line"), when
+	// the sampling profiler was running; empty otherwise.
+	HotSite string
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s/%s: %s (p99=%v meanFuel=%d preempt=%.0f%% over %d invocations)",
+		v.Graft, v.Tech, v.Reason, v.P99, v.MeanFuel, 100*v.PreemptRate, v.Invocations)
+	if v.HotSite != "" {
+		s += " hot=" + v.HotSite
+	}
+	return s
+}
+
+// Watchdog periodically (or on demand, via Check) scans the metrics
+// registry against an SLO.
+type Watchdog struct {
+	slo SLO
+
+	mu      sync.Mutex
+	flagged map[string]Violation
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewWatchdog builds a watchdog over the global metrics registry.
+func NewWatchdog(slo SLO) *Watchdog {
+	if slo.MinInvocations == 0 {
+		slo.MinInvocations = 16
+	}
+	return &Watchdog{slo: slo, flagged: make(map[string]Violation)}
+}
+
+// Check scans every registered pair once and returns the pairs newly
+// flagged by this scan. Already-flagged pairs are not re-reported (or
+// re-quarantined) — a runaway is flagged exactly once.
+func (w *Watchdog) Check() []Violation {
+	var fresh []Violation
+	for _, m := range Metrics() {
+		inv := m.Invocations()
+		if inv < w.slo.MinInvocations {
+			continue
+		}
+		key := m.GraftName + "\x00" + m.Tech
+		w.mu.Lock()
+		_, seen := w.flagged[key]
+		w.mu.Unlock()
+		if seen {
+			continue
+		}
+		v := Violation{
+			Graft:       m.GraftName,
+			Tech:        m.Tech,
+			Invocations: inv,
+			P99:         m.Latency().Quantile(0.99),
+			MeanFuel:    m.FuelConsumed() / int64(inv),
+			PreemptRate: float64(m.FuelPreemptions()) / float64(inv),
+		}
+		var reasons []string
+		if w.slo.MaxP99 > 0 && v.P99 > w.slo.MaxP99 {
+			reasons = append(reasons, fmt.Sprintf("p99 %v > SLO %v", v.P99, w.slo.MaxP99))
+		}
+		if w.slo.MaxMeanFuel > 0 && v.MeanFuel > w.slo.MaxMeanFuel {
+			reasons = append(reasons, fmt.Sprintf("mean fuel %d > SLO %d", v.MeanFuel, w.slo.MaxMeanFuel))
+		}
+		if w.slo.MaxPreemptRate > 0 && v.PreemptRate > w.slo.MaxPreemptRate {
+			reasons = append(reasons, fmt.Sprintf("preemption rate %.0f%% > SLO %.0f%%",
+				100*v.PreemptRate, 100*w.slo.MaxPreemptRate))
+		}
+		if len(reasons) == 0 {
+			continue
+		}
+		sort.Strings(reasons)
+		v.Reason = reasons[0]
+		for _, r := range reasons[1:] {
+			v.Reason += "; " + r
+		}
+		v.HotSite = hotSite(m.GraftName, m.Tech)
+		if w.slo.Quarantine {
+			m.Quarantine()
+		}
+		w.mu.Lock()
+		w.flagged[key] = v
+		w.mu.Unlock()
+		fresh = append(fresh, v)
+	}
+	return fresh
+}
+
+// hotSite returns the heaviest profiled site for the pair, when the
+// profiler is running.
+func hotSite(graft, tech string) string {
+	p := CurrentProfile()
+	if p == nil {
+		return ""
+	}
+	for _, s := range p.Samples() { // heaviest first
+		if s.Graft == graft && s.Tech == tech {
+			if s.Line > 0 {
+				return fmt.Sprintf("%s:%d", s.Func, s.Line)
+			}
+			return s.Func
+		}
+	}
+	return ""
+}
+
+// Violations returns everything flagged so far, sorted by pair.
+func (w *Watchdog) Violations() []Violation {
+	w.mu.Lock()
+	out := make([]Violation, 0, len(w.flagged))
+	for _, v := range w.flagged {
+		out = append(out, v)
+	}
+	w.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Graft != out[j].Graft {
+			return out[i].Graft < out[j].Graft
+		}
+		return out[i].Tech < out[j].Tech
+	})
+	return out
+}
+
+// Start scans every interval until Stop; the interval is the SLO
+// window — a runaway is flagged (and quarantined) within one interval
+// of its statistics crossing the threshold.
+func (w *Watchdog) Start(interval time.Duration) {
+	w.mu.Lock()
+	if w.stop != nil {
+		w.mu.Unlock()
+		return
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	stop, done := w.stop, w.done
+	w.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				w.Check()
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic scan and waits for it to exit.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"graftlab/internal/mem"
+)
+
+func TestWatchdogFlagsAndQuarantines(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() { ResetMetrics() })
+
+	runaway := Register("runaway", "bytecode")
+	good := Register("wellbehaved", "bytecode")
+	for i := 0; i < 100; i++ {
+		runaway.Inc()
+		good.Inc()
+		runaway.AddFuel(1 << 20)
+		good.AddFuel(100)
+		good.RecordLatency(200 * time.Nanosecond)
+		runaway.RecordLatency(50 * time.Millisecond)
+	}
+	// Half the runaway's invocations hit the fuel limit.
+	for i := 0; i < 50; i++ {
+		runaway.RecordError(&mem.Trap{Kind: mem.TrapFuel})
+	}
+
+	w := NewWatchdog(SLO{
+		MaxP99:         time.Millisecond,
+		MaxMeanFuel:    1 << 16,
+		MaxPreemptRate: 0.25,
+		Quarantine:     true,
+	})
+	fresh := w.Check()
+	if len(fresh) != 1 {
+		t.Fatalf("flagged %d pairs, want 1: %v", len(fresh), fresh)
+	}
+	v := fresh[0]
+	if v.Graft != "runaway" {
+		t.Fatalf("flagged %s/%s", v.Graft, v.Tech)
+	}
+	if v.Reason == "" || v.PreemptRate != 0.5 {
+		t.Errorf("violation = %+v", v)
+	}
+	if !runaway.Quarantined() || !Quarantined("runaway", "bytecode") {
+		t.Error("runaway not quarantined")
+	}
+	if good.Quarantined() || Quarantined("wellbehaved", "bytecode") {
+		t.Error("well-behaved pair quarantined")
+	}
+
+	// A pair is flagged exactly once; the violation stays queryable.
+	if again := w.Check(); len(again) != 0 {
+		t.Errorf("re-flagged: %v", again)
+	}
+	if all := w.Violations(); len(all) != 1 || all[0].Graft != "runaway" {
+		t.Errorf("Violations() = %v", all)
+	}
+
+	ClearQuarantines()
+	if runaway.Quarantined() {
+		t.Error("ClearQuarantines did not lift the quarantine")
+	}
+}
+
+func TestWatchdogMinInvocationsGate(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() { ResetMetrics() })
+
+	m := Register("coldstart", "script")
+	// Breaches every threshold, but with too few invocations to matter.
+	for i := 0; i < 5; i++ {
+		m.Inc()
+		m.AddFuel(1 << 30)
+		m.RecordLatency(time.Second)
+	}
+	w := NewWatchdog(SLO{MaxP99: time.Microsecond, MaxMeanFuel: 1})
+	if fresh := w.Check(); len(fresh) != 0 {
+		t.Fatalf("flagged under MinInvocations: %v", fresh)
+	}
+	for i := 0; i < 20; i++ {
+		m.Inc()
+		m.RecordLatency(time.Second)
+	}
+	if fresh := w.Check(); len(fresh) != 1 {
+		t.Fatalf("not flagged past MinInvocations: %v", fresh)
+	}
+	// Without Quarantine the pair is reported but never denied.
+	if m.Quarantined() {
+		t.Error("quarantined without SLO.Quarantine")
+	}
+}
+
+func TestWatchdogHotSite(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() {
+		ResetMetrics()
+		DisableProfiler()
+	})
+
+	p, err := EnableProfiler(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scope("spinner", "bytecode")
+	s.Hit("spin_loop", 42, 10*256)
+	s.Hit("setup", 3, 256)
+
+	m := Register("spinner", "bytecode")
+	for i := 0; i < 32; i++ {
+		m.Inc()
+		m.RecordLatency(time.Second)
+	}
+	w := NewWatchdog(SLO{MaxP99: time.Millisecond})
+	fresh := w.Check()
+	if len(fresh) != 1 {
+		t.Fatalf("flagged %d", len(fresh))
+	}
+	if fresh[0].HotSite != "spin_loop:42" {
+		t.Errorf("HotSite = %q, want spin_loop:42", fresh[0].HotSite)
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() { ResetMetrics() })
+
+	m := Register("slowpoke", "script")
+	for i := 0; i < 32; i++ {
+		m.Inc()
+		m.RecordLatency(time.Second)
+	}
+	w := NewWatchdog(SLO{MaxP99: time.Millisecond, Quarantine: true})
+	w.Start(time.Millisecond)
+	defer w.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Quarantined() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !m.Quarantined() {
+		t.Fatal("periodic watchdog never quarantined the breaching pair")
+	}
+	w.Stop() // idempotent with the deferred Stop
+}

@@ -124,6 +124,23 @@ func (d *Domain) Invoke(entry string, args ...uint32) (uint32, error) {
 	return r.val, r.err
 }
 
+// InvokeSpan implements tech.SpanInvoker: the protection-boundary
+// crossing is recorded as an "upcall" child span of ctx, so a traced
+// eviction shows the crossing cost nested inside the engine span.
+func (d *Domain) InvokeSpan(ctx telemetry.SpanCtx, entry string, args ...uint32) (uint32, error) {
+	sp := telemetry.ChildSpan(ctx, "upcall", "upcall")
+	if !sp.Active() {
+		return d.Invoke(entry, args...)
+	}
+	v, err := d.Invoke(entry, args...)
+	var errBit uint64
+	if err != nil {
+		errBit = 1
+	}
+	sp.End(uint64(d.latency.Nanoseconds()), errBit)
+	return v, err
+}
+
 // Memory exposes the server's graft memory; the kernel marshals inputs
 // through it exactly as for in-kernel grafts.
 func (d *Domain) Memory() *mem.Memory { return d.inner.Memory() }

@@ -45,6 +45,7 @@ import (
 
 	"graftlab/internal/bytecode"
 	"graftlab/internal/mem"
+	"graftlab/internal/telemetry"
 )
 
 // xop is an opcode of the translated form. Values below bytecode.NumOps are
@@ -181,6 +182,16 @@ type xfunc struct {
 	nlocals  int
 	maxStack int
 	code     []xinstr
+	lines    []int32 // debug line table of the source Func, indexed by original pc
+}
+
+// line resolves an original pc to its 1-based source line (0 when the
+// module carries no line table).
+func (f *xfunc) line(pc int) int {
+	if pc >= 0 && pc < len(f.lines) {
+		return int(f.lines[pc])
+	}
+	return 0
 }
 
 // OptConfig selects translator ablations; the zero value is the full
@@ -221,6 +232,25 @@ type OptVM struct {
 	depth    int
 	arena    []uint32 // frame arena: locals+stack of the active call chain
 	arenaTop int
+
+	// Sampling-profiler state (see SetProfile). profEvery == 0 — the
+	// default — reduces the hook to one predictable branch per fuel
+	// charge, i.e. per basic block.
+	prof      *telemetry.ProfScope
+	profEvery int64
+	profTick  int64
+}
+
+// SetProfile attaches a sampling-profiler scope: every `every` executed
+// fuel units (≈ retired instructions) record one sample of weight
+// `every` against the current function and source line, piggybacking on
+// the block-granular fuel charge. A nil scope detaches.
+func (v *OptVM) SetProfile(s *telemetry.ProfScope, every int64) {
+	if s == nil || every < 1 {
+		v.prof, v.profEvery, v.profTick = nil, 0, 0
+		return
+	}
+	v.prof, v.profEvery, v.profTick = s, every, every
 }
 
 // NewOpt verifies mod and translates it for execution against m under cfg.
@@ -365,6 +395,13 @@ func (v *OptVM) exec(fn *xfunc, locals, stack []uint32) uint32 {
 			v.fuel -= int64(in.cost)
 			if v.fuel < 0 {
 				throwAt(mem.TrapFuel, 0, int(in.pc))
+			}
+			if v.profEvery != 0 {
+				v.profTick -= int64(in.cost)
+				if v.profTick <= 0 {
+					v.profTick += v.profEvery
+					v.prof.Hit(fn.name, fn.line(int(in.pc)), v.profEvery)
+				}
 			}
 		}
 		switch in.op {

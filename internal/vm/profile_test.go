@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"testing"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/telemetry"
+)
+
+// The profiler must attribute fuel to the source lines that burn it:
+// a program spending nearly all its fuel in a tight loop should have
+// nearly all sample weight on the loop's lines, on both engines.
+const profileLoopSrc = `func main(n) {
+	var acc = 0;
+	var i = 0;
+	while (i < n) {
+		acc = acc + i;
+		i = i + 1;
+	}
+	return acc;
+}`
+
+func profileOf(t *testing.T, interval int64, run func(s *telemetry.ProfScope)) []telemetry.ProfSample {
+	t.Helper()
+	p, err := telemetry.NewProfile(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(p.Scope("loop", "test"))
+	return p.Samples()
+}
+
+func loopShare(samples []telemetry.ProfSample) (loop, total int64) {
+	for _, s := range samples {
+		total += s.Fuel
+		// Lines 4-7 are the while condition and body.
+		if s.Line >= 4 && s.Line <= 7 {
+			loop += s.Fuel
+		}
+	}
+	return
+}
+
+func TestOptVMProfileAttribution(t *testing.T) {
+	mod := compileGEL(t, profileLoopSrc)
+	v, err := NewOpt(mod, mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked}, OptConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := profileOf(t, 16, func(s *telemetry.ProfScope) {
+		v.SetProfile(s, 16)
+		if _, err := v.Invoke("main", 10000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	for _, s := range samples {
+		if s.Func != "main" {
+			t.Errorf("sample attributed to %q", s.Func)
+		}
+		if s.Line < 1 || s.Line > 9 {
+			t.Errorf("sample at line %d, outside source", s.Line)
+		}
+	}
+	loop, total := loopShare(samples)
+	if share := float64(loop) / float64(total); share < 0.95 {
+		t.Errorf("loop lines own %.1f%% of fuel, want >=95%% (samples: %+v)",
+			100*share, samples)
+	}
+}
+
+func TestBaselineVMProfileAttribution(t *testing.T) {
+	mod := compileGEL(t, profileLoopSrc)
+	v, err := New(mod, mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := profileOf(t, 16, func(s *telemetry.ProfScope) {
+		v.SetProfile(s, 16)
+		if _, err := v.Invoke("main", 10000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	loop, total := loopShare(samples)
+	if share := float64(loop) / float64(total); share < 0.95 {
+		t.Errorf("loop lines own %.1f%% of fuel, want >=95%% (samples: %+v)",
+			100*share, samples)
+	}
+}
+
+func TestProfileDetach(t *testing.T) {
+	mod := compileGEL(t, profileLoopSrc)
+	v, err := NewOpt(mod, mem.New(1<<12), mem.Config{Policy: mem.PolicyChecked}, OptConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := telemetry.NewProfile(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetProfile(p.Scope("loop", "test"), 16)
+	if _, err := v.Invoke("main", 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples()) == 0 {
+		t.Fatal("attached profiler saw nothing")
+	}
+	before := p.TotalFuel()
+	v.SetProfile(nil, 0)
+	if _, err := v.Invoke("main", 10000); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalFuel() != before {
+		t.Error("detached profiler still collecting")
+	}
+}

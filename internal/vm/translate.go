@@ -134,6 +134,7 @@ func translate(mod *bytecode.Module, f *bytecode.Func, cfg mem.Config, oc OptCon
 		nlocals:  f.NLocals,
 		maxStack: bytecode.MaxStack(mod, f),
 		code:     xcode,
+		lines:    f.Lines,
 	}, nil
 }
 

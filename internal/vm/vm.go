@@ -19,6 +19,7 @@ import (
 
 	"graftlab/internal/bytecode"
 	"graftlab/internal/mem"
+	"graftlab/internal/telemetry"
 )
 
 // DefaultMaxCallDepth bounds graft recursion.
@@ -69,6 +70,24 @@ type VM struct {
 	fuel    int64
 	metered bool
 	depth   int
+
+	// Sampling-profiler state (see OptVM.SetProfile). The baseline VM
+	// meters per instruction, so the countdown ticks per instruction;
+	// unlike fuel it runs even when no budget is set.
+	prof      *telemetry.ProfScope
+	profEvery int64
+	profTick  int64
+}
+
+// SetProfile attaches a sampling-profiler scope: every `every` retired
+// instructions record one sample of weight `every` against the current
+// function and source line. A nil scope detaches.
+func (v *VM) SetProfile(s *telemetry.ProfScope, every int64) {
+	if s == nil || every < 1 {
+		v.prof, v.profEvery, v.profTick = nil, 0, 0
+		return
+	}
+	v.prof, v.profEvery, v.profTick = s, every, every
 }
 
 // New verifies mod and prepares a VM over m with the given policy.
@@ -188,6 +207,13 @@ func (v *VM) call(idx int, args []uint32) uint32 {
 			v.fuel--
 			if v.fuel < 0 {
 				throwAt(mem.TrapFuel, 0, pc)
+			}
+		}
+		if v.profEvery != 0 {
+			v.profTick--
+			if v.profTick <= 0 {
+				v.profTick += v.profEvery
+				v.prof.Hit(f.Name, f.Line(pc), v.profEvery)
 			}
 		}
 		in := code[pc]
