@@ -42,7 +42,7 @@ func TestMain(m *testing.M) {
 var table2Techs = []tech.ID{
 	tech.CompiledUnsafe, tech.CompiledSafe, tech.CompiledSafeNil,
 	tech.CompiledSFI, tech.CompiledSFIFull,
-	tech.NativeUnsafe, tech.Bytecode, tech.Script,
+	tech.NativeUnsafe, tech.Bytecode, tech.AOT, tech.Script,
 }
 
 var readOnlyGraftTechs = append(append([]tech.ID{}, table2Techs...), tech.Domain)
@@ -232,7 +232,7 @@ func BenchmarkTable5MD5(b *testing.B) {
 			input := data
 			if id == tech.Script {
 				input = data[:16<<10] // the Tcl class at 16 KB per iteration
-			} else if id == tech.Bytecode || id == tech.NativeUnsafe {
+			} else if id == tech.Bytecode || id == tech.NativeUnsafe || id == tech.AOT {
 				input = data[:256<<10]
 			}
 			g, err := tech.Load(id, grafts.MD5, mem.New(grafts.MDMemSize), va.opts)

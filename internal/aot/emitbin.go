@@ -1,0 +1,508 @@
+package aot
+
+import (
+	"math/bits"
+
+	"graftlab/internal/bytecode"
+	"graftlab/internal/mem"
+)
+
+// Closure constructors for the ALU and comparison ops, specialized on
+// the operand kinds the symbolic stack knows at translate time. The
+// shapes are (E)xpression, (R)egister, (C)onstant; const•const folds at
+// the tree node, and the const-on-the-left shapes reuse the E-on-the-
+// left constructors through a constant leaf (they are rare in compiled
+// GEL). The point of the specialization is the same as the optimizing
+// VM's fused superinstructions: the hot shapes — reg•reg, reg•const,
+// expr•const — execute with zero extra dispatches for their leaves.
+//
+// Evaluation order within a node is x before y, which is push order,
+// which is original bytecode order; that is what keeps deferred trap
+// and load ordering identical to the interpreters (see translate.go).
+
+// foldBin evaluates op over two constants at translate time. The caller
+// guarantees y != 0 for div/rem (those fold to an always-trap closure
+// instead).
+func foldBin(op bytecode.Op, x, y uint32) uint32 {
+	switch op {
+	case bytecode.OpAdd:
+		return x + y
+	case bytecode.OpSub:
+		return x - y
+	case bytecode.OpMul:
+		return x * y
+	case bytecode.OpDivU:
+		return x / y
+	case bytecode.OpRemU:
+		return x % y
+	case bytecode.OpAnd:
+		return x & y
+	case bytecode.OpOr:
+		return x | y
+	case bytecode.OpXor:
+		return x ^ y
+	case bytecode.OpShl:
+		return x << (y & 31)
+	case bytecode.OpShrU:
+		return x >> (y & 31)
+	case bytecode.OpRotl:
+		return bits.RotateLeft32(x, int(y&31))
+	case bytecode.OpRotr:
+		return bits.RotateLeft32(x, -int(y&31))
+	case bytecode.OpMinU:
+		if y < x {
+			return y
+		}
+		return x
+	case bytecode.OpMaxU:
+		if y > x {
+			return y
+		}
+		return x
+	case bytecode.OpEq:
+		return b2u(x == y)
+	case bytecode.OpNe:
+		return b2u(x != y)
+	case bytecode.OpLtU:
+		return b2u(x < y)
+	case bytecode.OpLeU:
+		return b2u(x <= y)
+	case bytecode.OpGtU:
+		return b2u(x > y)
+	case bytecode.OpGeU:
+		return b2u(x >= y)
+	}
+	return 0
+}
+
+// alwaysTrap is the lowering of div/rem by a constant zero: evaluate the
+// dividend for its effects, then raise the trap the interpreter would.
+func alwaysTrap(x exprFn, kind mem.TrapKind, pc int) exprFn {
+	return func(r []uint32) uint32 {
+		x(r)
+		throwAt(kind, 0, pc)
+		return 0
+	}
+}
+
+func binEE(op bytecode.Op, x, y exprFn, pc int) exprFn {
+	switch op {
+	case bytecode.OpAdd:
+		return func(r []uint32) uint32 { return x(r) + y(r) }
+	case bytecode.OpSub:
+		return func(r []uint32) uint32 { return x(r) - y(r) }
+	case bytecode.OpMul:
+		return func(r []uint32) uint32 { return x(r) * y(r) }
+	case bytecode.OpDivU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), y(r)
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return a / b
+		}
+	case bytecode.OpRemU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), y(r)
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return a % b
+		}
+	case bytecode.OpAnd:
+		return func(r []uint32) uint32 { return x(r) & y(r) }
+	case bytecode.OpOr:
+		return func(r []uint32) uint32 { return x(r) | y(r) }
+	case bytecode.OpXor:
+		return func(r []uint32) uint32 { return x(r) ^ y(r) }
+	case bytecode.OpShl:
+		return func(r []uint32) uint32 { return x(r) << (y(r) & 31) }
+	case bytecode.OpShrU:
+		return func(r []uint32) uint32 { return x(r) >> (y(r) & 31) }
+	case bytecode.OpRotl:
+		return func(r []uint32) uint32 { return bits.RotateLeft32(x(r), int(y(r)&31)) }
+	case bytecode.OpRotr:
+		return func(r []uint32) uint32 { return bits.RotateLeft32(x(r), -int(y(r)&31)) }
+	case bytecode.OpMinU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), y(r)
+			if b < a {
+				return b
+			}
+			return a
+		}
+	case bytecode.OpMaxU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), y(r)
+			if b > a {
+				return b
+			}
+			return a
+		}
+	case bytecode.OpEq:
+		return func(r []uint32) uint32 { return b2u(x(r) == y(r)) }
+	case bytecode.OpNe:
+		return func(r []uint32) uint32 { return b2u(x(r) != y(r)) }
+	case bytecode.OpLtU:
+		return func(r []uint32) uint32 { return b2u(x(r) < y(r)) }
+	case bytecode.OpLeU:
+		return func(r []uint32) uint32 { return b2u(x(r) <= y(r)) }
+	case bytecode.OpGtU:
+		return func(r []uint32) uint32 { return b2u(x(r) > y(r)) }
+	case bytecode.OpGeU:
+		return func(r []uint32) uint32 { return b2u(x(r) >= y(r)) }
+	}
+	return func(r []uint32) uint32 { throwAt(mem.TrapUnreachable, 0, pc); return 0 }
+}
+
+func binER(op bytecode.Op, x exprFn, yi int, pc int) exprFn {
+	switch op {
+	case bytecode.OpAdd:
+		return func(r []uint32) uint32 { return x(r) + r[yi] }
+	case bytecode.OpSub:
+		return func(r []uint32) uint32 { return x(r) - r[yi] }
+	case bytecode.OpMul:
+		return func(r []uint32) uint32 { return x(r) * r[yi] }
+	case bytecode.OpDivU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), r[yi]
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return a / b
+		}
+	case bytecode.OpRemU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), r[yi]
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return a % b
+		}
+	case bytecode.OpAnd:
+		return func(r []uint32) uint32 { return x(r) & r[yi] }
+	case bytecode.OpOr:
+		return func(r []uint32) uint32 { return x(r) | r[yi] }
+	case bytecode.OpXor:
+		return func(r []uint32) uint32 { return x(r) ^ r[yi] }
+	case bytecode.OpShl:
+		return func(r []uint32) uint32 { return x(r) << (r[yi] & 31) }
+	case bytecode.OpShrU:
+		return func(r []uint32) uint32 { return x(r) >> (r[yi] & 31) }
+	case bytecode.OpRotl:
+		return func(r []uint32) uint32 { return bits.RotateLeft32(x(r), int(r[yi]&31)) }
+	case bytecode.OpRotr:
+		return func(r []uint32) uint32 { return bits.RotateLeft32(x(r), -int(r[yi]&31)) }
+	case bytecode.OpMinU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), r[yi]
+			if b < a {
+				return b
+			}
+			return a
+		}
+	case bytecode.OpMaxU:
+		return func(r []uint32) uint32 {
+			a, b := x(r), r[yi]
+			if b > a {
+				return b
+			}
+			return a
+		}
+	case bytecode.OpEq:
+		return func(r []uint32) uint32 { return b2u(x(r) == r[yi]) }
+	case bytecode.OpNe:
+		return func(r []uint32) uint32 { return b2u(x(r) != r[yi]) }
+	case bytecode.OpLtU:
+		return func(r []uint32) uint32 { return b2u(x(r) < r[yi]) }
+	case bytecode.OpLeU:
+		return func(r []uint32) uint32 { return b2u(x(r) <= r[yi]) }
+	case bytecode.OpGtU:
+		return func(r []uint32) uint32 { return b2u(x(r) > r[yi]) }
+	case bytecode.OpGeU:
+		return func(r []uint32) uint32 { return b2u(x(r) >= r[yi]) }
+	}
+	return func(r []uint32) uint32 { throwAt(mem.TrapUnreachable, 0, pc); return 0 }
+}
+
+func binEC(op bytecode.Op, x exprFn, c uint32, pc int) exprFn {
+	switch op {
+	case bytecode.OpAdd:
+		return func(r []uint32) uint32 { return x(r) + c }
+	case bytecode.OpSub:
+		return func(r []uint32) uint32 { return x(r) - c }
+	case bytecode.OpMul:
+		return func(r []uint32) uint32 { return x(r) * c }
+	case bytecode.OpDivU:
+		if c == 0 {
+			return alwaysTrap(x, mem.TrapDivZero, pc)
+		}
+		return func(r []uint32) uint32 { return x(r) / c }
+	case bytecode.OpRemU:
+		if c == 0 {
+			return alwaysTrap(x, mem.TrapDivZero, pc)
+		}
+		return func(r []uint32) uint32 { return x(r) % c }
+	case bytecode.OpAnd:
+		return func(r []uint32) uint32 { return x(r) & c }
+	case bytecode.OpOr:
+		return func(r []uint32) uint32 { return x(r) | c }
+	case bytecode.OpXor:
+		return func(r []uint32) uint32 { return x(r) ^ c }
+	case bytecode.OpShl:
+		k := c & 31
+		return func(r []uint32) uint32 { return x(r) << k }
+	case bytecode.OpShrU:
+		k := c & 31
+		return func(r []uint32) uint32 { return x(r) >> k }
+	case bytecode.OpRotl:
+		k := int(c & 31)
+		return func(r []uint32) uint32 { return bits.RotateLeft32(x(r), k) }
+	case bytecode.OpRotr:
+		k := -int(c & 31)
+		return func(r []uint32) uint32 { return bits.RotateLeft32(x(r), k) }
+	case bytecode.OpMinU:
+		return func(r []uint32) uint32 {
+			a := x(r)
+			if c < a {
+				return c
+			}
+			return a
+		}
+	case bytecode.OpMaxU:
+		return func(r []uint32) uint32 {
+			a := x(r)
+			if c > a {
+				return c
+			}
+			return a
+		}
+	case bytecode.OpEq:
+		return func(r []uint32) uint32 { return b2u(x(r) == c) }
+	case bytecode.OpNe:
+		return func(r []uint32) uint32 { return b2u(x(r) != c) }
+	case bytecode.OpLtU:
+		return func(r []uint32) uint32 { return b2u(x(r) < c) }
+	case bytecode.OpLeU:
+		return func(r []uint32) uint32 { return b2u(x(r) <= c) }
+	case bytecode.OpGtU:
+		return func(r []uint32) uint32 { return b2u(x(r) > c) }
+	case bytecode.OpGeU:
+		return func(r []uint32) uint32 { return b2u(x(r) >= c) }
+	}
+	return func(r []uint32) uint32 { throwAt(mem.TrapUnreachable, 0, pc); return 0 }
+}
+
+func binRE(op bytecode.Op, xi int, y exprFn, pc int) exprFn {
+	// A register read commutes with any expression evaluation (trees
+	// never write registers), so the leaf can be read after y runs.
+	switch op {
+	case bytecode.OpAdd:
+		return func(r []uint32) uint32 { return r[xi] + y(r) }
+	case bytecode.OpSub:
+		return func(r []uint32) uint32 { b := y(r); return r[xi] - b }
+	case bytecode.OpMul:
+		return func(r []uint32) uint32 { return r[xi] * y(r) }
+	case bytecode.OpDivU:
+		return func(r []uint32) uint32 {
+			b := y(r)
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return r[xi] / b
+		}
+	case bytecode.OpRemU:
+		return func(r []uint32) uint32 {
+			b := y(r)
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return r[xi] % b
+		}
+	case bytecode.OpAnd:
+		return func(r []uint32) uint32 { return r[xi] & y(r) }
+	case bytecode.OpOr:
+		return func(r []uint32) uint32 { return r[xi] | y(r) }
+	case bytecode.OpXor:
+		return func(r []uint32) uint32 { return r[xi] ^ y(r) }
+	case bytecode.OpShl:
+		return func(r []uint32) uint32 { b := y(r); return r[xi] << (b & 31) }
+	case bytecode.OpShrU:
+		return func(r []uint32) uint32 { b := y(r); return r[xi] >> (b & 31) }
+	case bytecode.OpRotl:
+		return func(r []uint32) uint32 { b := y(r); return bits.RotateLeft32(r[xi], int(b&31)) }
+	case bytecode.OpRotr:
+		return func(r []uint32) uint32 { b := y(r); return bits.RotateLeft32(r[xi], -int(b&31)) }
+	case bytecode.OpMinU:
+		return func(r []uint32) uint32 {
+			b := y(r)
+			if b < r[xi] {
+				return b
+			}
+			return r[xi]
+		}
+	case bytecode.OpMaxU:
+		return func(r []uint32) uint32 {
+			b := y(r)
+			if b > r[xi] {
+				return b
+			}
+			return r[xi]
+		}
+	case bytecode.OpEq:
+		return func(r []uint32) uint32 { return b2u(r[xi] == y(r)) }
+	case bytecode.OpNe:
+		return func(r []uint32) uint32 { return b2u(r[xi] != y(r)) }
+	case bytecode.OpLtU:
+		return func(r []uint32) uint32 { b := y(r); return b2u(r[xi] < b) }
+	case bytecode.OpLeU:
+		return func(r []uint32) uint32 { b := y(r); return b2u(r[xi] <= b) }
+	case bytecode.OpGtU:
+		return func(r []uint32) uint32 { b := y(r); return b2u(r[xi] > b) }
+	case bytecode.OpGeU:
+		return func(r []uint32) uint32 { b := y(r); return b2u(r[xi] >= b) }
+	}
+	return func(r []uint32) uint32 { throwAt(mem.TrapUnreachable, 0, pc); return 0 }
+}
+
+func binRR(op bytecode.Op, xi, yi int, pc int) exprFn {
+	switch op {
+	case bytecode.OpAdd:
+		return func(r []uint32) uint32 { return r[xi] + r[yi] }
+	case bytecode.OpSub:
+		return func(r []uint32) uint32 { return r[xi] - r[yi] }
+	case bytecode.OpMul:
+		return func(r []uint32) uint32 { return r[xi] * r[yi] }
+	case bytecode.OpDivU:
+		return func(r []uint32) uint32 {
+			b := r[yi]
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return r[xi] / b
+		}
+	case bytecode.OpRemU:
+		return func(r []uint32) uint32 {
+			b := r[yi]
+			if b == 0 {
+				throwAt(mem.TrapDivZero, 0, pc)
+			}
+			return r[xi] % b
+		}
+	case bytecode.OpAnd:
+		return func(r []uint32) uint32 { return r[xi] & r[yi] }
+	case bytecode.OpOr:
+		return func(r []uint32) uint32 { return r[xi] | r[yi] }
+	case bytecode.OpXor:
+		return func(r []uint32) uint32 { return r[xi] ^ r[yi] }
+	case bytecode.OpShl:
+		return func(r []uint32) uint32 { return r[xi] << (r[yi] & 31) }
+	case bytecode.OpShrU:
+		return func(r []uint32) uint32 { return r[xi] >> (r[yi] & 31) }
+	case bytecode.OpRotl:
+		return func(r []uint32) uint32 { return bits.RotateLeft32(r[xi], int(r[yi]&31)) }
+	case bytecode.OpRotr:
+		return func(r []uint32) uint32 { return bits.RotateLeft32(r[xi], -int(r[yi]&31)) }
+	case bytecode.OpMinU:
+		return func(r []uint32) uint32 {
+			if r[yi] < r[xi] {
+				return r[yi]
+			}
+			return r[xi]
+		}
+	case bytecode.OpMaxU:
+		return func(r []uint32) uint32 {
+			if r[yi] > r[xi] {
+				return r[yi]
+			}
+			return r[xi]
+		}
+	case bytecode.OpEq:
+		return func(r []uint32) uint32 { return b2u(r[xi] == r[yi]) }
+	case bytecode.OpNe:
+		return func(r []uint32) uint32 { return b2u(r[xi] != r[yi]) }
+	case bytecode.OpLtU:
+		return func(r []uint32) uint32 { return b2u(r[xi] < r[yi]) }
+	case bytecode.OpLeU:
+		return func(r []uint32) uint32 { return b2u(r[xi] <= r[yi]) }
+	case bytecode.OpGtU:
+		return func(r []uint32) uint32 { return b2u(r[xi] > r[yi]) }
+	case bytecode.OpGeU:
+		return func(r []uint32) uint32 { return b2u(r[xi] >= r[yi]) }
+	}
+	return func(r []uint32) uint32 { throwAt(mem.TrapUnreachable, 0, pc); return 0 }
+}
+
+func binRC(op bytecode.Op, xi int, c uint32, pc int) exprFn {
+	switch op {
+	case bytecode.OpAdd:
+		return func(r []uint32) uint32 { return r[xi] + c }
+	case bytecode.OpSub:
+		return func(r []uint32) uint32 { return r[xi] - c }
+	case bytecode.OpMul:
+		return func(r []uint32) uint32 { return r[xi] * c }
+	case bytecode.OpDivU:
+		if c == 0 {
+			return func(r []uint32) uint32 { throwAt(mem.TrapDivZero, 0, pc); return 0 }
+		}
+		return func(r []uint32) uint32 { return r[xi] / c }
+	case bytecode.OpRemU:
+		if c == 0 {
+			return func(r []uint32) uint32 { throwAt(mem.TrapDivZero, 0, pc); return 0 }
+		}
+		return func(r []uint32) uint32 { return r[xi] % c }
+	case bytecode.OpAnd:
+		return func(r []uint32) uint32 { return r[xi] & c }
+	case bytecode.OpOr:
+		return func(r []uint32) uint32 { return r[xi] | c }
+	case bytecode.OpXor:
+		return func(r []uint32) uint32 { return r[xi] ^ c }
+	case bytecode.OpShl:
+		k := c & 31
+		return func(r []uint32) uint32 { return r[xi] << k }
+	case bytecode.OpShrU:
+		k := c & 31
+		return func(r []uint32) uint32 { return r[xi] >> k }
+	case bytecode.OpRotl:
+		k := int(c & 31)
+		return func(r []uint32) uint32 { return bits.RotateLeft32(r[xi], k) }
+	case bytecode.OpRotr:
+		k := -int(c & 31)
+		return func(r []uint32) uint32 { return bits.RotateLeft32(r[xi], k) }
+	case bytecode.OpMinU:
+		return func(r []uint32) uint32 {
+			if c < r[xi] {
+				return c
+			}
+			return r[xi]
+		}
+	case bytecode.OpMaxU:
+		return func(r []uint32) uint32 {
+			if c > r[xi] {
+				return c
+			}
+			return r[xi]
+		}
+	case bytecode.OpEq:
+		return func(r []uint32) uint32 { return b2u(r[xi] == c) }
+	case bytecode.OpNe:
+		return func(r []uint32) uint32 { return b2u(r[xi] != c) }
+	case bytecode.OpLtU:
+		return func(r []uint32) uint32 { return b2u(r[xi] < c) }
+	case bytecode.OpLeU:
+		return func(r []uint32) uint32 { return b2u(r[xi] <= c) }
+	case bytecode.OpGtU:
+		return func(r []uint32) uint32 { return b2u(r[xi] > c) }
+	case bytecode.OpGeU:
+		return func(r []uint32) uint32 { return b2u(r[xi] >= c) }
+	}
+	return func(r []uint32) uint32 { throwAt(mem.TrapUnreachable, 0, pc); return 0 }
+}
+
+func eqzE(x exprFn) exprFn {
+	return func(r []uint32) uint32 { return b2u(x(r) == 0) }
+}
+
+func eqzR(xi int) exprFn {
+	return func(r []uint32) uint32 { return b2u(r[xi] == 0) }
+}

@@ -1,0 +1,241 @@
+package aot
+
+import (
+	"math/bits"
+
+	"graftlab/internal/bytecode"
+)
+
+// ival is an unsigned 32-bit interval [lo, hi], the abstract value the
+// verifier tracks per local slot and per operand-stack position. Every
+// transfer function over-approximates: the concrete value at runtime is
+// always inside the interval, so a bounds proof derived from an interval
+// is sound. Wrap-around results widen to full rather than modeling
+// circular intervals — the grafts the proof matters for (table-driven
+// indexing, masked offsets, counted loops) never rely on wrap.
+type ival struct {
+	lo, hi uint32
+}
+
+const maxU32 = ^uint32(0)
+
+var fullIval = ival{0, maxU32}
+
+func constIval(c uint32) ival { return ival{c, c} }
+
+func (v ival) isConst() bool { return v.lo == v.hi }
+
+// join is the lattice union.
+func (v ival) join(o ival) ival {
+	if o.lo < v.lo {
+		v.lo = o.lo
+	}
+	if o.hi > v.hi {
+		v.hi = o.hi
+	}
+	return v
+}
+
+// orMax is the tightest power-of-two-minus-one bound on x|y (and x^y)
+// given x <= a and y <= b.
+func orMax(a, b uint32) uint32 {
+	n := bits.Len32(a | b)
+	if n >= 32 {
+		return maxU32
+	}
+	return (uint32(1) << n) - 1
+}
+
+// ivalBin over-approximates the result interval of a binary ALU or
+// comparison op on operand intervals x and y. For the trapping ops
+// (div/rem by zero) the interval covers the non-trapping outcomes only;
+// the trap itself is handled by the emitted check.
+func ivalBin(op bytecode.Op, x, y ival) ival {
+	switch op {
+	case bytecode.OpAdd:
+		lo := uint64(x.lo) + uint64(y.lo)
+		hi := uint64(x.hi) + uint64(y.hi)
+		if hi <= uint64(maxU32) {
+			return ival{uint32(lo), uint32(hi)}
+		}
+		if lo > uint64(maxU32) { // both bounds wrap: still an interval
+			return ival{uint32(lo), uint32(hi)}
+		}
+		return fullIval
+	case bytecode.OpSub:
+		lo := int64(x.lo) - int64(y.hi)
+		hi := int64(x.hi) - int64(y.lo)
+		if lo >= 0 {
+			return ival{uint32(lo), uint32(hi)}
+		}
+		if hi < 0 { // both bounds wrap
+			return ival{uint32(lo + 1<<32), uint32(hi + 1<<32)}
+		}
+		return fullIval
+	case bytecode.OpMul:
+		hi := uint64(x.hi) * uint64(y.hi)
+		if hi <= uint64(maxU32) {
+			return ival{x.lo * y.lo, uint32(hi)}
+		}
+		return fullIval
+	case bytecode.OpDivU:
+		dlo, dhi := y.lo, y.hi
+		if dlo == 0 {
+			dlo = 1
+		}
+		if dhi == 0 {
+			dhi = 1
+		}
+		return ival{x.lo / dhi, x.hi / dlo}
+	case bytecode.OpRemU:
+		if y.hi == 0 {
+			return ival{0, 0} // always traps; interval is vacuous
+		}
+		hi := y.hi - 1
+		if x.hi < hi {
+			hi = x.hi
+		}
+		return ival{0, hi}
+	case bytecode.OpAnd:
+		hi := x.hi
+		if y.hi < hi {
+			hi = y.hi
+		}
+		return ival{0, hi}
+	case bytecode.OpOr:
+		lo := x.lo
+		if y.lo > lo {
+			lo = y.lo
+		}
+		return ival{lo, orMax(x.hi, y.hi)}
+	case bytecode.OpXor:
+		return ival{0, orMax(x.hi, y.hi)}
+	case bytecode.OpShl:
+		if y.isConst() {
+			k := y.lo & 31
+			hi := uint64(x.hi) << k
+			if hi <= uint64(maxU32) {
+				return ival{x.lo << k, uint32(hi)}
+			}
+		}
+		return fullIval
+	case bytecode.OpShrU:
+		if y.isConst() {
+			k := y.lo & 31
+			return ival{x.lo >> k, x.hi >> k}
+		}
+		return ival{0, x.hi}
+	case bytecode.OpRotl, bytecode.OpRotr:
+		if y.isConst() && y.lo&31 == 0 {
+			return x
+		}
+		return fullIval
+	case bytecode.OpMinU:
+		lo, hi := x.lo, x.hi
+		if y.lo < lo {
+			lo = y.lo
+		}
+		if y.hi < hi {
+			hi = y.hi
+		}
+		return ival{lo, hi}
+	case bytecode.OpMaxU:
+		lo, hi := x.lo, x.hi
+		if y.lo > lo {
+			lo = y.lo
+		}
+		if y.hi > hi {
+			hi = y.hi
+		}
+		return ival{lo, hi}
+	case bytecode.OpEq, bytecode.OpNe, bytecode.OpLtU, bytecode.OpLeU,
+		bytecode.OpGtU, bytecode.OpGeU:
+		return ival{0, 1}
+	}
+	return fullIval
+}
+
+// negateCmp returns the comparison that holds exactly when op does not.
+func negateCmp(op bytecode.Op) bytecode.Op {
+	switch op {
+	case bytecode.OpEq:
+		return bytecode.OpNe
+	case bytecode.OpNe:
+		return bytecode.OpEq
+	case bytecode.OpLtU:
+		return bytecode.OpGeU
+	case bytecode.OpLeU:
+		return bytecode.OpGtU
+	case bytecode.OpGtU:
+		return bytecode.OpLeU
+	case bytecode.OpGeU:
+		return bytecode.OpLtU
+	}
+	return op
+}
+
+// mirrorCmp returns the comparison with operands swapped: x op y == y mirror(op) x.
+func mirrorCmp(op bytecode.Op) bytecode.Op {
+	switch op {
+	case bytecode.OpLtU:
+		return bytecode.OpGtU
+	case bytecode.OpLeU:
+		return bytecode.OpGeU
+	case bytecode.OpGtU:
+		return bytecode.OpLtU
+	case bytecode.OpGeU:
+		return bytecode.OpLeU
+	}
+	return op // Eq, Ne are symmetric
+}
+
+// refineCmp narrows the interval of a value known to satisfy (or, with
+// truth=false, to violate) `value op c`. An edge whose refinement is
+// empty is unreachable; the interval collapses to a harmless singleton —
+// anything sound works, since no concrete execution takes that edge.
+func refineCmp(v ival, op bytecode.Op, c uint32, truth bool) ival {
+	if !truth {
+		op = negateCmp(op)
+	}
+	switch op {
+	case bytecode.OpEq:
+		if c < v.lo || c > v.hi {
+			return constIval(c) // unreachable edge
+		}
+		return constIval(c)
+	case bytecode.OpNe:
+		if v.lo == c && v.lo < v.hi {
+			v.lo++
+		}
+		if v.hi == c && v.hi > v.lo {
+			v.hi--
+		}
+		return v
+	case bytecode.OpLtU:
+		if c == 0 {
+			return constIval(v.lo) // unreachable edge
+		}
+		if v.hi > c-1 {
+			v.hi = c - 1
+		}
+	case bytecode.OpLeU:
+		if v.hi > c {
+			v.hi = c
+		}
+	case bytecode.OpGtU:
+		if c == maxU32 {
+			return constIval(v.hi) // unreachable edge
+		}
+		if v.lo < c+1 {
+			v.lo = c + 1
+		}
+	case bytecode.OpGeU:
+		if v.lo < c {
+			v.lo = c
+		}
+	}
+	if v.lo > v.hi { // empty: unreachable edge
+		return constIval(c)
+	}
+	return v
+}

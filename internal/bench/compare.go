@@ -33,8 +33,11 @@ func (r Regression) String() string {
 // baseline*(1-tol). Only experiments present in BOTH reports are
 // compared, and raw durations are compared only when the workload sizes
 // match — otherwise the dimensionless normalized column stands in, so a
-// paper-scale baseline can still gate a quick-scale rerun. Returns the
-// regressions and how many metrics were compared.
+// paper-scale baseline can still gate a quick-scale rerun. Rows are
+// matched by technology name: a row present only in the current report
+// (a technology column added after the baseline was archived) is never a
+// regression, so old baselines keep gating new runs as the registry
+// grows. Returns the regressions and how many metrics were compared.
 func CompareReports(baseline, current *Report, tol float64) ([]Regression, int) {
 	c := &comparer{tol: tol}
 

@@ -9,7 +9,7 @@ import (
 func md5Report(bytes int, total time.Duration, normalized float64) *Report {
 	return &Report{MD5: &MD5Result{
 		Bytes: bytes,
-		Rows: []MD5Row{{Tech: "compiled-unsafe", Total: total, Normalized: normalized}},
+		Rows:  []MD5Row{{Tech: "compiled-unsafe", Total: total, Normalized: normalized}},
 	}}
 }
 
@@ -93,6 +93,28 @@ func TestCompareThroughputDirection(t *testing.T) {
 	// A different service time changes the model; those cells are skipped.
 	if _, compared := CompareReports(base, scaleReport(100*time.Microsecond, 10), 0.30); compared != 0 {
 		t.Fatal("cells with mismatched service time compared")
+	}
+}
+
+// A baseline archived before a technology existed must keep gating runs
+// that include the new column: rows matched by name, additions ignored.
+func TestCompareToleratesAddedColumns(t *testing.T) {
+	base := md5Report(1<<20, 100*time.Millisecond, 1)
+	cur := md5Report(1<<20, 100*time.Millisecond, 1)
+	cur.MD5.Rows = append(cur.MD5.Rows,
+		MD5Row{Tech: "aot", Total: 900 * time.Millisecond, Normalized: 9})
+	regs, compared := CompareReports(base, cur, 0.30)
+	if len(regs) != 0 {
+		t.Fatalf("added column flagged as regression: %v", regs)
+	}
+	if compared != 1 {
+		t.Fatalf("compared %d metrics, want 1 (only the shared row)", compared)
+	}
+	// And the shared rows still gate: slow down the pre-existing column
+	// next to the new one and the regression must surface.
+	cur.MD5.Rows[0].Total = 500 * time.Millisecond
+	if regs, _ := CompareReports(base, cur, 0.30); len(regs) != 1 {
+		t.Fatalf("shared-row regression masked by added column: %v", regs)
 	}
 }
 

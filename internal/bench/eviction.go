@@ -114,7 +114,7 @@ func (h *evictHarness) invoke() error {
 // evictTechs are Table 2's columns, in paper order plus this repo's
 // additions (upcall row and ablation variants appear via dedicated rows).
 var evictTechs = []tech.ID{
-	tech.CompiledUnsafe, tech.Bytecode, tech.CompiledSafe, tech.CompiledSFI,
+	tech.CompiledUnsafe, tech.Bytecode, tech.AOT, tech.CompiledSafe, tech.CompiledSFI,
 	tech.Script, tech.NativeUnsafe, tech.Domain,
 }
 

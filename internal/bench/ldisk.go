@@ -37,7 +37,7 @@ type LDResult struct {
 }
 
 var ldTechs = []tech.ID{
-	tech.CompiledUnsafe, tech.Bytecode, tech.CompiledSafe, tech.CompiledSFI,
+	tech.CompiledUnsafe, tech.Bytecode, tech.AOT, tech.CompiledSafe, tech.CompiledSFI,
 	tech.Script, tech.NativeUnsafe,
 }
 

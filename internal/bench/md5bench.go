@@ -40,7 +40,7 @@ type MD5Result struct {
 
 // md5Techs are Table 5's columns in paper order.
 var md5Techs = []tech.ID{
-	tech.CompiledUnsafe, tech.Bytecode, tech.CompiledSafe, tech.CompiledSFI,
+	tech.CompiledUnsafe, tech.Bytecode, tech.AOT, tech.CompiledSafe, tech.CompiledSFI,
 	tech.Script, tech.NativeUnsafe,
 }
 

@@ -35,7 +35,7 @@ type PFResult struct {
 }
 
 var pfBenchTechs = []tech.ID{
-	tech.CompiledUnsafe, tech.Bytecode, tech.CompiledSafe, tech.CompiledSFI,
+	tech.CompiledUnsafe, tech.Bytecode, tech.AOT, tech.CompiledSafe, tech.CompiledSFI,
 	tech.Script, tech.NativeUnsafe, tech.Domain,
 }
 

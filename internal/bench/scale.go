@@ -65,7 +65,7 @@ type ScaleResult struct {
 // under concurrency.
 var scaleTechs = []tech.ID{
 	tech.CompiledUnsafe, tech.CompiledSFI, tech.NativeUnsafe,
-	tech.Bytecode, tech.Script,
+	tech.Bytecode, tech.AOT, tech.Script,
 }
 
 // scaleWorkerCounts is 1/2/4 plus GOMAXPROCS when it exceeds 4.

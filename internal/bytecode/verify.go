@@ -38,19 +38,60 @@ const MaxStackDepth = 1 << 16
 // Verify checks every function in m.
 func Verify(m *Module) error {
 	for _, f := range m.Funcs {
-		if err := verifyFunc(m, f); err != nil {
+		if _, err := verifyFunc(m, f); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func verifyFunc(m *Module, f *Func) error {
+// StackDepths runs the verifier's abstract interpretation over f and
+// returns the operand stack depth on entry to every instruction; entries
+// for unreachable code are -1. It is the exact pass Verify runs per
+// function — an error here is a verification failure and vice versa — so
+// downstream load-time passes that need per-pc depths (the AOT
+// translator's block reconstruction) accept and reject precisely the
+// modules Verify does, by construction rather than by parallel
+// re-implementation.
+func StackDepths(m *Module, f *Func) ([]int, error) {
+	return verifyFunc(m, f)
+}
+
+func verifyFunc(m *Module, f *Func) ([]int, error) {
 	if f.NArgs > f.NLocals {
-		return vErrf(f.Name, 0, "NArgs %d > NLocals %d", f.NArgs, f.NLocals)
+		return nil, vErrf(f.Name, 0, "NArgs %d > NLocals %d", f.NArgs, f.NLocals)
 	}
 	if len(f.Code) == 0 {
-		return vErrf(f.Name, 0, "empty function body")
+		return nil, vErrf(f.Name, 0, "empty function body")
+	}
+
+	// Static operand validation over every instruction, reachable or not.
+	// The depth pass below only visits reachable code, but the load-time
+	// translators (the optimizing VM's superinstruction pass, the AOT
+	// lowering) process whole function bodies — an undefined opcode or a
+	// wild jump target in dead code must be rejected here, with this
+	// taxonomy, rather than surface as a translator error that only some
+	// engines raise. (Found by differential fuzzing: a module whose
+	// unreachable tail jumped out of range verified cleanly but was
+	// refused by the translators.)
+	for pc, in := range f.Code {
+		if !in.Op.Valid() {
+			return nil, vErrf(f.Name, pc, "undefined opcode %d", byte(in.Op))
+		}
+		switch in.Op {
+		case OpLocalGet, OpLocalSet:
+			if in.A >= uint32(f.NLocals) {
+				return nil, vErrf(f.Name, pc, "local slot %d out of range [0,%d)", in.A, f.NLocals)
+			}
+		case OpCall:
+			if in.A >= uint32(len(m.Funcs)) {
+				return nil, vErrf(f.Name, pc, "call to undefined function index %d", in.A)
+			}
+		case OpJmp, OpJz, OpJnz:
+			if in.A >= uint32(len(f.Code)) {
+				return nil, vErrf(f.Name, pc, "jump target %d out of range [0,%d)", in.A, len(f.Code))
+			}
+		}
 	}
 
 	// depth[pc] is the operand stack depth on entry to pc; -1 = not yet seen.
@@ -84,7 +125,7 @@ func verifyFunc(m *Module, f *Func) error {
 		work = work[:len(work)-1]
 		in := f.Code[pc]
 		if !in.Op.Valid() {
-			return vErrf(f.Name, pc, "undefined opcode %d", byte(in.Op))
+			return nil, vErrf(f.Name, pc, "undefined opcode %d", byte(in.Op))
 		}
 		d := depth[pc]
 		info := opTable[in.Op]
@@ -93,34 +134,34 @@ func verifyFunc(m *Module, f *Func) error {
 		switch in.Op {
 		case OpLocalGet, OpLocalSet:
 			if in.A >= uint32(f.NLocals) {
-				return vErrf(f.Name, pc, "local slot %d out of range [0,%d)", in.A, f.NLocals)
+				return nil, vErrf(f.Name, pc, "local slot %d out of range [0,%d)", in.A, f.NLocals)
 			}
 		case OpCall:
 			if in.A >= uint32(len(m.Funcs)) {
-				return vErrf(f.Name, pc, "call to undefined function index %d", in.A)
+				return nil, vErrf(f.Name, pc, "call to undefined function index %d", in.A)
 			}
 			pop = m.Funcs[in.A].NArgs
 			push = 1
 		}
 		if d < pop {
-			return vErrf(f.Name, pc, "stack underflow: %s needs %d, depth is %d", in.Op, pop, d)
+			return nil, vErrf(f.Name, pc, "stack underflow: %s needs %d, depth is %d", in.Op, pop, d)
 		}
 		nd := d - pop + push
 		if nd > MaxStackDepth {
-			return vErrf(f.Name, pc, "stack depth %d exceeds limit", nd)
+			return nil, vErrf(f.Name, pc, "stack depth %d exceeds limit", nd)
 		}
 
 		switch in.Op {
 		case OpJmp:
 			if err := propagate(pc, int(in.A), nd); err != nil {
-				return err
+				return nil, err
 			}
 		case OpJz, OpJnz:
 			if err := propagate(pc, int(in.A), nd); err != nil {
-				return err
+				return nil, err
 			}
 			if err := propagate(pc, pc+1, nd); err != nil {
-				return err
+				return nil, err
 			}
 		case OpRet:
 			// terminator; nothing to propagate. The pop==1 check above
@@ -129,14 +170,14 @@ func verifyFunc(m *Module, f *Func) error {
 			// terminator.
 		default:
 			if pc+1 >= len(f.Code) {
-				return vErrf(f.Name, pc, "control falls off end of function after %s", in.Op)
+				return nil, vErrf(f.Name, pc, "control falls off end of function after %s", in.Op)
 			}
 			if err := propagate(pc, pc+1, nd); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
-	return nil
+	return depth, nil
 }
 
 // MaxStack computes the maximum operand stack depth any reachable point of

@@ -212,6 +212,13 @@ func TestFuelCliffs(t *testing.T) {
 			if a, b := thresholds["bytecode-opt"], thresholds["bytecode-baseline"]; a != b {
 				t.Fatalf("bytecode fuel cliffs diverge: opt=%d baseline=%d", a, b)
 			}
+			// The AOT translation meters the same verified instruction
+			// stream from the same block CFG, so its cliff must be the
+			// bytecode engines' cliff exactly — bounds-check elision is
+			// not allowed to move the preemption threshold.
+			if a, b := thresholds["aot"], thresholds["bytecode-opt"]; a != b {
+				t.Fatalf("aot fuel cliff diverges from bytecode: aot=%d opt=%d", a, b)
+			}
 		})
 	}
 }

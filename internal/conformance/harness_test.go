@@ -49,6 +49,7 @@ var engineMatrix = []engineDef{
 	{name: "sfi-full", id: tech.SFIFull},
 	{name: "bytecode-opt", id: tech.Bytecode, vmMode: tech.VMOpt},
 	{name: "bytecode-baseline", id: tech.Bytecode, vmMode: tech.VMBaseline},
+	{name: "aot", id: tech.AOT},
 	{name: "script", id: tech.Script},
 	{name: "upcall", id: tech.NativeSafe, wrap: true},
 }
@@ -68,6 +69,7 @@ var exactCohort = map[string]bool{
 	"native-safe":       true,
 	"bytecode-opt":      true,
 	"bytecode-baseline": true,
+	"aot":               true,
 	"script":            true,
 	"upcall":            true,
 }
@@ -219,12 +221,15 @@ func checkProgram(t *testing.T, label string, src tech.Source, args []uint32, ta
 		}
 	}
 
-	// Trap PCs are an intra-VM contract: both bytecode engines run the
-	// same verified module, so a trap must be attributed to the same
-	// instruction.
+	// Trap PCs are an intra-VM contract: both bytecode engines and the
+	// AOT translation run the same verified module, so a trap must be
+	// attributed to the same instruction.
 	bo, bb := out["bytecode-opt"], out["bytecode-baseline"]
 	if bo.trap != nil && bb.trap != nil && bo.trap.Kind == bb.trap.Kind && bo.trap.PC != bb.trap.PC {
 		t.Fatalf("%s: bytecode trap PC diverges: opt=%d baseline=%d (%v)", label, bo.trap.PC, bb.trap.PC, bo.trap.Kind)
+	}
+	if ao := out["aot"]; ao.trap != nil && bo.trap != nil && ao.trap.Kind == bo.trap.Kind && ao.trap.PC != bo.trap.PC {
+		t.Fatalf("%s: aot trap PC diverges from bytecode-opt: aot=%d opt=%d (%v)", label, ao.trap.PC, bo.trap.PC, ao.trap.Kind)
 	}
 	return out
 }
@@ -238,7 +243,11 @@ var (
 	graftTechRuns  = map[tech.ID]bool{}
 )
 
-func markExercised(engine string)      { coverMu.Lock(); engineRuns[engine] = true; coverMu.Unlock() }
-func markFaultClass(class string)      { coverMu.Lock(); faultClassRuns[class] = true; coverMu.Unlock() }
-func markGraftTech(id tech.ID)         { coverMu.Lock(); graftTechRuns[id] = true; coverMu.Unlock() }
-func exercisedEngine(name string) bool { coverMu.Lock(); defer coverMu.Unlock(); return engineRuns[name] }
+func markExercised(engine string) { coverMu.Lock(); engineRuns[engine] = true; coverMu.Unlock() }
+func markFaultClass(class string) { coverMu.Lock(); faultClassRuns[class] = true; coverMu.Unlock() }
+func markGraftTech(id tech.ID)    { coverMu.Lock(); graftTechRuns[id] = true; coverMu.Unlock() }
+func exercisedEngine(name string) bool {
+	coverMu.Lock()
+	defer coverMu.Unlock()
+	return engineRuns[name]
+}

@@ -8,12 +8,12 @@ import (
 )
 
 // requiredEngines is the contract for the general-purpose matrix: the
-// five native/SFI policies, both bytecode engines, the script
-// interpreter, and the upcall wrapper. Removing a row from engineMatrix
-// fails here before anything else runs.
+// five native/SFI policies, both bytecode engines, the AOT translation,
+// the script interpreter, and the upcall wrapper. Removing a row from
+// engineMatrix fails here before anything else runs.
 var requiredEngines = []string{
 	"native-unsafe", "native-safe", "native-safe-nil", "sfi", "sfi-full",
-	"bytecode-opt", "bytecode-baseline", "script", "upcall",
+	"bytecode-opt", "bytecode-baseline", "aot", "script", "upcall",
 }
 
 // requiredFaultClasses is the contract for the fault-injection half:

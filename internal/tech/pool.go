@@ -100,7 +100,7 @@ func NewPool(id ID, src Source, opts Options, cfg PoolConfig) (*Pool, error) {
 	// VM constructors only read these, so concurrent instance creation
 	// is safe.
 	switch id {
-	case NativeUnsafe, NativeSafe, NativeSafeNil, SFI, SFIFull, Bytecode:
+	case NativeUnsafe, NativeSafe, NativeSafeNil, SFI, SFIFull, Bytecode, AOT:
 		prog, err := gel.ParseAndCheck(src.GEL)
 		if err != nil {
 			return nil, fmt.Errorf("tech %s: %w", id, err)
@@ -109,13 +109,15 @@ func NewPool(id ID, src Source, opts Options, cfg PoolConfig) (*Pool, error) {
 			gel.Fold(prog)
 		}
 		p.prog = prog
-		if id == Bytecode {
+		if id == Bytecode || id == AOT {
 			mod, err := compile.Compile(prog)
 			if err != nil {
 				return nil, fmt.Errorf("tech %s: %w", id, err)
 			}
-			if _, err := ParseVMMode(string(opts.VM)); err != nil {
-				return nil, err
+			if id == Bytecode {
+				if _, err := ParseVMMode(string(opts.VM)); err != nil {
+					return nil, err
+				}
 			}
 			p.mod = mod
 		}
@@ -190,6 +192,12 @@ func (p *Pool) loadEngine(m *mem.Memory) (Graft, error) {
 			return nil, err
 		}
 		return newVMEngine(p.mod, m, cfg, p.opts)
+	case AOT:
+		cfg, err := Config(p.id)
+		if err != nil {
+			return nil, err
+		}
+		return newAOTEngine(p.mod, m, cfg, p.opts)
 	default:
 		return load(p.id, p.src, m, p.opts)
 	}

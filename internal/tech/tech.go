@@ -15,6 +15,8 @@
 //	              (§6 future candidate)       + ReadProtect
 //	Bytecode      Java (Alpha 3 interpreter)  compile to bytecode, verify, vm
 //	Script        Tcl 3.7                     mini-Tcl source interpreter
+//	AOT           eBPF-style verified native  bytecode verified + interval-
+//	              (post-paper practice)       proved, lowered to closures
 //
 // The user-level-server technology is not a loader but a wrapper; see
 // package upcall.
@@ -23,6 +25,7 @@ package tech
 import (
 	"fmt"
 
+	"graftlab/internal/aot"
 	"graftlab/internal/bytecode"
 	"graftlab/internal/compile"
 	"graftlab/internal/gel"
@@ -108,6 +111,14 @@ const (
 	Bytecode ID = "bytecode"
 	Script   ID = "script"
 
+	// The verified ahead-of-time class: the same GEL bytecode the
+	// interpreted class runs, but verified once at load time (eBPF-style
+	// interval analysis proving memory accesses in-bounds) and lowered
+	// to closure-threaded Go with the proven checks elided — the
+	// modern "verify, then run native" answer to the paper's
+	// interpretation gap (see internal/aot).
+	AOT ID = "aot"
+
 	// The domain-specific interpreter class: HiPEC's 20-instruction
 	// assembler-like language and the packet-filter languages of §2.
 	// Tiny programs, near-compiled throughput, and deliberately unable
@@ -123,7 +134,7 @@ var All = []ID{
 	CompiledUnsafe, Bytecode, CompiledSafe, CompiledSFI, Script,
 	CompiledSafeNil, CompiledSFIFull,
 	NativeUnsafe, NativeSafe, NativeSafeNil, SFI, SFIFull,
-	Domain,
+	Domain, AOT,
 }
 
 // Compiled lists the technologies the paper groups as "compiled".
@@ -167,6 +178,8 @@ func PaperName(id ID) string {
 		return "Tcl"
 	case Domain:
 		return "HiPEC/BPF domain language"
+	case AOT:
+		return "AOT verified-native (eBPF-style)"
 	}
 	return string(id)
 }
@@ -189,6 +202,8 @@ func Config(id ID) (mem.Config, error) {
 	case Script:
 		return mem.Config{Policy: mem.PolicyChecked}, nil
 	case Domain:
+		return mem.Config{Policy: mem.PolicyChecked}, nil
+	case AOT:
 		return mem.Config{Policy: mem.PolicyChecked}, nil
 	}
 	return mem.Config{}, fmt.Errorf("tech: unknown technology %q", id)
@@ -340,6 +355,19 @@ func load(id ID, src Source, m *mem.Memory, opts Options) (Graft, error) {
 			return nil, fmt.Errorf("tech %s: %w", id, err)
 		}
 		return newVMEngine(mod, m, cfg, opts)
+	case AOT:
+		prog, err := gel.ParseAndCheck(src.GEL)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		if opts.Optimize {
+			gel.Fold(prog)
+		}
+		mod, err := compile.Compile(prog)
+		if err != nil {
+			return nil, fmt.Errorf("tech %s: %w", id, err)
+		}
+		return newAOTEngine(mod, m, cfg, opts)
 	case Script:
 		if src.Tcl == "" {
 			return nil, fmt.Errorf("tech %s: graft %q has no script translation", id, src.Name)
@@ -397,6 +425,18 @@ func newVMEngine(mod *bytecode.Module, m *mem.Memory, cfg mem.Config, opts Optio
 	}
 	v.Fuel = opts.Fuel
 	return v, nil
+}
+
+// newAOTEngine verifies and translates a compiled module for the AOT
+// class. Shared by load and Pool.newInstance, like newVMEngine: the
+// module is immutable, so instances translate from it concurrently.
+func newAOTEngine(mod *bytecode.Module, m *mem.Memory, cfg mem.Config, opts Options) (Graft, error) {
+	p, err := aot.New(mod, m, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tech %s: %w", AOT, err)
+	}
+	p.Fuel = opts.Fuel
+	return p, nil
 }
 
 // hipecGraft adapts verified HiPEC-class programs to the Graft interface.
