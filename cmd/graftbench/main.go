@@ -5,11 +5,12 @@
 // Usage:
 //
 //	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter|scale]
+//	           [-warmup N] [-seed N] [-report-dir dir]
 //	           [-figure1-csv out.csv] [-vm opt|baseline] [-json] [-json-out out.json]
 //	           [-telemetry] [-trace-out trace.jsonl]
 //	           [-profile-out p.folded] [-profile-interval N]
 //	           [-spans-out spans.json] [-span-sample N]
-//	           [-check-against baseline.json] [-check-tolerance 0.30]
+//	           [-check-against baseline.json] [-check-tolerance 0.30] [-check-effect 0.80]
 //
 // -vm selects the bytecode engine for the vm rows: "opt" (default, the
 // load-time optimizing translator) or "baseline" (the reference
@@ -32,11 +33,24 @@
 // -span-sample records one root span in N. All of these imply
 // -telemetry; see docs/observability.md for the workflow.
 //
+// Every matrix cell runs -warmup discarded warmup runs (default 3 at
+// paper scale, 1 with -quick) before its measured runs, and workload
+// inputs derive from -seed (default 1996), so a repeated invocation
+// measures identical work. -report-dir writes the suite artifacts —
+// results.json, results.csv (the flattened cell matrix), and REPORT.md
+// (methodology, per-cell stability flags, and the regression-gate
+// verdicts when -check-against ran) — into the given directory.
+//
 // -check-against loads an archived BENCH_*.json and compares this run's
-// results against it (see internal/bench.CompareReports): a time-like
-// metric more than the tolerance slower, or a throughput more than the
-// tolerance lower, fails the run with exit status 1. `make bench-check`
-// wires this against the committed Table 5 baseline.
+// results against it (see internal/bench.CompareReports). A cell fails
+// the gate only when it moved in the bad direction by more than
+// -check-tolerance AND the move is statistically significant relative to
+// the two samples' variance (|Cohen's d| >= -check-effect); a bad-looking
+// move inside a cell's own noise reads `noise` and does not fail. Rows
+// the comparison had to skip (schema drift, disjoint experiments,
+// service-time mismatch) are listed explicitly; the run errors if
+// nothing at all could be gated. `make bench-check` wires this against
+// the committed Table 5 baseline.
 //
 // Paper-scale runs (the default) take minutes, dominated by the script
 // (Tcl-class) rows; -quick keeps every code path but shrinks sizes.
@@ -47,9 +61,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"graftlab/internal/bench"
+	"graftlab/internal/stats"
 	"graftlab/internal/tech"
 	"graftlab/internal/telemetry"
 	"graftlab/internal/upcall"
@@ -76,6 +92,11 @@ func main() {
 		trace  = flag.String("trace-out", "", "record kernel events and dump them as JSONL to this path (implies -telemetry)")
 		checkP = flag.String("check-against", "", "compare results against this baseline BENCH_*.json; exit non-zero on regression")
 		tolF   = flag.Float64("check-tolerance", 0.30, "relative tolerance for -check-against (0.30 = 30%)")
+		effF   = flag.Float64("check-effect", stats.EffectLarge, "Cohen's d threshold for -check-against: smaller effects read as noise, not regression")
+
+		warmup = flag.Int("warmup", 0, "discarded warmup runs per cell (0 = scale default: 3 paper, 1 quick)")
+		seed   = flag.Int64("seed", 0, "workload seed for reproducible inputs (0 = default 1996)")
+		repDir = flag.String("report-dir", "", "write results.json, results.csv, and REPORT.md into this directory")
 
 		profOut      = flag.String("profile-out", "", "sample graft fuel and write a folded-stack (flamegraph) profile to this path (implies -telemetry)")
 		profInterval = flag.Int64("profile-interval", telemetry.DefaultProfileInterval, "fuel units between profiler samples")
@@ -87,6 +108,12 @@ func main() {
 	cfg := bench.Default()
 	if *quick {
 		cfg = bench.Quick()
+	}
+	if *warmup > 0 {
+		cfg.WarmupRuns = *warmup
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
 	}
 	if exe, err := os.Executable(); err == nil {
 		cfg.Exe = exe
@@ -132,11 +159,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
 		os.Exit(1)
 	}
+	var cmp *bench.Comparison
+	var checkErr error
 	if *checkP != "" {
-		if err := checkAgainst(report, *checkP, *tolF); err != nil {
+		cmp, checkErr = checkAgainst(report, *checkP, *tolF, *effF)
+	}
+	if *repDir != "" {
+		opts := bench.ReportOptions{
+			BaselinePath:    *checkP,
+			Tolerance:       *tolF,
+			EffectThreshold: *effF,
+		}
+		if err := writeReportArtifacts(*repDir, report, cmp, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if checkErr != nil {
+		// Artifacts above are written first so a failing gate still leaves
+		// REPORT.md documenting what regressed.
+		fmt.Fprintf(os.Stderr, "graftbench: %v\n", checkErr)
+		os.Exit(1)
 	}
 	if *trace != "" {
 		if err := dumpTrace(*trace); err != nil {
@@ -215,29 +258,71 @@ func dumpSpans(path string) error {
 	return nil
 }
 
-// checkAgainst compares report with the baseline archived at path and
-// returns an error listing every metric that regressed beyond tol.
-func checkAgainst(report *bench.Report, path string, tol float64) error {
+// checkAgainst compares report with the baseline archived at path. It
+// prints every gated cell (ratio, both CVs, Cohen's d, verdict) and the
+// skip summary, and returns the comparison plus an error when any cell's
+// regression is both practically (tolerance) and statistically (effect
+// size) significant, or when nothing at all could be gated.
+func checkAgainst(report *bench.Report, path string, tol, effect float64) (*bench.Comparison, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var baseline bench.Report
 	if err := json.Unmarshal(data, &baseline); err != nil {
-		return fmt.Errorf("baseline %s: %w", path, err)
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
-	regs, compared := bench.CompareReports(&baseline, report, tol)
-	if compared == 0 {
-		return fmt.Errorf("baseline %s shares no comparable metrics with this run", path)
+	cmp := bench.CompareReports(&baseline, report, bench.CompareOptions{
+		Tolerance: tol, EffectThreshold: effect,
+	})
+	fmt.Printf("regression gate vs %s (tolerance %.0f%%, effect threshold |d| >= %.2f):\n",
+		path, tol*100, effect)
+	for _, c := range cmp.Cells {
+		fmt.Println("  " + c.String())
 	}
-	if len(regs) > 0 {
+	if sum := cmp.SkipSummary(); sum != "" {
+		fmt.Println(sum)
+	}
+	if cmp.Compared() == 0 {
+		msg := fmt.Sprintf("baseline %s shares no gated metrics with this run", path)
+		if sum := cmp.SkipSummary(); sum != "" {
+			msg += "\n" + sum
+		}
+		return cmp, fmt.Errorf("%s", msg)
+	}
+	if regs := cmp.Regressions(); len(regs) > 0 {
 		for _, r := range regs {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
 		}
-		return fmt.Errorf("%d of %d metrics regressed beyond %.0f%% vs %s",
-			len(regs), compared, tol*100, path)
+		return cmp, fmt.Errorf("%d of %d gated metrics regressed (> %.0f%% worse with |d| >= %.2f) vs %s",
+			len(regs), cmp.Compared(), tol*100, effect, path)
 	}
-	fmt.Printf("regression check: %d metrics within %.0f%% of %s\n", compared, tol*100, path)
+	fmt.Printf("regression check: %d gated metrics clean vs %s\n", cmp.Compared(), path)
+	return cmp, nil
+}
+
+// writeReportArtifacts writes the suite outputs — results.json,
+// results.csv (the flattened cell matrix), and the generated REPORT.md —
+// into dir, creating it if needed. cmp may be nil (no -check-against).
+func writeReportArtifacts(dir string, report *bench.Report, cmp *bench.Comparison, opts bench.ReportOptions) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := report.Encode()
+	if err != nil {
+		return err
+	}
+	cells := bench.Flatten(report, opts.CVThreshold)
+	for name, content := range map[string][]byte{
+		"results.json": data,
+		"results.csv":  []byte(bench.CSV(cells)),
+		"REPORT.md":    []byte(bench.GenerateReportMD(report, cmp, opts)),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("suite artifacts (results.json, results.csv, REPORT.md) written to %s\n", dir)
 	return nil
 }
 
@@ -264,112 +349,37 @@ func dumpTrace(path string) error {
 }
 
 func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) (*bench.Report, error) {
-	want := func(name string) bool { return experiment == "all" || experiment == name }
 	report := &bench.Report{GeneratedNote: "paper-scale", Host: bench.CollectHost(), Config: &cfg}
 	if quick {
 		report.GeneratedNote = "quick-scale"
 	}
-	known := map[string]bool{
-		"all": true, "table1": true, "table2": true, "table3": true,
-		"table4": true, "table5": true, "table6": true, "figure1": true,
-		"ablation": true, "pktfilter": true, "scale": true,
-	}
-	if !known[experiment] {
-		return nil, fmt.Errorf("unknown experiment %q", experiment)
-	}
-
-	if want("table1") {
-		res, err := bench.RunSignal(cfg)
+	specs := bench.Experiments()
+	if experiment != "all" {
+		spec, err := bench.FindExperiment(experiment)
 		if err != nil {
 			return nil, err
 		}
-		report.Signal = res
-		fmt.Println(res.Table())
+		specs = []bench.ExperimentSpec{spec}
 	}
-	var evict *bench.EvictResult
-	if want("table2") || want("figure1") {
-		var err error
-		evict, err = bench.RunEviction(cfg)
-		if err != nil {
+	for _, spec := range specs {
+		if spec.Concurrent && experiment != spec.Name {
+			// Concurrent experiments (scale) run only on request: their
+			// goroutines would interleave with the single-threaded tables'
+			// timing loops.
+			continue
+		}
+		if err := spec.Run(cfg, report); err != nil {
 			return nil, err
 		}
+		if out := spec.Render(report); out != "" {
+			fmt.Println(out)
+		}
 	}
-	if want("table2") {
-		report.Evict = evict
-		fmt.Println(evict.Table())
-	}
-	if want("table3") {
-		res, err := bench.RunFault(cfg)
-		if err != nil {
+	if csvPath != "" && report.Figure1 != nil {
+		if err := os.WriteFile(csvPath, []byte(report.Figure1.CSV()), 0o644); err != nil {
 			return nil, err
 		}
-		report.Fault = res
-		fmt.Println(res.Table())
-	}
-	if want("table4") {
-		res, err := bench.RunDisk(cfg)
-		if err != nil {
-			return nil, err
-		}
-		report.Disk = res
-		fmt.Println(res.Table())
-	}
-	if want("table5") {
-		res, err := bench.RunMD5(cfg)
-		if err != nil {
-			return nil, err
-		}
-		report.MD5 = res
-		fmt.Println(res.Table())
-	}
-	if want("table6") {
-		res, err := bench.RunLD(cfg)
-		if err != nil {
-			return nil, err
-		}
-		report.LD = res
-		fmt.Println(res.Table())
-	}
-	if want("figure1") {
-		fig, err := bench.RunFigure1(cfg, evict)
-		if err != nil {
-			return nil, err
-		}
-		report.Figure1 = fig
-		fmt.Println(fig.Table())
-		if csvPath != "" {
-			if err := os.WriteFile(csvPath, []byte(fig.CSV()), 0o644); err != nil {
-				return nil, err
-			}
-			fmt.Printf("figure 1 series written to %s\n\n", csvPath)
-		}
-	}
-	if want("pktfilter") {
-		res, err := bench.RunPacketFilter(cfg)
-		if err != nil {
-			return nil, err
-		}
-		report.PacketFilter = res
-		fmt.Println(res.Table())
-	}
-	if want("ablation") {
-		res, err := bench.RunAblation(cfg)
-		if err != nil {
-			return nil, err
-		}
-		report.Ablation = res
-		fmt.Println(res.Table())
-	}
-	if experiment == "scale" {
-		// E7 runs only on request: it is the one experiment whose model is
-		// concurrent, so folding it into "all" would interleave goroutines
-		// with the single-threaded tables' timing loops.
-		res, err := bench.RunScale(cfg)
-		if err != nil {
-			return nil, err
-		}
-		report.Scale = res
-		fmt.Println(res.Table())
+		fmt.Printf("figure 1 series written to %s\n\n", csvPath)
 	}
 	if snaps := telemetry.SnapshotAll(); len(snaps) > 0 {
 		report.Telemetry = snaps

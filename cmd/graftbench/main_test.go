@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"graftlab/internal/bench"
 	"graftlab/internal/tech"
@@ -105,22 +106,103 @@ func TestCheckAgainst(t *testing.T) {
 		}
 		return path
 	}
-	if err := checkAgainst(report, writeBaseline(report), 0.30); err != nil {
+	cmp, err := checkAgainst(report, writeBaseline(report), 0.30, 0)
+	if err != nil {
 		t.Fatalf("self-comparison failed: %v", err)
+	}
+	if cmp == nil || cmp.Compared() == 0 {
+		t.Fatal("self-comparison gated no cells")
 	}
 	fast := *report.MD5
 	fast.Rows = append([]bench.MD5Row(nil), report.MD5.Rows...)
 	for i := range fast.Rows {
 		fast.Rows[i].Total /= 100
 	}
-	if err := checkAgainst(report, writeBaseline(&bench.Report{MD5: &fast}), 0.30); err == nil {
+	if _, err := checkAgainst(report, writeBaseline(&bench.Report{MD5: &fast}), 0.30, 0); err == nil {
 		t.Fatal("100x regression passed the gate")
 	}
-	if err := checkAgainst(report, writeBaseline(&bench.Report{}), 0.30); err == nil {
+	// A baseline sharing nothing with this run must error, and the error
+	// must carry the explicit skip summary rather than failing silently.
+	_, err = checkAgainst(report, writeBaseline(&bench.Report{}), 0.30, 0)
+	if err == nil {
 		t.Fatal("baseline with no comparable metrics accepted")
 	}
-	if err := checkAgainst(report, filepath.Join(t.TempDir(), "missing.json"), 0.30); err == nil {
+	if !strings.Contains(err.Error(), "skipped") {
+		t.Fatalf("disjoint-baseline error lacks the skip summary: %v", err)
+	}
+	if _, err := checkAgainst(report, filepath.Join(t.TempDir(), "missing.json"), 0.30, 0); err == nil {
 		t.Fatal("missing baseline file accepted")
+	}
+}
+
+// TestCheckAgainstNoiseTolerated pins the effect-size half of the gate at
+// the CLI level: a bad-direction move past the tolerance does NOT fail
+// when it sits inside the cells' own variance.
+func TestCheckAgainstNoiseTolerated(t *testing.T) {
+	noisy := func(total int64) *bench.Report {
+		return &bench.Report{
+			Config: &bench.Config{Runs: 5},
+			MD5: &bench.MD5Result{Bytes: 1 << 20, Rows: []bench.MD5Row{{
+				Tech: "compiled-unsafe", Total: time.Duration(total), RelStd: 0.60, N: 5,
+			}}},
+		}
+	}
+	base, cur := noisy(100_000_000), noisy(140_000_000)
+	data, err := base.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := checkAgainst(cur, path, 0.30, 0.8)
+	if err != nil {
+		t.Fatalf("in-variance move failed the gate: %v", err)
+	}
+	if got := cmp.Cells[0].Verdict; got != bench.VerdictNoise {
+		t.Fatalf("verdict = %q, want noise", got)
+	}
+}
+
+// TestReportArtifacts pins -report-dir: all three suite artifacts land in
+// the directory and are well-formed.
+func TestReportArtifacts(t *testing.T) {
+	report, err := run(microConfig(), "table5", "", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "bench-out")
+	if err := writeReportArtifacts(dir, report, nil, bench.ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	jdata, err := os.ReadFile(filepath.Join(dir, "results.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(jdata, &decoded); err != nil {
+		t.Fatalf("results.json invalid: %v", err)
+	}
+	if _, ok := decoded["table5"]; !ok {
+		t.Fatalf("results.json lacks table5: %v", decoded)
+	}
+	cdata, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cdata), "experiment,row,metric,unit,value,n,cv,") {
+		t.Fatalf("results.csv header wrong:\n%s", cdata)
+	}
+	mdata, err := os.ReadFile(filepath.Join(dir, "REPORT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(mdata)
+	for _, want := range []string{"# graftlab benchmark report", "warmup", "Table 5"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("REPORT.md lacks %q:\n%s", want, md)
+		}
 	}
 }
 

@@ -2,157 +2,432 @@ package bench
 
 import (
 	"fmt"
-	"time"
+	"math"
+	"strings"
+
+	"graftlab/internal/stats"
 )
 
 // The regression checker turns archived BENCH_*.json reports into a
 // gate: rerun an experiment, compare it against a committed baseline,
-// and fail when a metric moved outside tolerance in the bad direction.
-// Improvements never fail the gate — the baseline is a floor under
-// quality, not a pin on exact numbers.
+// and fail when a metric moved in the bad direction by BOTH a
+// practically significant amount (the relative tolerance) AND a
+// statistically significant one (Cohen's d at or above the effect
+// threshold). A noisy cell whose confidence interval swallows the move
+// reads "noise", not "regression" — and cannot pass or fail by luck.
+// Improvements never fail the gate. Everything the comparison could NOT
+// check is reported explicitly: skipped experiments, rows absent from
+// the baseline, and raw-vs-normalized fallbacks all land in the skip
+// summary instead of silently shrinking the gate.
 
-// Regression is one metric that moved outside tolerance.
+// CompareOptions tunes the gate.
+type CompareOptions struct {
+	// Tolerance is the practical-significance floor: a relative move
+	// within it never regresses, however consistent (0.30 allows 30%).
+	Tolerance float64
+	// EffectThreshold is the minimum |Cohen's d| for a move to count as
+	// statistically significant; 0 means stats.EffectLarge (0.8).
+	EffectThreshold float64
+}
+
+func (o CompareOptions) effectThreshold() float64 {
+	if o.EffectThreshold > 0 {
+		return o.EffectThreshold
+	}
+	return stats.EffectLarge
+}
+
+// Cell verdicts.
+const (
+	VerdictOK         = "ok"         // within tolerance
+	VerdictImproved   = "improved"   // significantly better
+	VerdictNoise      = "noise"      // moved beyond tolerance, but inside the cell's own variance
+	VerdictRegression = "regression" // worse by tolerance AND effect size
+)
+
+// CellComparison is one compared metric with the statistics behind its
+// verdict — what `graftbench -check-against` prints per row.
+type CellComparison struct {
+	Experiment string  `json:"experiment"`
+	Row        string  `json:"row"`
+	Metric     string  `json:"metric"`
+	Baseline   float64 `json:"baseline"` // ns for durations
+	Current    float64 `json:"current"`
+	Ratio      float64 `json:"ratio"` // Current / Baseline
+	// Coefficients of variation on each side (0 when the report carried
+	// no variance for this metric, e.g. scale throughput cells).
+	BaselineCV float64 `json:"baseline_cv"`
+	CurrentCV  float64 `json:"current_cv"`
+	// EffectSize is Cohen's d of current vs baseline: positive means
+	// current is larger. ±Inf when both sides are variance-free but
+	// differ — a deterministic shift is maximally significant.
+	EffectSize float64 `json:"effect_size"`
+	// HigherBetter records the metric's good direction (throughputs).
+	HigherBetter bool   `json:"higher_better,omitempty"`
+	Verdict      string `json:"verdict"`
+}
+
+// String renders one gated cell for the CLI check output: both values,
+// the ratio, each side's coefficient of variation, Cohen's d, and the
+// verdict.
+func (c CellComparison) String() string {
+	return fmt.Sprintf("%s %s %s: %.4g -> %.4g (x%.2f, CV %.1f%% -> %.1f%%, d=%s) %s",
+		c.Experiment, c.Row, c.Metric, c.Baseline, c.Current, c.Ratio,
+		c.BaselineCV*100, c.CurrentCV*100, formatD(c.EffectSize), c.Verdict)
+}
+
+// Regression is one metric that failed the gate.
 type Regression struct {
-	Experiment string  // "table2", "table5", "table6", "scale"
-	Row        string  // technology (plus workload/workers where relevant)
-	Metric     string  // what was compared
-	Baseline   float64 // baseline value (ns for durations)
+	Experiment string
+	Row        string
+	Metric     string
+	Baseline   float64
 	Current    float64
-	Ratio      float64 // Current / Baseline
+	Ratio      float64
+	EffectSize float64
 }
 
 // String renders one regression for the CLI.
 func (r Regression) String() string {
-	return fmt.Sprintf("%s %s: %s %.4g -> %.4g (x%.2f)",
-		r.Experiment, r.Row, r.Metric, r.Baseline, r.Current, r.Ratio)
+	return fmt.Sprintf("%s %s: %s %.4g -> %.4g (x%.2f, d=%s)",
+		r.Experiment, r.Row, r.Metric, r.Baseline, r.Current, r.Ratio, formatD(r.EffectSize))
 }
 
-// CompareReports diffs current against baseline with relative tolerance
-// tol (0.30 allows a 30% move). Time-like metrics regress when current
-// exceeds baseline*(1+tol); throughputs regress when current falls below
-// baseline*(1-tol). Only experiments present in BOTH reports are
-// compared, and raw durations are compared only when the workload sizes
-// match — otherwise the dimensionless normalized column stands in, so a
-// paper-scale baseline can still gate a quick-scale rerun. Rows are
-// matched by technology name: a row present only in the current report
-// (a technology column added after the baseline was archived) is never a
-// regression, so old baselines keep gating new runs as the registry
-// grows. Returns the regressions and how many metrics were compared.
-func CompareReports(baseline, current *Report, tol float64) ([]Regression, int) {
-	c := &comparer{tol: tol}
+// formatD prints Cohen's d compactly, including the infinite
+// (variance-free) case.
+func formatD(d float64) string {
+	switch {
+	case math.IsInf(d, 1):
+		return "+inf"
+	case math.IsInf(d, -1):
+		return "-inf"
+	default:
+		return fmt.Sprintf("%.2f", d)
+	}
+}
 
-	if b, cur := baseline.Evict, current.Evict; b != nil && cur != nil {
+// Skip is one thing the comparison could not (or did not) check.
+type Skip struct {
+	Experiment string `json:"experiment"`
+	// Row is empty when the whole experiment was skipped.
+	Row    string `json:"row,omitempty"`
+	Reason string `json:"reason"`
+}
+
+func (s Skip) String() string {
+	if s.Row == "" {
+		return fmt.Sprintf("%s: %s", s.Experiment, s.Reason)
+	}
+	return fmt.Sprintf("%s %s: %s", s.Experiment, s.Row, s.Reason)
+}
+
+// Comparison is the full result of CompareReports.
+type Comparison struct {
+	Cells []CellComparison `json:"cells"`
+	// Skips lists experiments and rows excluded from the gate entirely.
+	Skips []Skip `json:"skips,omitempty"`
+	// Notes lists comparisons that proceeded in a degraded form (e.g.
+	// raw durations replaced by the normalized column on a workload-size
+	// mismatch).
+	Notes []Skip `json:"notes,omitempty"`
+}
+
+// Compared is the number of metrics actually gated.
+func (c *Comparison) Compared() int { return len(c.Cells) }
+
+// Regressions extracts the failing cells.
+func (c *Comparison) Regressions() []Regression {
+	var regs []Regression
+	for _, cell := range c.Cells {
+		if cell.Verdict == VerdictRegression {
+			regs = append(regs, Regression{
+				Experiment: cell.Experiment, Row: cell.Row, Metric: cell.Metric,
+				Baseline: cell.Baseline, Current: cell.Current,
+				Ratio: cell.Ratio, EffectSize: cell.EffectSize,
+			})
+		}
+	}
+	return regs
+}
+
+// SkipSummary renders everything the gate did not fully check; "" when
+// nothing was skipped or degraded.
+func (c *Comparison) SkipSummary() string {
+	if len(c.Skips) == 0 && len(c.Notes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	if len(c.Skips) > 0 {
+		exps, rows := 0, 0
+		for _, s := range c.Skips {
+			if s.Row == "" {
+				exps++
+			} else {
+				rows++
+			}
+		}
+		fmt.Fprintf(&b, "skipped (not gated): %d experiment(s), %d row(s)\n", exps, rows)
+		for _, s := range c.Skips {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	if len(c.Notes) > 0 {
+		b.WriteString("degraded comparisons:\n")
+		for _, n := range c.Notes {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// metricSample is one side of a compared metric.
+type metricSample struct {
+	mean float64 // central value (ns for durations, ops/s for rates)
+	cv   float64 // coefficient of variation; 0 = unknown/variance-free
+	n    int     // measurement runs behind mean; 0 = unknown
+}
+
+// comparer accumulates cells and skips while walking the two reports.
+type comparer struct {
+	out Comparison // result under construction
+	tol float64
+	eff float64
+	// Run-count fallbacks for old-schema rows that lack per-row N: the
+	// report's configured Runs, per side.
+	baseN, curN int
+}
+
+func (c *comparer) skip(exp, row, reason string) {
+	c.out.Skips = append(c.out.Skips, Skip{Experiment: exp, Row: row, Reason: reason})
+}
+
+func (c *comparer) note(exp, row, reason string) {
+	c.out.Notes = append(c.out.Notes, Skip{Experiment: exp, Row: row, Reason: reason})
+}
+
+// compare gates one metric. higherBetter selects the bad direction.
+func (c *comparer) compare(exp, row, metric string, base, cur metricSample, higherBetter bool) {
+	n1, n2 := base.n, cur.n
+	if n1 <= 0 {
+		n1 = c.baseN
+	}
+	if n2 <= 0 {
+		n2 = c.curN
+	}
+	d := stats.CohensDStats(base.mean, base.cv*base.mean, n1, cur.mean, cur.cv*cur.mean, n2)
+	cell := CellComparison{
+		Experiment: exp, Row: row, Metric: metric,
+		Baseline: base.mean, Current: cur.mean,
+		BaselineCV: base.cv, CurrentCV: cur.cv,
+		EffectSize: d, HigherBetter: higherBetter,
+	}
+	if base.mean > 0 {
+		cell.Ratio = cur.mean / base.mean
+	}
+	worse := base.mean > 0 && cur.mean > base.mean*(1+c.tol)
+	better := base.mean > 0 && cur.mean < base.mean*(1-c.tol)
+	if higherBetter {
+		worse = base.mean > 0 && cur.mean < base.mean*(1-c.tol)
+		better = base.mean > 0 && cur.mean > base.mean*(1+c.tol)
+	}
+	significant := math.Abs(d) >= c.eff
+	switch {
+	case worse && significant:
+		cell.Verdict = VerdictRegression
+	case worse:
+		cell.Verdict = VerdictNoise
+	case better && significant:
+		cell.Verdict = VerdictImproved
+	default:
+		cell.Verdict = VerdictOK
+	}
+	c.out.Cells = append(c.out.Cells, cell)
+}
+
+// configRuns extracts the configured run count from a report, as the N
+// fallback for old-schema rows.
+func configRuns(r *Report) int {
+	if r != nil && r.Config != nil {
+		return r.Config.Runs
+	}
+	return 0
+}
+
+// CompareReports diffs current against baseline under opts. Rows are
+// matched by technology name; a row present only in the current report
+// (a technology added after the baseline was archived) is recorded as a
+// skip, never a regression, so old baselines keep gating new runs as the
+// registry grows. Raw durations are compared only when workload sizes
+// match — otherwise the dimensionless normalized column stands in (noted
+// in Comparison.Notes), so a paper-scale baseline can still gate a
+// quick-scale rerun.
+func CompareReports(baseline, current *Report, opts CompareOptions) *Comparison {
+	c := &comparer{
+		tol:   opts.Tolerance,
+		eff:   opts.effectThreshold(),
+		baseN: configRuns(baseline),
+		curN:  configRuns(current),
+	}
+
+	// presence reports whether both reports carry an experiment; when
+	// exactly one does, that is a skip the summary must name.
+	presence := func(exp string, inBase, inCur bool) bool {
+		switch {
+		case inBase && inCur:
+			return true
+		case inBase:
+			c.skip(exp, "", "experiment in baseline but not in current run")
+		case inCur:
+			c.skip(exp, "", "experiment in current run but not in baseline")
+		}
+		return false
+	}
+
+	if presence("table2", baseline.Evict != nil, current.Evict != nil) {
+		b, cur := baseline.Evict, current.Evict
 		rows := make(map[string]EvictRow, len(b.Rows))
 		for _, r := range b.Rows {
 			rows[r.Tech] = r
 		}
 		sameSize := b.HotListLen == cur.HotListLen
+		if !sameSize {
+			c.note("table2", "", fmt.Sprintf(
+				"hot-list length differs (baseline %d, current %d): comparing normalized, not raw",
+				b.HotListLen, cur.HotListLen))
+		}
 		for _, r := range cur.Rows {
 			br, ok := rows[r.Tech]
 			if !ok {
+				c.skip("table2", r.Tech, "row absent from baseline")
 				continue
 			}
 			if sameSize {
-				c.worseAbove("table2", r.Tech, "per_eviction_ns", float64(br.Per), float64(r.Per))
+				c.compare("table2", r.Tech, "per_eviction_ns",
+					metricSample{float64(br.Per), br.RelStd, br.N},
+					metricSample{float64(r.Per), r.RelStd, r.N}, false)
 			} else {
-				c.worseAbove("table2", r.Tech, "normalized", br.Normalized, r.Normalized)
+				c.compare("table2", r.Tech, "normalized",
+					metricSample{br.Normalized, br.RelStd, br.N},
+					metricSample{r.Normalized, r.RelStd, r.N}, false)
 			}
 		}
 	}
-	if b, cur := baseline.MD5, current.MD5; b != nil && cur != nil {
+	if presence("table5", baseline.MD5 != nil, current.MD5 != nil) {
+		b, cur := baseline.MD5, current.MD5
 		rows := make(map[string]MD5Row, len(b.Rows))
 		for _, r := range b.Rows {
 			rows[r.Tech] = r
 		}
 		sameSize := b.Bytes == cur.Bytes
+		if !sameSize {
+			c.note("table5", "", fmt.Sprintf(
+				"input sizes differ (baseline %d, current %d bytes): comparing normalized, not raw",
+				b.Bytes, cur.Bytes))
+		}
 		for _, r := range cur.Rows {
 			br, ok := rows[r.Tech]
 			if !ok {
+				c.skip("table5", r.Tech, "row absent from baseline")
 				continue
 			}
 			if sameSize {
-				c.worseAbove("table5", r.Tech, "total_ns", float64(br.Total), float64(r.Total))
+				c.compare("table5", r.Tech, "total_ns",
+					metricSample{float64(br.Total), br.RelStd, br.N},
+					metricSample{float64(r.Total), r.RelStd, r.N}, false)
 			} else {
-				c.worseAbove("table5", r.Tech, "normalized", br.Normalized, r.Normalized)
+				c.compare("table5", r.Tech, "normalized",
+					metricSample{br.Normalized, br.RelStd, br.N},
+					metricSample{r.Normalized, r.RelStd, r.N}, false)
 			}
 		}
 	}
-	if b, cur := baseline.LD, current.LD; b != nil && cur != nil {
+	if presence("table6", baseline.LD != nil, current.LD != nil) {
+		b, cur := baseline.LD, current.LD
 		rows := make(map[string]LDRow, len(b.Rows))
 		for _, r := range b.Rows {
 			rows[r.Tech] = r
 		}
 		sameSize := b.Writes == cur.Writes
+		if !sameSize {
+			c.note("table6", "", fmt.Sprintf(
+				"write counts differ (baseline %d, current %d): comparing normalized, not raw",
+				b.Writes, cur.Writes))
+		}
 		for _, r := range cur.Rows {
 			br, ok := rows[r.Tech]
 			if !ok {
+				c.skip("table6", r.Tech, "row absent from baseline")
 				continue
 			}
 			if sameSize {
-				c.worseAbove("table6", r.Tech, "total_ns", float64(br.Total), float64(r.Total))
+				c.compare("table6", r.Tech, "total_ns",
+					metricSample{float64(br.Total), br.RelStd, br.N},
+					metricSample{float64(r.Total), r.RelStd, r.N}, false)
 			} else {
-				c.worseAbove("table6", r.Tech, "normalized", br.Normalized, r.Normalized)
+				c.compare("table6", r.Tech, "normalized",
+					metricSample{br.Normalized, br.RelStd, br.N},
+					metricSample{r.Normalized, r.RelStd, r.N}, false)
 			}
 		}
 	}
-	if b, cur := baseline.Scale, current.Scale; b != nil && cur != nil &&
-		b.ServiceTime == cur.ServiceTime {
-		type key struct{ workload, tech string }
-		rows := make(map[key]ScaleRow, len(b.Rows))
+	if presence("pktfilter", baseline.PacketFilter != nil, current.PacketFilter != nil) {
+		b, cur := baseline.PacketFilter, current.PacketFilter
+		rows := make(map[string]PFRow, len(b.Rows))
 		for _, r := range b.Rows {
-			rows[key{r.Workload, r.Tech}] = r
+			rows[r.Tech] = r
 		}
 		for _, r := range cur.Rows {
-			br, ok := rows[key{r.Workload, r.Tech}]
+			br, ok := rows[r.Tech]
 			if !ok {
+				c.skip("pktfilter", r.Tech, "row absent from baseline")
 				continue
 			}
-			cells := make(map[int]ScaleCell, len(br.Cells))
-			for _, cl := range br.Cells {
-				cells[cl.Workers] = cl
+			// Per-packet time is already intensive (normalized by trace
+			// length), so it compares across trace sizes.
+			c.compare("pktfilter", r.Tech, "per_packet_ns",
+				metricSample{float64(br.PerPacket), br.RelStd, br.N},
+				metricSample{float64(r.PerPacket), r.RelStd, r.N}, false)
+		}
+	}
+	if presence("scale", baseline.Scale != nil, current.Scale != nil) {
+		b, cur := baseline.Scale, current.Scale
+		if b.ServiceTime != cur.ServiceTime {
+			c.skip("scale", "", fmt.Sprintf(
+				"service_time mismatch (baseline %s, current %s): closed-loop throughputs are not comparable",
+				stats.FormatDuration(b.ServiceTime), stats.FormatDuration(cur.ServiceTime)))
+		} else {
+			type key struct{ workload, tech string }
+			rows := make(map[key]ScaleRow, len(b.Rows))
+			for _, r := range b.Rows {
+				rows[key{r.Workload, r.Tech}] = r
 			}
-			for _, cl := range r.Cells {
-				bc, ok := cells[cl.Workers]
+			for _, r := range cur.Rows {
+				name := r.Workload + "/" + r.Tech
+				br, ok := rows[key{r.Workload, r.Tech}]
 				if !ok {
+					c.skip("scale", name, "row absent from baseline")
 					continue
 				}
-				row := fmt.Sprintf("%s/%s w=%d", r.Workload, r.Tech, cl.Workers)
-				c.worseBelow("scale", row, "ops_per_sec", bc.Throughput, cl.Throughput)
+				cells := make(map[int]ScaleCell, len(br.Cells))
+				for _, cl := range br.Cells {
+					cells[cl.Workers] = cl
+				}
+				for _, cl := range r.Cells {
+					bc, ok := cells[cl.Workers]
+					if !ok {
+						c.skip("scale", fmt.Sprintf("%s w=%d", name, cl.Workers),
+							"worker count absent from baseline")
+						continue
+					}
+					// Throughput cells carry no variance; the gate falls
+					// back to pure ratio (zero-variance d is ±Inf, so the
+					// effect test always passes for them).
+					c.compare("scale", fmt.Sprintf("%s w=%d", name, cl.Workers), "ops_per_sec",
+						metricSample{bc.Throughput, 0, 1},
+						metricSample{cl.Throughput, 0, 1}, true)
+				}
 			}
 		}
 	}
-	return c.regs, c.compared
+	return &c.out
 }
-
-type comparer struct {
-	tol      float64
-	compared int
-	regs     []Regression
-}
-
-// worseAbove flags current > baseline*(1+tol): time-like metrics.
-func (c *comparer) worseAbove(exp, row, metric string, base, cur float64) {
-	c.record(exp, row, metric, base, cur, base > 0 && cur > base*(1+c.tol))
-}
-
-// worseBelow flags current < baseline*(1-tol): throughput-like metrics.
-func (c *comparer) worseBelow(exp, row, metric string, base, cur float64) {
-	c.record(exp, row, metric, base, cur, base > 0 && cur < base*(1-c.tol))
-}
-
-func (c *comparer) record(exp, row, metric string, base, cur float64, bad bool) {
-	c.compared++
-	if !bad {
-		return
-	}
-	ratio := 0.0
-	if base > 0 {
-		ratio = cur / base
-	}
-	c.regs = append(c.regs, Regression{
-		Experiment: exp, Row: row, Metric: metric,
-		Baseline: base, Current: cur, Ratio: ratio,
-	})
-}
-
-var _ = time.Nanosecond // durations compare in ns, per DurationsNote

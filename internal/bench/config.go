@@ -15,8 +15,19 @@ import (
 // Config sizes the experiments. Paper scale is what §5 ran; Quick scale
 // keeps CI fast while preserving every code path.
 type Config struct {
-	// Runs is the number of repetitions per measurement (paper: 30).
+	// Runs is the number of measurement repetitions per cell (paper: 30).
 	Runs int
+	// WarmupRuns is the number of discarded ramp-up repetitions executed
+	// before the Runs measurements of every cell. The first runs of a
+	// cold graft pay cache fills, branch-predictor training, and CPU
+	// frequency ramp; counting them pollutes Min/P99 (and at Quick scale
+	// even the mean). Defaults: 3 at paper scale, 1 at quick scale;
+	// the runner clamps negatives to the scale's floor.
+	WarmupRuns int
+	// Seed fixes the pseudo-random inputs (skewed write streams, fill
+	// patterns), so two runs of the same configuration measure identical
+	// work — the reproducibility contract REPORT.md records.
+	Seed int64
 	// EvictIters is invocations per eviction-run (paper: 100,000).
 	EvictIters int
 	// MD5Bytes is the fingerprint input size (paper: 1 MB).
@@ -73,6 +84,8 @@ type Config struct {
 func Default() Config {
 	return Config{
 		Runs:           30,
+		WarmupRuns:     3,
+		Seed:           1996,
 		EvictIters:     100000,
 		MD5Bytes:       1 << 20,
 		MD5ScriptBytes: 64 << 10,
@@ -95,6 +108,7 @@ func Default() Config {
 func Quick() Config {
 	c := Default()
 	c.Runs = 5
+	c.WarmupRuns = 1
 	c.EvictIters = 2000
 	c.MD5Bytes = 256 << 10
 	c.MD5ScriptBytes = 8 << 10
@@ -106,6 +120,16 @@ func Quick() Config {
 	c.ScaleOps = 64
 	c.ScaleLDBlocks = 4096
 	return c
+}
+
+// EffectiveWarmup is the warmup-run count the measurement helpers use:
+// WarmupRuns when set, else 1, so a zero-value or old-schema Config still
+// discards at least the coldest run. Use this, never the raw field.
+func (c Config) EffectiveWarmup() int {
+	if c.WarmupRuns > 0 {
+		return c.WarmupRuns
+	}
+	return 1
 }
 
 // SimulatedFaultTime is the virtual cost of a disk-backed page fault under

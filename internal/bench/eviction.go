@@ -20,6 +20,8 @@ type EvictRow struct {
 	PaperName string
 	Per       time.Duration // mean time per eviction search
 	RelStd    float64
+	// N is the measurement-run count behind this row (warmup excluded).
+	N int `json:"n,omitempty"`
 	// Tail latency across the per-run means (nearest rank over Runs
 	// samples): the jitter a hook point sees, not just the center.
 	P50        time.Duration `json:"p50"`
@@ -128,8 +130,11 @@ func RunEviction(cfg Config) (*EvictResult, error) {
 
 	measure := func(name, paper string, h *evictHarness, iters int) error {
 		defer h.closer()
-		// Warm-up: long enough to ramp CPU frequency and warm caches, or
-		// the first-measured technology is unfairly penalized.
+		// Within-run ramp: long enough to reach steady CPU frequency and
+		// warm caches, or the first-measured technology is unfairly
+		// penalized. Run-level warmup (cfg.WarmupRuns, discarded below)
+		// then covers the allocator/branch-predictor state a whole run
+		// perturbs.
 		warm := iters / 10
 		if warm < 64 {
 			warm = 64
@@ -143,19 +148,20 @@ func RunEviction(cfg Config) (*EvictResult, error) {
 				break
 			}
 		}
-		times := make([]time.Duration, cfg.Runs)
-		for r := 0; r < cfg.Runs; r++ {
+		s, err := measureSeries(cfg.EffectiveWarmup(), cfg.Runs, func() (time.Duration, error) {
 			t0 := time.Now()
 			for i := 0; i < iters; i++ {
 				if err := h.invoke(); err != nil {
-					return err
+					return 0, err
 				}
 			}
-			times[r] = time.Since(t0) / time.Duration(iters)
+			return time.Since(t0) / time.Duration(iters), nil
+		})
+		if err != nil {
+			return err
 		}
-		s := stats.Summarize(times)
 		row := EvictRow{
-			Tech: name, PaperName: paper, Per: s.Mean, RelStd: s.RelStd,
+			Tech: name, PaperName: paper, Per: s.Mean, RelStd: s.RelStd, N: s.N,
 			P50: s.P50, P95: s.P95, P99: s.P99,
 		}
 		if base == 0 {

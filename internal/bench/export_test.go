@@ -100,7 +100,8 @@ func TestEncodeRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if regs, compared := CompareReports(r, &back, 0.01); len(regs) != 0 || compared == 0 {
-		t.Fatalf("round-tripped report does not compare clean: %d metrics, %v", compared, regs)
+	cmp := CompareReports(r, &back, CompareOptions{Tolerance: 0.01})
+	if regs := cmp.Regressions(); len(regs) != 0 || cmp.Compared() == 0 {
+		t.Fatalf("round-tripped report does not compare clean: %d metrics, %v", cmp.Compared(), regs)
 	}
 }

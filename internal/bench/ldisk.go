@@ -17,10 +17,16 @@ import (
 
 // LDRow is one technology's line in Table 6.
 type LDRow struct {
-	Tech       string
-	PaperName  string
-	Total      time.Duration // wall time in the mapping bookkeeping
-	RelStd     float64
+	Tech      string
+	PaperName string
+	Total     time.Duration // wall time in the mapping bookkeeping
+	RelStd    float64
+	// N is the measurement-run count behind this row (warmup excluded).
+	N int `json:"n,omitempty"`
+	// Tail percentiles across the per-run totals (unscaled).
+	P50        time.Duration `json:"p50,omitempty"`
+	P95        time.Duration `json:"p95,omitempty"`
+	P99        time.Duration `json:"p99,omitempty"`
 	Normalized float64
 	PerBlock   time.Duration // Total / writes: what each write must save
 	Scaled     bool
@@ -49,28 +55,26 @@ func RunLD(cfg Config) (*LDResult, error) {
 	var base time.Duration
 
 	measure := func(name, paper string, mapperFor func() (ld.Mapper, func(), error), writes int) error {
-		times := make([]time.Duration, cfg.Runs)
-		for r := 0; r < cfg.Runs; r++ {
+		s, err := measureSeries(cfg.EffectiveWarmup(), cfg.Runs, func() (time.Duration, error) {
 			mapper, closer, err := mapperFor()
 			if err != nil {
-				return err
+				return 0, err
 			}
-			stream := workload.NewSkewed(cfg.Geometry.Blocks, 1996)
+			if closer != nil {
+				defer closer()
+			}
+			stream := workload.NewSkewed(cfg.Geometry.Blocks, uint64(cfg.Seed))
 			t0 := time.Now()
 			for i := 0; i < writes; i++ {
 				if _, err := mapper.MapWrite(stream.Next()); err != nil {
-					if closer != nil {
-						closer()
-					}
-					return err
+					return 0, err
 				}
 			}
-			times[r] = time.Since(t0)
-			if closer != nil {
-				closer()
-			}
+			return time.Since(t0), nil
+		})
+		if err != nil {
+			return err
 		}
-		s := stats.Summarize(times)
 		total := s.Mean
 		scaled := false
 		if writes != cfg.LDWrites {
@@ -82,7 +86,8 @@ func RunLD(cfg Config) (*LDResult, error) {
 		}
 		res.Rows = append(res.Rows, LDRow{
 			Tech: name, PaperName: paper,
-			Total: total, RelStd: s.RelStd,
+			Total: total, RelStd: s.RelStd, N: s.N,
+			P50: s.P50, P95: s.P95, P99: s.P99,
 			Normalized: float64(total) / float64(base),
 			PerBlock:   total / time.Duration(cfg.LDWrites),
 			Scaled:     scaled,

@@ -19,6 +19,8 @@ type MD5Row struct {
 	PaperName string
 	Total     time.Duration // time to fingerprint MD5Bytes
 	RelStd    float64
+	// N is the measurement-run count behind this row (warmup excluded).
+	N int `json:"n,omitempty"`
 	// Tail latency across the per-run totals (unscaled; see Scaled).
 	P50        time.Duration `json:"p50"`
 	P95        time.Duration `json:"p95"`
@@ -47,7 +49,9 @@ var md5Techs = []tech.ID{
 // RunMD5 regenerates Table 5.
 func RunMD5(cfg Config) (*MD5Result, error) {
 	data := make([]byte, cfg.MD5Bytes)
-	workload.FillPattern(data, 5)
+	// The input is a deterministic function of the configured seed, so
+	// two runs of the same Config fingerprint identical bytes.
+	workload.FillPattern(data, uint32(cfg.Seed))
 	want := md5x.Of(data)
 
 	// Disk time for the full input, from the geometry: one seek then a
@@ -72,25 +76,27 @@ func RunMD5(cfg Config) (*MD5Result, error) {
 		if bytes != cfg.MD5Bytes {
 			wantDigest = md5x.Of(input)
 		}
-		times := make([]time.Duration, cfg.Runs)
-		for r := 0; r < cfg.Runs; r++ {
+		s, err := measureSeries(cfg.EffectiveWarmup(), cfg.Runs, func() (time.Duration, error) {
 			if err := h.Reset(); err != nil {
-				return err
+				return 0, err
 			}
 			t0 := time.Now()
 			if _, err := h.Write(input); err != nil {
-				return err
+				return 0, err
 			}
 			got, err := h.Sum()
-			times[r] = time.Since(t0)
+			d := time.Since(t0)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			if got != wantDigest {
-				return fmt.Errorf("bench: %s computed wrong digest", name)
+				return 0, fmt.Errorf("bench: %s computed wrong digest", name)
 			}
+			return d, nil
+		})
+		if err != nil {
+			return err
 		}
-		s := stats.Summarize(times)
 		total := s.Mean
 		scaled := false
 		if bytes != cfg.MD5Bytes {
@@ -101,7 +107,7 @@ func RunMD5(cfg Config) (*MD5Result, error) {
 			base = total
 		}
 		res.Rows = append(res.Rows, MD5Row{
-			Tech: name, PaperName: paper,
+			Tech: name, PaperName: paper, N: s.N,
 			Total: total, RelStd: s.RelStd,
 			P50: s.P50, P95: s.P95, P99: s.P99,
 			Normalized:  float64(total) / float64(base),

@@ -14,10 +14,16 @@ import (
 
 // PFRow is one technology's line in the packet-filter experiment.
 type PFRow struct {
-	Tech       string
-	PaperName  string
-	PerPacket  time.Duration
-	RelStd     float64
+	Tech      string
+	PaperName string
+	PerPacket time.Duration
+	RelStd    float64
+	// N is the measurement-run count behind this row (warmup excluded).
+	N int `json:"n,omitempty"`
+	// Tail percentiles across per-run per-packet means.
+	P50        time.Duration `json:"p50,omitempty"`
+	P95        time.Duration `json:"p95,omitempty"`
+	P99        time.Duration `json:"p99,omitempty"`
 	Normalized float64
 	// PacketsPerSec is the demultiplexing rate one endpoint sustains.
 	PacketsPerSec float64
@@ -75,8 +81,7 @@ func RunPacketFilter(cfg Config) (*PFResult, error) {
 				want++
 			}
 		}
-		times := make([]time.Duration, cfg.Runs)
-		for r := 0; r < cfg.Runs; r++ {
+		s, err := measureSeries(cfg.EffectiveWarmup(), cfg.Runs, func() (time.Duration, error) {
 			matches := 0
 			t0 := time.Now()
 			for _, p := range packets {
@@ -84,24 +89,28 @@ func RunPacketFilter(cfg Config) (*PFResult, error) {
 				args[0] = uint32(len(p))
 				v, err := call(args)
 				if err != nil {
-					return err
+					return 0, err
 				}
 				if v != 0 {
 					matches++
 				}
 			}
-			times[r] = time.Since(t0) / time.Duration(len(packets))
+			d := time.Since(t0) / time.Duration(len(packets))
 			if matches != want {
-				return fmt.Errorf("bench: %s matched %d packets, want %d", name, matches, want)
+				return 0, fmt.Errorf("bench: %s matched %d packets, want %d", name, matches, want)
 			}
+			return d, nil
+		})
+		if err != nil {
+			return err
 		}
-		s := stats.Summarize(times)
 		if base == 0 {
 			base = s.Mean
 		}
 		row := PFRow{
 			Tech: name, PaperName: paper,
-			PerPacket: s.Mean, RelStd: s.RelStd,
+			PerPacket: s.Mean, RelStd: s.RelStd, N: s.N,
+			P50: s.P50, P95: s.P95, P99: s.P99,
 			Normalized: float64(s.Mean) / float64(base),
 		}
 		if s.Mean > 0 {

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graftlab/internal/stats"
+)
+
+// This file is the suite runner's spine: the one measurement loop every
+// cell goes through (warmup discarded, then N timed runs), and the
+// declarative experiment matrix that replaces cmd/graftbench's hand-rolled
+// dispatch. Each ExperimentSpec knows how to populate its slot of a
+// Report and how to render it, so the CLI, the CSV/REPORT.md exporters,
+// and the regression gate all iterate the same list.
+
+// measureSeries times one matrix cell: it runs f warmup+runs times and
+// summarizes only the measurement runs — the warmup samples, which paid
+// cache fills and frequency ramp, are dropped via stats.DiscardWarmup and
+// never reach an exported Sample. f returns the duration of one run.
+func measureSeries(warmup, runs int, f func() (time.Duration, error)) (stats.Sample, error) {
+	if warmup < 0 {
+		warmup = 0
+	}
+	times := make([]time.Duration, 0, warmup+runs)
+	for i := 0; i < warmup+runs; i++ {
+		d, err := f()
+		if err != nil {
+			return stats.Sample{}, err
+		}
+		times = append(times, d)
+	}
+	return stats.Summarize(stats.DiscardWarmup(times, warmup)), nil
+}
+
+// ExperimentSpec is one row of the declarative experiment matrix.
+type ExperimentSpec struct {
+	// Name is the -experiment selector ("table5", "pktfilter", ...).
+	Name string
+	// Title is the human experiment name used in generated reports.
+	Title string
+	// Concurrent experiments are excluded from "all": their model
+	// interleaves goroutines with the single-threaded tables' timing
+	// loops, so they run only when selected explicitly.
+	Concurrent bool
+	// Run populates the experiment's slot in the report.
+	Run func(cfg Config, r *Report) error
+	// Render returns the experiment's text table, or "" when its slot in
+	// the report is empty.
+	Render func(r *Report) string
+}
+
+// Experiments returns the suite matrix in presentation order.
+func Experiments() []ExperimentSpec {
+	return []ExperimentSpec{
+		{
+			Name: "table1", Title: "Table 1: Signal Delivery",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunSignal(cfg)
+				r.Signal = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Signal == nil {
+					return ""
+				}
+				return r.Signal.Table().String()
+			},
+		},
+		{
+			Name: "table2", Title: "Table 2: VM Page Eviction",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunEviction(cfg)
+				r.Evict = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Evict == nil {
+					return ""
+				}
+				return r.Evict.Table().String()
+			},
+		},
+		{
+			Name: "table3", Title: "Table 3: Page Fault Time",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunFault(cfg)
+				r.Fault = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Fault == nil {
+					return ""
+				}
+				return r.Fault.Table().String()
+			},
+		},
+		{
+			Name: "table4", Title: "Table 4: Disk Characteristics",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunDisk(cfg)
+				r.Disk = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Disk == nil {
+					return ""
+				}
+				return r.Disk.Table().String()
+			},
+		},
+		{
+			Name: "table5", Title: "Table 5: MD5 Fingerprinting",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunMD5(cfg)
+				r.MD5 = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.MD5 == nil {
+					return ""
+				}
+				return r.MD5.Table().String()
+			},
+		},
+		{
+			Name: "table6", Title: "Table 6: Logical Disk",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunLD(cfg)
+				r.LD = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.LD == nil {
+					return ""
+				}
+				return r.LD.Table().String()
+			},
+		},
+		{
+			Name: "figure1", Title: "Figure 1: Upcall Break-Even",
+			Run: func(cfg Config, r *Report) error {
+				// Figure 1 is derived from the Table 2 measurement; reuse
+				// it when table2 already ran in this invocation.
+				ev := r.Evict
+				if ev == nil {
+					var err error
+					if ev, err = RunEviction(cfg); err != nil {
+						return err
+					}
+				}
+				fig, err := RunFigure1(cfg, ev)
+				r.Figure1 = fig
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Figure1 == nil {
+					return ""
+				}
+				return r.Figure1.Table().String()
+			},
+		},
+		{
+			Name: "pktfilter", Title: "Packet Filter",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunPacketFilter(cfg)
+				r.PacketFilter = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.PacketFilter == nil {
+					return ""
+				}
+				return r.PacketFilter.Table().String()
+			},
+		},
+		{
+			Name: "ablation", Title: "Ablations",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunAblation(cfg)
+				r.Ablation = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Ablation == nil {
+					return ""
+				}
+				return r.Ablation.Table().String()
+			},
+		},
+		{
+			Name: "scale", Title: "Table 7: Multicore Graft Throughput",
+			Concurrent: true,
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunScale(cfg)
+				r.Scale = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Scale == nil {
+					return ""
+				}
+				return r.Scale.Table().String()
+			},
+		},
+	}
+}
+
+// FindExperiment returns the spec for name, or an error naming the valid
+// selectors.
+func FindExperiment(name string) (ExperimentSpec, error) {
+	for _, s := range Experiments() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return ExperimentSpec{}, fmt.Errorf("unknown experiment %q", name)
+}

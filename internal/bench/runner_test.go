@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureSeriesExcludesWarmup pins the suite's core statistical
+// contract: warmup runs execute but never reach the exported Sample.
+// The fake cell is slow for exactly the warmup runs; if any leaked into
+// the summary, Max (and the mean) would betray it.
+func TestMeasureSeriesExcludesWarmup(t *testing.T) {
+	const warmup, runs = 3, 5
+	calls := 0
+	s, err := measureSeries(warmup, runs, func() (time.Duration, error) {
+		calls++
+		if calls <= warmup {
+			return time.Second, nil // cold: cache fills, frequency ramp
+		}
+		return time.Millisecond, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != warmup+runs {
+		t.Fatalf("f called %d times, want %d", calls, warmup+runs)
+	}
+	if s.N != runs {
+		t.Fatalf("Sample.N = %d, want %d measurement runs (warmup leaked in)", s.N, runs)
+	}
+	if s.Max != time.Millisecond || s.Mean != time.Millisecond {
+		t.Fatalf("warmup sample leaked into summary: %+v", s)
+	}
+}
+
+func TestMeasureSeriesNegativeWarmupClamped(t *testing.T) {
+	s, err := measureSeries(-2, 3, func() (time.Duration, error) { return time.Microsecond, nil })
+	if err != nil || s.N != 3 {
+		t.Fatalf("s=%+v err=%v", s, err)
+	}
+}
+
+// TestRowsExcludeWarmupRuns drives a real experiment and checks that the
+// per-row N is the measurement count, not warmup+measurement: the
+// whole-suite restatement of the contract above.
+func TestRowsExcludeWarmupRuns(t *testing.T) {
+	cfg := tiny()
+	cfg.WarmupRuns = 2
+	res, err := RunMD5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.N <= 0 || r.N > cfg.Runs {
+			t.Errorf("%s: N = %d, want 1..%d (warmup excluded)", r.Tech, r.N, cfg.Runs)
+		}
+	}
+}
+
+func TestEffectiveWarmupDefaults(t *testing.T) {
+	if got := Default().EffectiveWarmup(); got < 3 {
+		t.Errorf("paper-scale warmup = %d, want >= 3", got)
+	}
+	if got := Quick().EffectiveWarmup(); got < 1 {
+		t.Errorf("quick-scale warmup = %d, want >= 1", got)
+	}
+	var zero Config
+	if got := zero.EffectiveWarmup(); got < 1 {
+		t.Errorf("zero-value warmup = %d, want >= 1", got)
+	}
+}
+
+// TestExperimentMatrix pins the declarative matrix: every selector the
+// CLI documents resolves, "scale" is the only concurrent experiment, and
+// an unknown name errors.
+func TestExperimentMatrix(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4", "table5",
+		"table6", "figure1", "pktfilter", "ablation", "scale"}
+	specs := Experiments()
+	if len(specs) != len(want) {
+		t.Fatalf("matrix has %d experiments, want %d", len(specs), len(want))
+	}
+	for i, name := range want {
+		if specs[i].Name != name {
+			t.Errorf("matrix[%d] = %q, want %q", i, specs[i].Name, name)
+		}
+		if specs[i].Concurrent != (name == "scale") {
+			t.Errorf("%s: Concurrent = %v", name, specs[i].Concurrent)
+		}
+		if specs[i].Run == nil || specs[i].Render == nil || specs[i].Title == "" {
+			t.Errorf("%s: incomplete spec", name)
+		}
+	}
+	if _, err := FindExperiment("table5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FindExperiment("table99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestExperimentSpecRoundTrip runs one spec through Run+Render and checks
+// the report slot and the rendered table line up.
+func TestExperimentSpecRoundTrip(t *testing.T) {
+	spec, err := FindExperiment("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Report{}
+	if spec.Render(r) != "" {
+		t.Error("Render of empty slot should be empty")
+	}
+	if err := spec.Run(tiny(), r); err != nil {
+		t.Fatal(err)
+	}
+	if r.MD5 == nil {
+		t.Fatal("Run did not populate the report slot")
+	}
+	if out := spec.Render(r); out == "" {
+		t.Error("Render of populated slot is empty")
+	}
+}

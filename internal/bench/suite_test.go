@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// flatReport builds a report covering row-based, scalar, and concurrent
+// experiments for exporter tests.
+func flatReport() *Report {
+	return &Report{
+		GeneratedNote: "quick-scale",
+		Host:          &HostInfo{GOOS: "linux", GOARCH: "amd64", NumCPU: 4, GoVersion: "go1.22"},
+		Config:        func() *Config { c := Quick(); return &c }(),
+		Signal:        &SignalResult{Crossing: 2 * time.Microsecond},
+		MD5: &MD5Result{Bytes: 1 << 20, Rows: []MD5Row{
+			{Tech: "compiled-unsafe", Total: 100 * time.Millisecond, RelStd: 0.02, N: 5,
+				P50: 99 * time.Millisecond, P95: 104 * time.Millisecond, P99: 105 * time.Millisecond},
+			{Tech: "script", Total: 40 * time.Second, RelStd: 0.40, N: 3},
+		}},
+		Scale: &ScaleResult{ServiceTime: 200 * time.Microsecond, Rows: []ScaleRow{{
+			Workload: "md5", Tech: "compiled-unsafe",
+			Cells: []ScaleCell{{Workers: 4, Throughput: 3500}},
+		}}},
+	}
+}
+
+func TestFlattenCells(t *testing.T) {
+	cells := Flatten(flatReport(), 0)
+	byKey := map[string]Cell{}
+	for _, c := range cells {
+		byKey[c.Experiment+"/"+c.Row+"/"+c.Metric] = c
+	}
+	quiet, ok := byKey["table5/compiled-unsafe/total_ns"]
+	if !ok {
+		t.Fatalf("missing table5 cell: %+v", cells)
+	}
+	if !quiet.Stable || quiet.N != 5 || quiet.Unit != "ns" || quiet.Value != 1e8 {
+		t.Errorf("quiet cell wrong: %+v", quiet)
+	}
+	if quiet.P95 != float64(104*time.Millisecond) {
+		t.Errorf("percentiles lost: %+v", quiet)
+	}
+	noisy := byKey["table5/script/total_ns"]
+	if noisy.Stable {
+		t.Errorf("CV 40%% cell flagged stable: %+v", noisy)
+	}
+	if c := byKey["table1//crossing_ns"]; c.Value != float64(2*time.Microsecond) {
+		t.Errorf("scalar cell wrong: %+v", c)
+	}
+	sc := byKey["scale/md5/compiled-unsafe w=4/ops_per_sec"]
+	if sc.Unit != "ops/s" || sc.Value != 3500 {
+		t.Errorf("scale cell wrong: %+v", sc)
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	out := CSV(Flatten(flatReport(), 0))
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "experiment,row,metric,unit,value,n,cv,p50_ns,p95_ns,p99_ns,stable" {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	if want := 1 + 4; len(lines) != want { // header + crossing + 2 md5 rows + 1 scale cell
+		t.Fatalf("csv has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 10 {
+			t.Errorf("csv line has %d commas, want 10: %q", got, l)
+		}
+	}
+	if !strings.Contains(out, "table5,script,total_ns,ns,") {
+		t.Errorf("csv lacks script row:\n%s", out)
+	}
+	if !strings.Contains(out, ",false\n") {
+		t.Error("csv lacks an unstable flag for the noisy cell")
+	}
+}
+
+func TestGenerateReportMD(t *testing.T) {
+	r := flatReport()
+	md := GenerateReportMD(r, nil, ReportOptions{})
+	for _, want := range []string{
+		"# graftlab benchmark report",
+		"**1 warmup**",          // quick-scale methodology echoed
+		"**5 measurement**",     // quick-scale runs
+		"seed **1996**",         // reproducibility contract
+		"Table 5: MD5 Fingerprinting",
+		"NOISY", // the 40% CV script row is flagged
+		"| compiled-unsafe | total_ns | 100ms | 2.0% | 5 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("REPORT.md lacks %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "Regression gate") {
+		t.Error("report without comparison has a gate section")
+	}
+}
+
+func TestGenerateReportMDWithComparison(t *testing.T) {
+	r := flatReport()
+	base := flatReport()
+	base.MD5.Rows[0].Total = 50 * time.Millisecond // current is 2x slower, CV 2% -> regression
+	base.MD5.Rows = base.MD5.Rows[:1]              // script row absent from baseline -> skip
+	cmp := CompareReports(base, r, CompareOptions{Tolerance: 0.30})
+	md := GenerateReportMD(r, cmp, ReportOptions{
+		BaselinePath: "BENCH_table5_baseline.json", Tolerance: 0.30,
+	})
+	for _, want := range []string{
+		"## Regression gate",
+		"BENCH_table5_baseline.json",
+		"Cohen's d",
+		"**regression**",
+		"Not fully checked",
+		"row absent from baseline",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("comparison REPORT.md lacks %q:\n%s", want, md)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Sample summarizes repeated measurements.
@@ -16,10 +17,15 @@ type Sample struct {
 	N    int
 	Mean time.Duration
 	// RelStd is the standard deviation as a fraction of the mean, the
-	// form the paper prints ("2.9µs(0.2%)").
+	// form the paper prints ("2.9µs(0.2%)"). This is the coefficient of
+	// variation; CV() is the literature-named accessor.
 	RelStd float64
-	Min    time.Duration
-	Max    time.Duration
+	// Std is the sample standard deviation itself, kept alongside RelStd
+	// so effect sizes can be computed from archived summaries without
+	// re-deriving it from a possibly-rounded mean.
+	Std time.Duration `json:"std"`
+	Min time.Duration
+	Max time.Duration
 	// Tail percentiles (nearest rank). Additive: every paper table still
 	// prints mean/relstd; the percentiles ride along in the JSON export.
 	P50 time.Duration `json:"p50"`
@@ -67,6 +73,7 @@ func Summarize(times []time.Duration) Sample {
 	var std float64
 	if len(times) > 1 {
 		std = math.Sqrt(sq / float64(len(times)-1))
+		s.Std = time.Duration(std)
 		if mean > 0 {
 			s.RelStd = std / mean
 		}
@@ -125,6 +132,73 @@ func DiscardWarmup(times []time.Duration, k int) []time.Duration {
 		return nil
 	}
 	return times[k:]
+}
+
+// CV returns the coefficient of variation (std/mean), the stability
+// statistic benchmark reports gate on: a cell whose CV exceeds the
+// suite's threshold is flagged noisy rather than trusted.
+func (s Sample) CV() float64 { return s.RelStd }
+
+// CohensD computes Cohen's d between two measurement series: the
+// difference of means in units of the pooled standard deviation,
+// (mean(b)-mean(a)) / s_pooled. Positive d means b is larger (slower,
+// for durations). Two deterministic series that differ return ±Inf:
+// any shift with zero variance is maximally significant.
+func CohensD(a, b []time.Duration) float64 {
+	sa, sb := Summarize(a), Summarize(b)
+	return CohensDStats(float64(sa.Mean), float64(sa.Std), sa.N,
+		float64(sb.Mean), float64(sb.Std), sb.N)
+}
+
+// CohensDStats is CohensD from summary statistics, the form the
+// regression gate uses when one side is an archived report rather than
+// raw samples. Either n may be 0 (unknown, e.g. an old-schema baseline);
+// it is then treated as a single observation's weight.
+func CohensDStats(meanA, stdA float64, nA int, meanB, stdB float64, nB int) float64 {
+	diff := meanB - meanA
+	if nA < 1 {
+		nA = 1
+	}
+	if nB < 1 {
+		nB = 1
+	}
+	var pooled float64
+	if denom := nA + nB - 2; denom > 0 {
+		pooled = math.Sqrt((float64(nA-1)*stdA*stdA + float64(nB-1)*stdB*stdB) / float64(denom))
+	}
+	if pooled == 0 {
+		switch {
+		case diff > 0:
+			return math.Inf(1)
+		case diff < 0:
+			return math.Inf(-1)
+		default:
+			return 0
+		}
+	}
+	return diff / pooled
+}
+
+// Effect-size verdict thresholds (Cohen's conventional buckets).
+const (
+	EffectSmall  = 0.2
+	EffectMedium = 0.5
+	EffectLarge  = 0.8
+)
+
+// EffectVerdict buckets |d| into the conventional labels the generated
+// REPORT.md prints next to each compared cell.
+func EffectVerdict(d float64) string {
+	switch ad := math.Abs(d); {
+	case ad < EffectSmall:
+		return "negligible"
+	case ad < EffectMedium:
+		return "small"
+	case ad < EffectLarge:
+		return "medium"
+	default:
+		return "large"
+	}
 }
 
 // String renders the paper's "mean(relstd%)" form.
@@ -197,14 +271,17 @@ func (t *Table) String() string {
 			cols = len(row)
 		}
 	}
+	// Widths are rune counts, not byte lengths: every µs cell contains
+	// the two-byte µ rune, and byte-sized padding shifted those columns
+	// one space per µ.
 	widths := make([]int, cols)
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -215,7 +292,7 @@ func (t *Table) String() string {
 			}
 			pad := 0
 			if i < len(widths) {
-				pad = widths[i] - len(c)
+				pad = widths[i] - utf8.RuneCountInString(c)
 			}
 			// Right-align all but the first column (numbers).
 			if i == 0 {

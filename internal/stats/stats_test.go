@@ -1,9 +1,11 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
+	"unicode/utf8"
 )
 
 func TestSummarize(t *testing.T) {
@@ -220,6 +222,124 @@ func TestTableRowsWiderThanHeader(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], "extra-a") || !strings.Contains(lines[3], "extra-bb") {
 		t.Errorf("extra cells missing:\n%s", out)
+	}
+}
+
+// TestTableMicrosecondAlignment is the regression test for the
+// byte-width padding bug: every µs cell contains the two-byte µ rune, so
+// byte-sized column widths misaligned each µ column by one space. All
+// rendered lines must have the same RUNE width, and cells in the same
+// column must end at the same rune offset.
+func TestTableMicrosecondAlignment(t *testing.T) {
+	tb := &Table{
+		Header: []string{"technology", "raw", "normalized"},
+	}
+	tb.AddRow("compiled-unsafe", "2.9µs(0.2%)", "1.0")
+	tb.AddRow("script", "40ms(1.3%)", "13793")
+	tb.AddRow("bytecode", "8.1µs(0.5%)", "2.8")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, rule, 3 rows
+		t.Fatalf("table shape:\n%s", out)
+	}
+	width := utf8.RuneCountInString(lines[0])
+	for i, l := range lines {
+		if i == 1 {
+			continue // the ---- rule is sized in bytes of padding-free widths
+		}
+		if got := utf8.RuneCountInString(l); got != width {
+			t.Errorf("line %d is %d runes wide, want %d:\n%s", i, got, width, out)
+		}
+	}
+	// The right-aligned raw column must end at the same rune offset on
+	// every row: µ rows may not drift relative to the ASCII ms row.
+	end := func(line, cell string) int {
+		idx := strings.Index(line, cell)
+		if idx < 0 {
+			t.Fatalf("line %q lacks cell %q", line, cell)
+		}
+		return utf8.RuneCountInString(line[:idx]) + utf8.RuneCountInString(cell)
+	}
+	e1 := end(lines[2], "2.9µs(0.2%)")
+	e2 := end(lines[3], "40ms(1.3%)")
+	e3 := end(lines[4], "8.1µs(0.5%)")
+	if e1 != e2 || e2 != e3 {
+		t.Errorf("raw column ends at rune offsets %d/%d/%d:\n%s", e1, e2, e3, out)
+	}
+}
+
+func TestSummarizeStd(t *testing.T) {
+	s := Summarize([]time.Duration{100, 200, 300})
+	if s.Std != 100 { // sample std of {100,200,300} is exactly 100
+		t.Errorf("Std = %v, want 100", s.Std)
+	}
+	if s.CV() != s.RelStd {
+		t.Errorf("CV() = %v, RelStd = %v", s.CV(), s.RelStd)
+	}
+	if s := Summarize([]time.Duration{time.Second}); s.Std != 0 {
+		t.Errorf("single-sample Std = %v, want 0", s.Std)
+	}
+}
+
+func TestCohensD(t *testing.T) {
+	a := []time.Duration{100, 110, 90, 105, 95}
+	// Identical series: no effect.
+	if d := CohensD(a, a); d != 0 {
+		t.Errorf("identical series d = %v", d)
+	}
+	// A shift of several pooled stds is a large effect, positive when the
+	// second series is slower.
+	b := []time.Duration{200, 210, 190, 205, 195}
+	d := CohensD(a, b)
+	if d < 8 { // diff 100, pooled std ~7.9
+		t.Errorf("d = %v, want >> 0.8 (large)", d)
+	}
+	if d2 := CohensD(b, a); d2 != -d {
+		t.Errorf("d not antisymmetric: %v vs %v", d, d2)
+	}
+	// Deterministic series that differ: infinitely significant.
+	if d := CohensD([]time.Duration{100, 100}, []time.Duration{101, 101}); !math.IsInf(d, 1) {
+		t.Errorf("zero-variance shift d = %v, want +Inf", d)
+	}
+	// A shift well inside the noise is a small effect.
+	noisy := []time.Duration{100, 300, 50, 250, 150}
+	shifted := []time.Duration{110, 310, 60, 260, 160}
+	if d := CohensD(noisy, shifted); math.Abs(d) >= EffectSmall {
+		t.Errorf("in-noise shift d = %v, want |d| < %v", d, EffectSmall)
+	}
+}
+
+func TestCohensDStats(t *testing.T) {
+	// Degenerate ns: treated as single observations, no panic.
+	if d := CohensDStats(100, 0, 0, 100, 0, 0); d != 0 {
+		t.Errorf("equal means d = %v", d)
+	}
+	if d := CohensDStats(100, 0, 0, 50, 0, 0); !math.IsInf(d, -1) {
+		t.Errorf("zero-std improvement d = %v, want -Inf", d)
+	}
+	// Matches the raw-sample path.
+	a := []time.Duration{100, 110, 90, 105, 95}
+	b := []time.Duration{130, 140, 120, 135, 125}
+	sa, sb := Summarize(a), Summarize(b)
+	want := CohensD(a, b)
+	got := CohensDStats(float64(sa.Mean), float64(sa.Std), sa.N,
+		float64(sb.Mean), float64(sb.Std), sb.N)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("CohensDStats = %v, CohensD = %v", got, want)
+	}
+}
+
+func TestEffectVerdict(t *testing.T) {
+	cases := map[float64]string{
+		0: "negligible", 0.1: "negligible", -0.1: "negligible",
+		0.3: "small", -0.49: "small",
+		0.5: "medium", 0.79: "medium",
+		0.8: "large", -3: "large", math.Inf(1): "large",
+	}
+	for d, want := range cases {
+		if got := EffectVerdict(d); got != want {
+			t.Errorf("EffectVerdict(%v) = %q, want %q", d, got, want)
+		}
 	}
 }
 
