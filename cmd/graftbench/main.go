@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	graftbench [-quick] [-experiment all|table1|table2|table3|table4|table5|table6|figure1|ablation|pktfilter|scale]
+//	graftbench [-quick] [-experiment all|table1..table6|figure1|ablation|pktfilter|pktfilter-batch|scale]
 //	           [-warmup N] [-seed N] [-report-dir dir]
 //	           [-figure1-csv out.csv] [-vm opt|baseline] [-json] [-json-out out.json]
 //	           [-telemetry] [-trace-out trace.jsonl]
 //	           [-profile-out p.folded] [-profile-interval N]
 //	           [-spans-out spans.json] [-span-sample N]
 //	           [-check-against baseline.json] [-check-tolerance 0.30] [-check-effect 0.80]
+//
+// -experiment also accepts a comma-separated list (e.g.
+// "table5,pktfilter-batch"); the named experiments run in the order
+// given and share one report, so a single archived BENCH_*.json can
+// gate several experiments at once.
 //
 // -vm selects the bytecode engine for the vm rows: "opt" (default, the
 // load-time optimizing translator) or "baseline" (the reference
@@ -72,9 +77,10 @@ import (
 )
 
 // defaultJSONPath names the -json output after the experiment, so runs
-// of different experiments can be archived side by side.
+// of different experiments can be archived side by side. Comma-separated
+// selections join with "+" to stay filesystem-friendly.
 func defaultJSONPath(experiment string) string {
-	return "BENCH_" + experiment + ".json"
+	return "BENCH_" + strings.ReplaceAll(experiment, ",", "+") + ".json"
 }
 
 func main() {
@@ -82,7 +88,7 @@ func main() {
 
 	var (
 		experiment = flag.String("experiment", "all",
-			"which artifact to regenerate: all, table1..table6, figure1, ablation, pktfilter, scale")
+			"which artifact(s) to regenerate: all, or a comma-separated list of table1..table6, figure1, ablation, pktfilter, pktfilter-batch, scale")
 		quick  = flag.Bool("quick", false, "reduced sizes (CI-scale)")
 		csv    = flag.String("figure1-csv", "", "also write the Figure 1 series to this CSV file")
 		jsonB  = flag.Bool("json", false, "also write machine-readable results to BENCH_<experiment>.json")
@@ -354,15 +360,27 @@ func run(cfg bench.Config, experiment, csvPath, jsonPath string, quick bool) (*b
 		report.GeneratedNote = "quick-scale"
 	}
 	specs := bench.Experiments()
+	requested := map[string]bool{}
 	if experiment != "all" {
-		spec, err := bench.FindExperiment(experiment)
-		if err != nil {
-			return nil, err
+		specs = nil
+		for _, name := range strings.Split(experiment, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" || requested[name] {
+				continue
+			}
+			spec, err := bench.FindExperiment(name)
+			if err != nil {
+				return nil, err
+			}
+			requested[spec.Name] = true
+			specs = append(specs, spec)
 		}
-		specs = []bench.ExperimentSpec{spec}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("-experiment %q selects nothing", experiment)
+		}
 	}
 	for _, spec := range specs {
-		if spec.Concurrent && experiment != spec.Name {
+		if spec.Concurrent && !requested[spec.Name] {
 			// Concurrent experiments (scale) run only on request: their
 			// goroutines would interleave with the single-threaded tables'
 			// timing loops.

@@ -20,6 +20,12 @@ import (
 // the baseline, and raw-vs-normalized fallbacks all land in the skip
 // summary instead of silently shrinking the gate.
 
+// pfBatchGateTolerance is the minimum practical-significance floor for
+// pktfilter-batch cells: a cell fails only when more than this much
+// worse (1.5 = 2.5x the baseline). See the pktfilter-batch block in
+// CompareReports for why these cells get a wider floor than the rest.
+const pfBatchGateTolerance = 1.5
+
 // CompareOptions tunes the gate.
 type CompareOptions struct {
 	// Tolerance is the practical-significance floor: a relative move
@@ -388,6 +394,45 @@ func CompareReports(baseline, current *Report, opts CompareOptions) *Comparison 
 				metricSample{float64(br.PerPacket), br.RelStd, br.N},
 				metricSample{float64(r.PerPacket), r.RelStd, r.N}, false)
 		}
+	}
+	if presence("pktfilter-batch", baseline.PFBatch != nil, current.PFBatch != nil) {
+		b, cur := baseline.PFBatch, current.PFBatch
+		// These are ns-scale micro cells: between-invocation drift on a
+		// shared runner (frequency scaling, CPU migration) reaches ~2x
+		// even when each run's own CV is tight, so Cohen's d cannot
+		// excuse it as noise. Gate them at a wider practical floor — the
+		// cell exists to catch protocol-level regressions (losing the
+		// batched fast path is a 5-10x move), not scheduler weather.
+		savedTol := c.tol
+		if c.tol < pfBatchGateTolerance {
+			c.tol = pfBatchGateTolerance
+		}
+		type key struct {
+			tech, boundary string
+			batch          int
+		}
+		cells := make(map[key]PFBatchCell)
+		for _, r := range b.Rows {
+			for _, cl := range r.Cells {
+				cells[key{r.Tech, r.Boundary, cl.Batch}] = cl
+			}
+		}
+		for _, r := range cur.Rows {
+			for _, cl := range r.Cells {
+				name := fmt.Sprintf("%s/%s b=%d", r.Tech, r.Boundary, cl.Batch)
+				bc, ok := cells[key{r.Tech, r.Boundary, cl.Batch}]
+				if !ok {
+					c.skip("pktfilter-batch", name, "cell absent from baseline")
+					continue
+				}
+				// Per-packet time is intensive (normalized by trace length),
+				// so it compares across trace sizes, like pktfilter.
+				c.compare("pktfilter-batch", name, "per_packet_ns",
+					metricSample{float64(bc.PerPacket), bc.RelStd, bc.N},
+					metricSample{float64(cl.PerPacket), cl.RelStd, cl.N}, false)
+			}
+		}
+		c.tol = savedTol
 	}
 	if presence("scale", baseline.Scale != nil, current.Scale != nil) {
 		b, cur := baseline.Scale, current.Scale

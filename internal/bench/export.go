@@ -47,6 +47,7 @@ type Report struct {
 	LD            *LDResult       `json:"table6,omitempty"`
 	Figure1       *Figure1Result  `json:"figure1,omitempty"`
 	PacketFilter  *PFResult       `json:"pktfilter,omitempty"`
+	PFBatch       *PFBatchResult  `json:"pktfilter_batch,omitempty"`
 	Ablation      *AblationResult `json:"ablation,omitempty"`
 	Scale         *ScaleResult    `json:"scale,omitempty"`
 	// Telemetry holds per-graft invocation counters accumulated during the

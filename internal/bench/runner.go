@@ -175,6 +175,20 @@ func Experiments() []ExperimentSpec {
 			},
 		},
 		{
+			Name: "pktfilter-batch", Title: "Batched Packet Filter",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunPacketFilterBatch(cfg)
+				r.PFBatch = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.PFBatch == nil {
+					return ""
+				}
+				return r.PFBatch.Table().String()
+			},
+		},
+		{
 			Name: "ablation", Title: "Ablations",
 			Run: func(cfg Config, r *Report) error {
 				res, err := RunAblation(cfg)

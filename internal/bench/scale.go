@@ -9,6 +9,7 @@ import (
 	"graftlab/internal/grafts"
 	"graftlab/internal/kernel"
 	"graftlab/internal/mem"
+	"graftlab/internal/netsim"
 	"graftlab/internal/stats"
 	"graftlab/internal/tech"
 	"graftlab/internal/workload"
@@ -90,7 +91,7 @@ func scaleOps(cfg Config, id tech.ID) int {
 	return cfg.ScaleOps
 }
 
-// scaleWorkload is one of the three request types: a pool configuration
+// scaleWorkload is one of the four request types: a pool configuration
 // plus a binder that turns a checked-out instance into a request closure
 // for one worker.
 type scaleWorkload struct {
@@ -186,6 +187,51 @@ var scaleWorkloads = []scaleWorkload{
 				argBuf[1] = chunk
 				_, err := call(argBuf[:])
 				return err
+			}, nil
+		},
+	},
+	{
+		// pktfilter: the fourth graft column's request — one batched
+		// delivery of a 32-frame chunk through a private demultiplexer
+		// (the per-CPU receive-queue model: each worker owns its own
+		// demux over its own pooled filter instance).
+		name: "pktfilter",
+		poolCfg: func(cfg Config) tech.PoolConfig {
+			return tech.PoolConfig{
+				MemSize: grafts.PFMemSize,
+				Setup: func(m *mem.Memory) error {
+					grafts.ConfigurePacketFilter(m, 5001)
+					return nil
+				},
+			}
+		},
+		bind: func(cfg Config, id tech.ID, it *tech.Instance) (func() error, error) {
+			frames, err := netsim.GenerateTrace(netsim.TraceConfig{
+				Packets: 32, MatchPort: 5001, MatchFrac: 0.25, PayloadLen: 64, Seed: 77,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ref := grafts.ReferencePacketFilter(5001)
+			var want uint64
+			for _, p := range frames {
+				if ref(p) {
+					want++
+				}
+			}
+			d := netsim.NewDemux()
+			ep, err := d.RegisterBatch("pf", it, grafts.PacketFilterBatchConfig(id))
+			if err != nil {
+				return nil, err
+			}
+			var reqs uint64
+			return func() error {
+				d.DeliverBatch(frames)
+				reqs++
+				if ep.Errors != 0 || ep.Matched != want*reqs {
+					return fmt.Errorf("pktfilter matched %d (errors %d), want %d", ep.Matched, ep.Errors, want*reqs)
+				}
+				return nil
 			}, nil
 		},
 	},
@@ -332,6 +378,8 @@ func scaleSourceFor(name string) tech.Source {
 		return grafts.PageEvict
 	case "md5":
 		return grafts.MD5
+	case "pktfilter":
+		return grafts.PacketFilter
 	default:
 		return grafts.LDMap
 	}

@@ -96,6 +96,18 @@ func Flatten(r *Report, cvThreshold float64) []Cell {
 			})
 		}
 	}
+	if p := r.PFBatch; p != nil {
+		for _, row := range p.Rows {
+			for _, cl := range row.Cells {
+				name := fmt.Sprintf("%s/%s b=%d", row.Tech, row.Boundary, cl.Batch)
+				durCell("pktfilter-batch", name, "per_packet_ns", cl.PerPacket, cl.RelStd, cl.N, cl.P50, cl.P95, cl.P99)
+				add(Cell{
+					Experiment: "pktfilter-batch", Row: name, Metric: "pkts_per_sec",
+					Unit: "ops/s", Value: cl.PacketsPerSec, CV: cl.RelStd, N: cl.N,
+				})
+			}
+		}
+	}
 	if s := r.Scale; s != nil {
 		for _, row := range s.Rows {
 			for _, cl := range row.Cells {

@@ -82,9 +82,9 @@ func TestGenerateReportMD(t *testing.T) {
 	md := GenerateReportMD(r, nil, ReportOptions{})
 	for _, want := range []string{
 		"# graftlab benchmark report",
-		"**1 warmup**",          // quick-scale methodology echoed
-		"**5 measurement**",     // quick-scale runs
-		"seed **1996**",         // reproducibility contract
+		"**1 warmup**",      // quick-scale methodology echoed
+		"**5 measurement**", // quick-scale runs
+		"seed **1996**",     // reproducibility contract
 		"Table 5: MD5 Fingerprinting",
 		"NOISY", // the 40% CV script row is flagged
 		"| compiled-unsafe | total_ns | 100ms | 2.0% | 5 |",
@@ -105,11 +105,11 @@ func TestGenerateReportMDWithComparison(t *testing.T) {
 	base.MD5.Rows = base.MD5.Rows[:1]              // script row absent from baseline -> skip
 	cmp := CompareReports(base, r, CompareOptions{Tolerance: 0.30})
 	md := GenerateReportMD(r, cmp, ReportOptions{
-		BaselinePath: "BENCH_table5_baseline.json", Tolerance: 0.30,
+		BaselinePath: "BENCH_baseline.json", Tolerance: 0.30,
 	})
 	for _, want := range []string{
 		"## Regression gate",
-		"BENCH_table5_baseline.json",
+		"BENCH_baseline.json",
 		"Cohen's d",
 		"**regression**",
 		"Not fully checked",

@@ -186,6 +186,41 @@ func graftScenarios() []graftScenario {
 			},
 		},
 		{
+			// The batched receive protocol (netsim.DeliverBatch): frames in
+			// slots, lengths in a table, the verdict table pre-filled with
+			// the sentinel, the accept bitmask as the return value. Running
+			// it through the full carrier matrix pins that the batch entry
+			// is not a bytecode-only fast path: every class must classify
+			// the same slots the same way, clamp oversized counts to the
+			// 32-bit mask width, and coexist with the single-frame entry
+			// over the shared slot-0 buffer.
+			src: pktFilterBatchSrc(), memSize: grafts.PFMemSize,
+			prep: func(t *testing.T, g tech.Graft) {
+				m := g.Memory()
+				grafts.ConfigurePacketFilter(m, 80)
+				// Slots: match, wrong port, TCP, runt, match.
+				writeBatchSlot(m, 0, 80, 17, 60)
+				writeBatchSlot(m, 1, 81, 17, 60)
+				writeBatchSlot(m, 2, 80, 6, 60)
+				writeBatchSlot(m, 3, 80, 17, 41)
+				writeBatchSlot(m, 4, 80, 17, 60)
+			},
+			steps: []graftStep{
+				step("filter_batch", 0b10001, 5),
+				step("filter_batch", 1, 1), // batch of one: the old layout
+				step("filter_batch", 0, 0), // empty batch
+				// Fixing slot 1's port flips exactly its mask bit.
+				{pre: func(m *mem.Memory) { writeBatchSlot(m, 1, 80, 17, 60) },
+					entry: "filter_batch", args: []uint32{2}, wantSet: true, want: 0b11},
+				// The single-frame entry reads slot 0 (its buffer) unchanged.
+				step("filter", 1, 60),
+				step("filter_batch", 0b10011, 5),
+				// Counts past the mask width clamp to 32; the stale slots
+				// beyond 4 have zero lengths and must all be rejected.
+				step("filter_batch", 0b10011, 40),
+			},
+		},
+		{
 			src: grafts.SchedPolicy, memSize: grafts.SCMemSize,
 			prep: func(t *testing.T, g tech.Graft) {
 				writeRunQueue(g.Memory(), [][3]uint32{
@@ -256,6 +291,32 @@ func writeHotList(m *mem.Memory, pages []uint32) {
 		m.St32U(addr, p)
 		m.St32U(addr+4, next)
 	}
+}
+
+// pktFilterBatchSrc is the packet filter under a scenario name of its
+// own, so the batched protocol gets its own coverage cell per carrier.
+func pktFilterBatchSrc() tech.Source {
+	src := grafts.PacketFilter
+	src.Name = "pktfilter-batch"
+	return src
+}
+
+// writeBatchSlot marshals a minimal frame into batch slot j — header
+// bytes in the slot, the reported length in the length table, and the
+// sentinel in the verdict table — exactly what netsim's batched marshal
+// does per frame.
+func writeBatchSlot(m *mem.Memory, slot uint32, port uint16, proto uint8, length uint32) {
+	base := uint32(grafts.PFBufAddr) + slot*grafts.PFSlotSize
+	for i := uint32(0); i < 60; i++ {
+		m.St8U(base+i, 0)
+	}
+	m.St8U(base+12, 0x08) // ethertype IPv4
+	m.St8U(base+13, 0x00)
+	m.St8U(base+23, uint32(proto))
+	m.St8U(base+36, uint32(port>>8))
+	m.St8U(base+37, uint32(port)&0xFF)
+	m.St32U(grafts.PFLenBase+slot*4, length)
+	m.St32U(grafts.PFVerdictBase+slot*4, grafts.PFVerdictNone)
 }
 
 // writeUDPFrame marshals a minimal IPv4/UDP frame addressed to port into
@@ -350,6 +411,7 @@ func runGraftScenario(t *testing.T, c graftCarrier, sc graftScenario) graftOutco
 	o.mem = append([]byte(nil), m.Data...)
 	if !c.wrap {
 		markGraftTech(c.id)
+		markGraftCell(sc.src.Name, c.id)
 	}
 	return o
 }

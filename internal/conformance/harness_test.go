@@ -241,11 +241,20 @@ var (
 	engineRuns     = map[string]bool{}
 	faultClassRuns = map[string]bool{}
 	graftTechRuns  = map[tech.ID]bool{}
+	graftCellRuns  = map[string]map[tech.ID]bool{}
 )
 
 func markExercised(engine string) { coverMu.Lock(); engineRuns[engine] = true; coverMu.Unlock() }
 func markFaultClass(class string) { coverMu.Lock(); faultClassRuns[class] = true; coverMu.Unlock() }
 func markGraftTech(id tech.ID)    { coverMu.Lock(); graftTechRuns[id] = true; coverMu.Unlock() }
+func markGraftCell(graft string, id tech.ID) {
+	coverMu.Lock()
+	if graftCellRuns[graft] == nil {
+		graftCellRuns[graft] = map[tech.ID]bool{}
+	}
+	graftCellRuns[graft][id] = true
+	coverMu.Unlock()
+}
 func exercisedEngine(name string) bool {
 	coverMu.Lock()
 	defer coverMu.Unlock()

@@ -23,6 +23,13 @@ var requiredFaultClasses = []string{
 	"disk-torn-write", "disk-short-write", "runaway-watchdog",
 }
 
+// requiredGraftCells lists the grafts whose conformance scenario must
+// run under *every* technology class in tech.All, cell by cell. The
+// packet filter is the fourth graft column: both its single-frame entry
+// and the batched slot protocol are pinned across the whole registry, so
+// a class that silently stops carrying the filter fails here.
+var requiredGraftCells = []string{"pktfilter", "pktfilter-batch"}
+
 // TestZZZCoverageGate is the anti-rot gate, named to sort last in the
 // package (go test runs tests in file order). It has a static half —
 // the matrices must span the registry — and a dynamic half — the suite
@@ -60,6 +67,31 @@ func TestZZZCoverageGate(t *testing.T) {
 		}
 	}
 
+	// Static: every contract graft has a scenario, and every carrier in
+	// the matrix can carry it — the packet filter's representations span
+	// the registry, so a missing cell is a lost representation, not an
+	// expected refusal.
+	scenarios := map[string]graftScenario{}
+	for _, sc := range graftScenarios() {
+		scenarios[sc.src.Name] = sc
+	}
+	for _, name := range requiredGraftCells {
+		sc, ok := scenarios[name]
+		if !ok {
+			t.Errorf("graft matrix lost required scenario %q", name)
+			continue
+		}
+		entries := make([]string, 0, len(sc.steps))
+		for _, s := range sc.steps {
+			entries = append(entries, s.entry)
+		}
+		for _, id := range tech.All {
+			if !carries(id, sc.src, entries) {
+				t.Errorf("registry technology %q no longer carries graft %q", id, name)
+			}
+		}
+	}
+
 	// Dynamic: only meaningful when the whole suite ran in this process.
 	if f := flag.Lookup("test.run"); f != nil && f.Value.String() != "" {
 		t.Skipf("dynamic gate skipped under -run=%q (partial suite)", f.Value.String())
@@ -79,6 +111,13 @@ func TestZZZCoverageGate(t *testing.T) {
 	for _, id := range tech.All {
 		if !graftTechRuns[id] {
 			t.Errorf("technology %q never carried a graft through the conformance matrix this run", id)
+		}
+	}
+	for _, name := range requiredGraftCells {
+		for _, id := range tech.All {
+			if !graftCellRuns[name][id] {
+				t.Errorf("graft %q never ran under technology %q this run", name, id)
+			}
 		}
 	}
 }

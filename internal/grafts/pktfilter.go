@@ -15,9 +15,28 @@ const (
 	// endpoint).
 	PFPortAddr = 0x1000
 	// PFBufAddr is where the demultiplexer marshals each frame.
+	// Under the batch protocol it doubles as slot 0, so the single-frame
+	// layout is a batch of one.
 	PFBufAddr = 0x2000
 	// PFMemSize sizes the filter's memory (frames up to ~56 KB).
 	PFMemSize = 1 << 16
+
+	// Batch-protocol layout: the host marshals up to PFMaxBatch frames
+	// into PFSlotSize-byte slots starting at PFBufAddr, their lengths
+	// into a u32 table at PFLenBase, and pre-fills the u32 verdict table
+	// at PFVerdictBase with PFVerdictNone. filter_batch(n) writes a 0/1
+	// verdict per frame (where its class can store at all) and returns
+	// the accept bitmask — bit i set means frame i accepted. The mask is
+	// the one channel every class shares: the Domain (HiPEC) language has
+	// loads but no stores, so it can only answer through the return
+	// value, which caps the per-crossing batch at 32 frames.
+	PFLenBase     = 0x1400
+	PFVerdictBase = 0x1800
+	PFSlotSize    = 512
+	PFMaxBatch    = 32
+	// PFVerdictNone is the host-written sentinel: after a mid-batch trap,
+	// the first slot still holding it is the in-flight frame.
+	PFVerdictNone = 0xFFFFFFFF
 )
 
 // PacketFilter is the classic in-kernel extension the paper's related
@@ -41,6 +60,33 @@ func filter(len) {
 	if (ld8(0x2000 + 36) * 256 + ld8(0x2000 + 37) != ld32(0x1000)) { return 0; }
 	return 1;
 }
+
+func filter_batch(n) {
+	var port = ld32(0x1000);
+	var mask = 0;
+	var bit = 1;
+	var base = 0x2000;
+	var lena = 0x1400;
+	var va = 0x1800;
+	var end = 0;
+	var ok = 0;
+	if (n > 32) { n = 32; }
+	end = 0x1400 + n * 4;
+	while (lena < end) {
+		ok = 1;
+		if (ld32(lena) < 42) { ok = 0; }
+		else if (ld8(base + 12) * 256 + ld8(base + 13) != 0x0800) { ok = 0; }
+		else if (ld8(base + 23) != 17) { ok = 0; }
+		else if (ld8(base + 36) * 256 + ld8(base + 37) != port) { ok = 0; }
+		st32(va, ok);
+		if (ok == 1) { mask = mask | bit; }
+		bit = bit << 1;
+		base = base + 512;
+		lena = lena + 4;
+		va = va + 4;
+	}
+	return mask;
+}
 `,
 	Tcl: `
 proc filter {len} {
@@ -49,6 +95,36 @@ proc filter {len} {
 	if {[ld8 [expr {0x2000 + 23}]] != 17} { return 0 }
 	if {[ld8 [expr {0x2000 + 36}]] * 256 + [ld8 [expr {0x2000 + 37}]] != [ld32 0x1000]} { return 0 }
 	return 1
+}
+
+proc filter_batch {n} {
+	if {$n > 32} { set n 32 }
+	set port [ld32 0x1000]
+	set mask 0
+	set bit 1
+	set base 0x2000
+	set lena 0x1400
+	set va 0x1800
+	set end [expr {0x1400 + $n * 4}]
+	while {$lena < $end} {
+		set ok 1
+		if {[ld32 $lena] < 42} {
+			set ok 0
+		} elseif {[ld8 [expr {$base + 12}]] * 256 + [ld8 [expr {$base + 13}]] != 0x0800} {
+			set ok 0
+		} elseif {[ld8 [expr {$base + 23}]] != 17} {
+			set ok 0
+		} elseif {[ld8 [expr {$base + 36}]] * 256 + [ld8 [expr {$base + 37}]] != $port} {
+			set ok 0
+		}
+		st32 $va $ok
+		if {$ok == 1} { set mask [expr {$mask | $bit}] }
+		set bit [expr {$bit << 1}]
+		set base [expr {$base + 512}]
+		set lena [expr {$lena + 4}]
+		set va [expr {$va + 4}]
+	}
+	return $mask
 }
 `,
 	Compiled: newCompiledPacketFilter,
@@ -84,12 +160,80 @@ proc filter {len} {
 		movi r1, 0
 		ret  r1
 `,
+		// The batch rendering answers through the return mask alone: the
+		// domain ISA has loads but no stores, so the verdict table stays
+		// host-written sentinels and the demultiplexer falls back to
+		// single-frame refiltering if a batch invocation traps.
+		"filter_batch": `
+	; r0 = batch size; slots of 512 bytes at 0x2000, u32 lengths at
+	; 0x1400, port config at 0x1000. Returns the accept bitmask.
+		movi r6, 32
+		jlt  r0, r6, clamped
+		mov  r0, r6
+	clamped:
+		movi r7, 0x1000
+		ldw  r7, [r7+0]       ; port
+		movi r1, 0x1400       ; length cursor
+		movi r6, 4
+		mul  r0, r0, r6
+		addi r0, r0, 0x1400   ; r0 = end of length table
+		movi r2, 0            ; mask
+		movi r8, 1            ; bit
+		movi r3, 0x2000       ; slot cursor
+	loop:
+		jge  r1, r0, done
+		ldw  r4, [r1+0]       ; frame length
+		movi r5, 42
+		jlt  r4, r5, next
+		ldb  r4, [r3+12]      ; ethertype must be 0x0800
+		movi r5, 8
+		jne  r4, r5, next
+		ldb  r4, [r3+13]
+		movi r5, 0
+		jne  r4, r5, next
+		ldb  r4, [r3+23]      ; IP protocol must be UDP (17)
+		movi r5, 17
+		jne  r4, r5, next
+		ldb  r4, [r3+36]      ; destination port, network order
+		movi r5, 8
+		shl  r4, r4, r5
+		ldb  r5, [r3+37]
+		or   r4, r4, r5
+		jne  r4, r7, next
+		or   r2, r2, r8
+	next:
+		movi r5, 1
+		shl  r8, r8, r5
+		addi r1, r1, 4
+		addi r3, r3, 512
+		jmp  loop
+	done:
+		ret  r2
+`,
 	},
 }
 
 // ConfigurePacketFilter writes the endpoint's port into graft memory.
 func ConfigurePacketFilter(m *mem.Memory, port uint16) {
 	m.St32U(PFPortAddr, uint32(port))
+}
+
+// PacketFilterBatchConfig returns the netsim batch-endpoint layout for
+// the packet filter under class id. The Domain class is mask-only:
+// HiPEC has loads but no stores, so it cannot commit verdicts and the
+// demultiplexer falls back to single-frame refiltering after a trap.
+func PacketFilterBatchConfig(id tech.ID) netsim.BatchConfig {
+	return netsim.BatchConfig{
+		Entry:       "filter_batch",
+		SingleEntry: "filter",
+		BufAddr:     PFBufAddr,
+		SlotSize:    PFSlotSize,
+		LenBase:     PFLenBase,
+		HasVerdicts: id != tech.Domain,
+		VerdictBase: PFVerdictBase,
+		VerdictNone: PFVerdictNone,
+		MaxBatch:    PFMaxBatch,
+	}
 }
 
 // ReferencePacketFilter is the hand-written host filter used as the
@@ -101,90 +245,120 @@ func ReferencePacketFilter(port uint16) func(p netsim.Packet) bool {
 }
 
 // newCompiledPacketFilter is the compiled-class implementation, one
-// variant per policy.
+// variant per policy. The batch entry walks the slot table with the same
+// per-frame classifier and the policy's own length loads and verdict
+// stores — the write/jump-only SFI variant masks its verdict stores even
+// though its loads are raw, exactly like the modeled technology.
 func newCompiledPacketFilter(cfg mem.Config, m *mem.Memory) (tech.Graft, error) {
 	g := NewCompiledGraft(m)
 	d := m.Data
 	mask := m.Mask()
 
-	var filter func(frameLen uint32) uint32
+	var filter func(base, frameLen uint32) uint32
+	var ld32 func(a uint32) uint32
+	var st32 func(a, v uint32)
 	switch {
 	case cfg.Policy == mem.PolicyChecked && cfg.NilCheck:
-		filter = func(n uint32) uint32 { return pfFilterNil(d, n) }
+		filter = func(b, n uint32) uint32 { return pfFilterNil(d, b, n) }
+		ld32 = func(a uint32) uint32 { return ld32nil(d, a) }
+		st32 = func(a, v uint32) { st32nil(d, a, v) }
 	case cfg.Policy == mem.PolicyChecked:
-		filter = func(n uint32) uint32 { return pfFilterChk(d, n) }
+		filter = func(b, n uint32) uint32 { return pfFilterChk(d, b, n) }
+		ld32 = func(a uint32) uint32 { return ld32chk(d, a) }
+		st32 = func(a, v uint32) { st32chk(d, a, v) }
 	case cfg.Policy == mem.PolicySandbox && cfg.ReadProtect:
-		filter = func(n uint32) uint32 { return pfFilterSFIFull(d, n, mask) }
-	default: // unsafe and write/jump-only SFI: a pure-load filter
-		filter = func(n uint32) uint32 { return pfFilterRaw(d, n) }
+		filter = func(b, n uint32) uint32 { return pfFilterSFIFull(d, b, n, mask) }
+		ld32 = func(a uint32) uint32 { return ld32sfi(d, a, mask) }
+		st32 = func(a, v uint32) { st32sfi(d, a, v, mask) }
+	case cfg.Policy == mem.PolicySandbox:
+		filter = func(b, n uint32) uint32 { return pfFilterRaw(d, b, n) }
+		ld32 = func(a uint32) uint32 { return le32(d, a) }
+		st32 = func(a, v uint32) { st32sfi(d, a, v, mask) }
+	default: // unsafe: raw accesses both ways
+		filter = func(b, n uint32) uint32 { return pfFilterRaw(d, b, n) }
+		ld32 = func(a uint32) uint32 { return le32(d, a) }
+		st32 = func(a, v uint32) { se32(d, a, v) }
 	}
-	g.Register("filter", 1, func(a []uint32) uint32 { return filter(a[0]) })
+	g.Register("filter", 1, func(a []uint32) uint32 { return filter(PFBufAddr, a[0]) })
+	g.Register("filter_batch", 1, func(a []uint32) uint32 {
+		n := a[0]
+		if n > PFMaxBatch {
+			n = PFMaxBatch
+		}
+		var accept uint32
+		for i := uint32(0); i < n; i++ {
+			ok := filter(PFBufAddr+i*PFSlotSize, ld32(PFLenBase+4*i))
+			st32(PFVerdictBase+4*i, ok)
+			accept |= ok << i
+		}
+		return accept
+	})
 	return g, nil
 }
 
-func pfFilterRaw(d []byte, n uint32) uint32 {
+func pfFilterRaw(d []byte, base, n uint32) uint32 {
 	if n < netsim.MinFrameSize {
 		return 0
 	}
-	if uint32(d[PFBufAddr+netsim.OffEthType])<<8|uint32(d[PFBufAddr+netsim.OffEthType+1]) != netsim.EthTypeIPv4 {
+	if uint32(d[base+netsim.OffEthType])<<8|uint32(d[base+netsim.OffEthType+1]) != netsim.EthTypeIPv4 {
 		return 0
 	}
-	if d[PFBufAddr+netsim.OffIPProto] != netsim.ProtoUDP {
+	if d[base+netsim.OffIPProto] != netsim.ProtoUDP {
 		return 0
 	}
-	port := uint32(d[PFBufAddr+netsim.OffDstPort])<<8 | uint32(d[PFBufAddr+netsim.OffDstPort+1])
+	port := uint32(d[base+netsim.OffDstPort])<<8 | uint32(d[base+netsim.OffDstPort+1])
 	if port != binary.LittleEndian.Uint32(d[PFPortAddr:]) {
 		return 0
 	}
 	return 1
 }
 
-func pfFilterChk(d []byte, n uint32) uint32 {
+func pfFilterChk(d []byte, base, n uint32) uint32 {
 	if n < netsim.MinFrameSize {
 		return 0
 	}
-	if ld8chk(d, PFBufAddr+netsim.OffEthType)<<8|ld8chk(d, PFBufAddr+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
+	if ld8chk(d, base+netsim.OffEthType)<<8|ld8chk(d, base+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
 		return 0
 	}
-	if ld8chk(d, PFBufAddr+netsim.OffIPProto) != netsim.ProtoUDP {
+	if ld8chk(d, base+netsim.OffIPProto) != netsim.ProtoUDP {
 		return 0
 	}
-	port := ld8chk(d, PFBufAddr+netsim.OffDstPort)<<8 | ld8chk(d, PFBufAddr+netsim.OffDstPort+1)
+	port := ld8chk(d, base+netsim.OffDstPort)<<8 | ld8chk(d, base+netsim.OffDstPort+1)
 	if port != ld32chk(d, PFPortAddr) {
 		return 0
 	}
 	return 1
 }
 
-func pfFilterNil(d []byte, n uint32) uint32 {
+func pfFilterNil(d []byte, base, n uint32) uint32 {
 	if n < netsim.MinFrameSize {
 		return 0
 	}
-	if ld8nil(d, PFBufAddr+netsim.OffEthType)<<8|ld8nil(d, PFBufAddr+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
+	if ld8nil(d, base+netsim.OffEthType)<<8|ld8nil(d, base+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
 		return 0
 	}
-	if ld8nil(d, PFBufAddr+netsim.OffIPProto) != netsim.ProtoUDP {
+	if ld8nil(d, base+netsim.OffIPProto) != netsim.ProtoUDP {
 		return 0
 	}
-	port := ld8nil(d, PFBufAddr+netsim.OffDstPort)<<8 | ld8nil(d, PFBufAddr+netsim.OffDstPort+1)
+	port := ld8nil(d, base+netsim.OffDstPort)<<8 | ld8nil(d, base+netsim.OffDstPort+1)
 	if port != ld32nil(d, PFPortAddr) {
 		return 0
 	}
 	return 1
 }
 
-func pfFilterSFIFull(d []byte, n, mask uint32) uint32 {
+func pfFilterSFIFull(d []byte, base, n, mask uint32) uint32 {
 	if n < netsim.MinFrameSize {
 		return 0
 	}
 	ld8m := func(a uint32) uint32 { return uint32(d[a&mask]) }
-	if ld8m(PFBufAddr+netsim.OffEthType)<<8|ld8m(PFBufAddr+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
+	if ld8m(base+netsim.OffEthType)<<8|ld8m(base+netsim.OffEthType+1) != netsim.EthTypeIPv4 {
 		return 0
 	}
-	if ld8m(PFBufAddr+netsim.OffIPProto) != netsim.ProtoUDP {
+	if ld8m(base+netsim.OffIPProto) != netsim.ProtoUDP {
 		return 0
 	}
-	port := ld8m(PFBufAddr+netsim.OffDstPort)<<8 | ld8m(PFBufAddr+netsim.OffDstPort+1)
+	port := ld8m(base+netsim.OffDstPort)<<8 | ld8m(base+netsim.OffDstPort+1)
 	if port != ld32sfi(d, PFPortAddr, mask) {
 		return 0
 	}

@@ -17,6 +17,15 @@ type Endpoint struct {
 	marshal func(p Packet)
 	Matched uint64
 	Errors  uint64
+	// LastErr is the most recent filter trap charged to this endpoint.
+	LastErr error
+
+	// Batched-path hooks, set by RegisterBatch (see batch.go).
+	batchMarshal func(slot uint32, p Packet)
+	batchCall    func(n uint32) (uint32, error)
+	verdictAt    func(slot uint32) (v uint32, committed bool)
+	maxBatch     int
+	hasVerdicts  bool
 }
 
 // DemuxStats counts demultiplexer activity.
@@ -40,9 +49,10 @@ type DemuxStats struct {
 // demultiplexer consults with one lookup, and only frames no port
 // endpoint claims fall through to the general filter scan.
 type Demux struct {
-	endpoints []*Endpoint
-	ports     map[uint16]*Endpoint
-	stats     DemuxStats
+	endpoints  []*Endpoint
+	ports      map[uint16]*Endpoint
+	stats      DemuxStats
+	batchStats BatchStats
 }
 
 // NewDemux builds an empty demultiplexer.
@@ -125,6 +135,7 @@ func (d *Demux) Deliver(p Packet) (*Endpoint, error) {
 		ok, err := ep.filter(uint32(len(p)))
 		if err != nil {
 			ep.Errors++
+			ep.LastErr = err
 			continue
 		}
 		if ok {
@@ -139,3 +150,7 @@ func (d *Demux) Deliver(p Packet) (*Endpoint, error) {
 
 // Stats returns a copy of the counters.
 func (d *Demux) Stats() DemuxStats { return d.stats }
+
+// Endpoints returns the registered filter endpoints in offer order
+// (port-table endpoints are not included).
+func (d *Demux) Endpoints() []*Endpoint { return d.endpoints }

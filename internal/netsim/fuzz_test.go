@@ -1,0 +1,137 @@
+package netsim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"graftlab/internal/grafts"
+	"graftlab/internal/mem"
+	"graftlab/internal/netsim"
+	"graftlab/internal/tech"
+)
+
+// framesFromFuzz carves the fuzzer's byte soup into frames: each frame is
+// prefixed by one length byte scaled ×3, so the fuzzer reaches runts,
+// exact-minimum frames, and frames larger than a batch slot (512 bytes)
+// with single-byte mutations.
+func framesFromFuzz(data []byte) []netsim.Packet {
+	var out []netsim.Packet
+	for len(data) > 0 && len(out) < 256 {
+		n := int(data[0]) * 3
+		data = data[1:]
+		if n > len(data) {
+			n = len(data)
+		}
+		out = append(out, netsim.Packet(data[:n]))
+		data = data[n:]
+	}
+	return out
+}
+
+// FuzzDeliver throws random frame sets at the demultiplexer through both
+// delivery paths and requires: no panic, identical endpoint assignments
+// and DemuxStats, and the conservation invariants every delivery must
+// keep (delivered + unclaimed = frames, delivered = sum of matches).
+// The filter under test is the real packet-filter graft on the bytecode
+// class — header parsing over attacker-controlled bytes is exactly the
+// surface the original packet-filter papers hardened.
+func FuzzDeliver(f *testing.F) {
+	match := netsim.Build(netsim.Header{EthType: netsim.EthTypeIPv4, Proto: netsim.ProtoUDP, DstPort: matchPort, PayloadLen: 9}, 1)
+	port := netsim.Build(netsim.Header{EthType: netsim.EthTypeIPv4, Proto: netsim.ProtoUDP, DstPort: 7000, PayloadLen: 9}, 2)
+	tcp := netsim.Build(netsim.Header{EthType: netsim.EthTypeIPv4, Proto: netsim.ProtoTCP, DstPort: 80, PayloadLen: 9}, 3)
+	seed := func(frames ...netsim.Packet) []byte {
+		var b bytes.Buffer
+		for _, p := range frames {
+			b.WriteByte(byte(len(p) / 3))
+			b.Write(p[:len(p)/3*3])
+		}
+		return b.Bytes()
+	}
+	f.Add(seed(match, tcp, port), uint8(2))
+	f.Add(seed(match, match, match, match), uint8(3))
+	f.Add(seed(tcp), uint8(0))
+	f.Add([]byte{0, 0, 1, 42, 255}, uint8(33))
+
+	newDemux := func(batch bool) *netsim.Demux {
+		m := mem.New(grafts.PFMemSize)
+		grafts.ConfigurePacketFilter(m, matchPort)
+		g, err := tech.Load(tech.Bytecode, grafts.PacketFilter, m, tech.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		d := netsim.NewDemux()
+		if _, err := d.RegisterPort("port-7000", 7000); err != nil {
+			f.Fatal(err)
+		}
+		if batch {
+			if _, err := d.RegisterBatch("graft", g, grafts.PacketFilterBatchConfig(tech.Bytecode)); err != nil {
+				f.Fatal(err)
+			}
+		} else {
+			if _, err := d.Register("graft", g, "filter", grafts.PFBufAddr); err != nil {
+				f.Fatal(err)
+			}
+		}
+		d.RegisterFunc("tcp", func(p netsim.Packet) bool {
+			return len(p) >= netsim.MinFrameSize && p[netsim.OffIPProto] == netsim.ProtoTCP
+		})
+		return d
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		frames := framesFromFuzz(data)
+		if len(frames) == 0 {
+			return
+		}
+		single := newDemux(false)
+		var singleNames []string
+		for _, p := range frames {
+			ep, err := single.Deliver(p)
+			if err != nil {
+				t.Fatalf("Deliver returned a demux-level error: %v", err)
+			}
+			singleNames = append(singleNames, epName(ep))
+		}
+
+		batched := newDemux(true)
+		step := int(chunk)
+		if step == 0 {
+			step = 1
+		}
+		var batchNames []string
+		for off := 0; off < len(frames); off += step {
+			end := off + step
+			if end > len(frames) {
+				end = len(frames)
+			}
+			for _, ep := range batched.DeliverBatch(frames[off:end]) {
+				batchNames = append(batchNames, epName(ep))
+			}
+		}
+
+		for i := range singleNames {
+			if singleNames[i] != batchNames[i] {
+				t.Fatalf("frame %d: single path %q, batched path %q", i, singleNames[i], batchNames[i])
+			}
+		}
+		ss, bs := single.Stats(), batched.Stats()
+		if ss != bs {
+			t.Fatalf("stats diverge: single %+v, batched %+v", ss, bs)
+		}
+		if bs.Frames != uint64(len(frames)) || bs.Delivered+bs.Unclaimed != bs.Frames {
+			t.Fatalf("conservation broken: %+v over %d frames", bs, len(frames))
+		}
+		var matched uint64
+		for _, ep := range batched.Endpoints() {
+			matched += ep.Matched
+			if ep.Errors != 0 {
+				t.Fatalf("pure filter reported %d errors on endpoint %s", ep.Errors, ep.Name)
+			}
+		}
+		// Port-table matches also count toward Delivered but are not in
+		// Endpoints(); recover them from the delta.
+		if matched > bs.Delivered {
+			t.Fatalf("endpoint matches %d exceed delivered %d", matched, bs.Delivered)
+		}
+	})
+}
