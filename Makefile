@@ -62,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzInterp -fuzztime=$(FUZZTIME) -run XXX ./internal/script
 	$(GO) test -fuzz=FuzzVerify -fuzztime=$(FUZZTIME) -run XXX ./internal/aot
 	$(GO) test -fuzz=FuzzDeliver -fuzztime=$(FUZZTIME) -run XXX ./internal/netsim
+	$(GO) test -fuzz=FuzzSwap -fuzztime=$(FUZZTIME) -run XXX ./internal/lifecycle
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:
@@ -72,14 +73,14 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run XXX .
 
-# Regression gate: rerun Table 5 and the batched packet filter at quick
-# scale and compare against the committed baseline. A cell fails only
-# when it is more than 45% worse AND the move is significant against
-# both samples' variance (Cohen's |d| >= 0.8) — shared-runner noise
-# reads `noise`, not `regression`. See docs/benchmarking.md for the
-# gate's rules.
+# Regression gate: rerun Table 5, the batched packet filter, and the
+# lifecycle swap-under-load experiment at quick scale and compare against
+# the committed baseline. A cell fails only when it is more than 45%
+# worse AND the move is significant against both samples' variance
+# (Cohen's |d| >= 0.8) — shared-runner noise reads `noise`, not
+# `regression`. See docs/benchmarking.md for the gate's rules.
 bench-check:
-	$(GO) run ./cmd/graftbench -quick -experiment table5,pktfilter-batch -check-against BENCH_baseline.json -check-tolerance 0.45 -check-effect 0.8
+	$(GO) run ./cmd/graftbench -quick -experiment table5,pktfilter-batch,swap-under-load -check-against BENCH_baseline.json -check-tolerance 0.45 -check-effect 0.8
 
 # Full quick-scale suite with generated artifacts: results.json,
 # results.csv (the flattened cell matrix), and REPORT.md (methodology,
@@ -87,11 +88,11 @@ bench-check:
 bench-report:
 	$(GO) run ./cmd/graftbench -quick -report-dir bench-report -check-against BENCH_baseline.json -check-tolerance 0.45 -check-effect 0.8
 
-# Re-archive the baseline the gate compares against (Table 5 plus the
-# batched packet filter). Run on a quiet machine; commit the result
-# deliberately.
+# Re-archive the baseline the gate compares against (Table 5, the
+# batched packet filter, and swap-under-load). Run on a quiet machine;
+# commit the result deliberately.
 bench-baseline:
-	$(GO) run ./cmd/graftbench -quick -experiment table5,pktfilter-batch -json-out BENCH_baseline.json
+	$(GO) run ./cmd/graftbench -quick -experiment table5,pktfilter-batch,swap-under-load -json-out BENCH_baseline.json
 
 # Regenerate the paper's evaluation (Tables 1-6, Figure 1, ablations,
 # packet filter). Minutes at paper scale; use quick-experiments for CI.

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"graftlab/internal/grafts"
+	"graftlab/internal/lifecycle"
+	"graftlab/internal/mem"
+	"graftlab/internal/stats"
+	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
+)
+
+// The lifecycle scenarios demonstrate live graft deployment: `swap`
+// hot-swaps a packet-filter policy mid-stream through a versioned slot
+// and shows the frame-by-frame cutover; `canary` stages a runaway
+// upgrade behind canary routing and shows the armed watchdog demote it
+// automatically. Both print the slot's conservation ledger at the end —
+// every issued invocation committed against exactly one version.
+
+// filterSlot builds a slot carrying the packet filter under id, v1
+// configured for port `p1` and (staged) v2 for `p2`.
+func filterSlot(id tech.ID, p1, p2 uint16, canaryEvery uint64) (*lifecycle.Slot, error) {
+	s := lifecycle.NewSlot("pktfilter", id,
+		lifecycle.Loader(id, grafts.PFMemSize, tech.Options{}))
+	conf := func(port uint16) func(m *mem.Memory) error {
+		return func(m *mem.Memory) error {
+			grafts.ConfigurePacketFilter(m, port)
+			return nil
+		}
+	}
+	if err := s.Activate(tech.NewArtifact(grafts.PacketFilter, 1), conf(p1)); err != nil {
+		return nil, err
+	}
+	if err := s.Stage(tech.NewArtifact(grafts.PacketFilter, 2), conf(p2), canaryEvery); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// frameFor writes one 60-byte UDP frame for port into the acquired
+// engine's filter buffer.
+func frameFor(port uint16) func(m *mem.Memory) error {
+	return func(m *mem.Memory) error {
+		for i := uint32(0); i < 60; i++ {
+			m.St8U(grafts.PFBufAddr+i, 0)
+		}
+		m.St8U(grafts.PFBufAddr+12, 0x08)
+		m.St8U(grafts.PFBufAddr+13, 0x00)
+		m.St8U(grafts.PFBufAddr+23, 17)
+		m.St8U(grafts.PFBufAddr+36, uint32(port>>8))
+		m.St8U(grafts.PFBufAddr+37, uint32(port&0xff))
+		return nil
+	}
+}
+
+// runSwap streams frames through a versioned filter slot and commits a
+// hot swap (port 80 -> port 81) halfway through, without pausing the
+// stream.
+func runSwap(id tech.ID) error {
+	s, err := filterSlot(id, 80, 81, 0)
+	if err != nil {
+		return err
+	}
+	inc := s.Incumbent()
+	cand := s.Candidate()
+	fmt.Printf("slot %q: incumbent %s, candidate %s staged\n\n",
+		s.Name(), inc.Artifact.Ref(), cand.Artifact.Ref())
+
+	ports := []uint16{80, 81, 7}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Hot swap mid-stream (%s): filter verdict by serving version", id),
+		Header: []string{"frame", "dst port", "served by", "epoch", "verdict"},
+		Caption: "The swap is one atomic pointer store; in-flight invocations revalidate\n" +
+			"and retry against the new version instead of being dropped. The verdict\n" +
+			"column flips from port-80 to port-81 acceptance at the commit, never\n" +
+			"showing a mix of both policies in one invocation.",
+	}
+	const frames = 12
+	for i := 0; i < frames; i++ {
+		if i == frames/2 {
+			if err := s.Promote(); err != nil {
+				return err
+			}
+			t.AddRow("--", "--", "-- hot swap commits --", fmt.Sprint(s.Epoch()), "--")
+		}
+		port := ports[i%len(ports)]
+		res, err := s.Do("filter", frameFor(port), 60)
+		if err != nil {
+			return err
+		}
+		verdict := "drop"
+		if res.Value == 1 {
+			verdict = "accept"
+		}
+		t.AddRow(fmt.Sprint(i), fmt.Sprint(port),
+			fmt.Sprintf("v%d", res.Version), fmt.Sprint(res.Epoch), verdict)
+	}
+	fmt.Println(t)
+	a := s.Accounting()
+	fmt.Printf("ledger: issued %d = committed %d (aborted %d, retries %d, swaps %d)\n",
+		a.Issued, a.Committed, a.Aborted, a.Retried, a.Swaps)
+	return nil
+}
+
+// runCanary stages a fuel-runaway filter upgrade behind 1-in-4 canary
+// routing and lets the armed watchdog demote it.
+func runCanary(id tech.ID) error {
+	// The watchdog reads the telemetry layer, so the scenario needs it on
+	// regardless of the -telemetry flag.
+	wasEnabled := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(wasEnabled)
+
+	runaway := tech.Source{
+		Name: "pktfilter",
+		GEL: `
+func filter(len) {
+	var i = 0;
+	while (i < 1000000) { i = i + 1; }
+	return 0;
+}
+`,
+	}
+	r := lifecycle.NewRegistry()
+	s := r.NewSlot("pktfilter", id,
+		lifecycle.Loader(id, grafts.PFMemSize, tech.Options{Fuel: 1 << 12}))
+	if err := s.Activate(tech.NewArtifact(grafts.PacketFilter, 1), func(m *mem.Memory) error {
+		grafts.ConfigurePacketFilter(m, 80)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := s.Stage(tech.NewArtifact(runaway, 2), nil, 4); err != nil {
+		return err
+	}
+	w := telemetry.NewWatchdog(telemetry.SLO{
+		MaxPreemptRate: 0.5,
+		MinInvocations: 16,
+		Quarantine:     true,
+	})
+	r.Arm(w)
+	fmt.Printf("slot %q: incumbent %s, canary %s at 1-in-4 routing\n",
+		s.Name(), s.Incumbent().Artifact.Ref(), s.Candidate().Artifact.Ref())
+	fmt.Printf("SLO: preemption rate <= 0.5 over >= 16 invocations; watchdog armed\n\n")
+
+	var incumbentServed, canaryTraps int
+	demotedAt := -1
+	for i := 0; i < 128 && demotedAt < 0; i++ {
+		res, err := s.Do("filter", frameFor(80), 60)
+		if res.Canary {
+			var tr *mem.Trap
+			if errors.As(err, &tr) && tr.Kind == mem.TrapFuel {
+				canaryTraps++
+			}
+		} else {
+			if err != nil {
+				return err
+			}
+			incumbentServed++
+		}
+		if i%16 == 15 {
+			w.Check()
+			if s.Candidate() == nil {
+				demotedAt = i
+			}
+		}
+	}
+	if demotedAt < 0 {
+		return fmt.Errorf("canary was never demoted")
+	}
+	fmt.Printf("stream: %d served by the incumbent, %d canary invocations fuel-preempted\n",
+		incumbentServed, canaryTraps)
+	for _, e := range r.Events() {
+		fmt.Printf("guard: %s of %s v%d (violation on %q: %s)\n",
+			e.Action, e.Slot, e.Version, e.Violation.Graft, e.Violation.Reason)
+	}
+	fmt.Printf("canary demoted after invocation %d; routing is 100%% incumbent again\n", demotedAt)
+	a := s.Accounting()
+	fmt.Printf("ledger: issued %d = committed %d (aborted %d, demotions %d)\n",
+		a.Issued, a.Committed, a.Aborted, a.Demotions)
+	return nil
+}

@@ -41,7 +41,7 @@ func main() {
 		subtrees = flag.Int("subtrees", 2, "third-level subtrees to scan")
 		passes   = flag.Int("passes", 5, "scan passes over the subtree range")
 		scenario = flag.String("scenario", "pageevict",
-			"which hook point to drive: pageevict, sched, cache, readahead, all")
+			"which hook point to drive: pageevict, sched, cache, readahead, swap, canary, all")
 		telem = flag.Bool("telemetry", false,
 			"record per-graft counters and kernel events; print them after the run")
 	)
@@ -61,12 +61,18 @@ func main() {
 		err = runCache(id)
 	case "readahead":
 		err = runReadahead()
+	case "swap":
+		err = runSwap(id)
+	case "canary":
+		err = runCanary(id)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return run(id, *frames, *subtrees, *passes) },
 			func() error { return runSched(id) },
 			func() error { return runCache(id) },
 			runReadahead,
+			func() error { return runSwap(id) },
+			func() error { return runCanary(id) },
 		} {
 			if err = f(); err != nil {
 				break

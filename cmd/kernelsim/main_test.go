@@ -19,4 +19,10 @@ func TestScenarios(t *testing.T) {
 	if err := runReadahead(); err != nil {
 		t.Fatalf("readahead: %v", err)
 	}
+	if err := runSwap(tech.Bytecode); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	if err := runCanary(tech.Bytecode); err != nil {
+		t.Fatalf("canary: %v", err)
+	}
 }

@@ -434,6 +434,40 @@ func CompareReports(baseline, current *Report, opts CompareOptions) *Comparison 
 		}
 		c.tol = savedTol
 	}
+	if presence("swap-under-load", baseline.Swap != nil, current.Swap != nil) {
+		b, cur := baseline.Swap, current.Swap
+		// Same ns-scale micro-cell situation as pktfilter-batch: the cells
+		// exist to catch protocol-level regressions (the slot path growing
+		// a lock or an allocation is a multi-x move), so they gate at the
+		// widened practical floor, not the headline tolerance.
+		savedTol := c.tol
+		if c.tol < pfBatchGateTolerance {
+			c.tol = pfBatchGateTolerance
+		}
+		type key struct{ tech, mode string }
+		cells := make(map[key]SwapCell)
+		for _, r := range b.Rows {
+			for _, cl := range r.Cells {
+				cells[key{r.Tech, cl.Mode}] = cl
+			}
+		}
+		for _, r := range cur.Rows {
+			for _, cl := range r.Cells {
+				name := r.Tech + "/" + cl.Mode
+				bc, ok := cells[key{r.Tech, cl.Mode}]
+				if !ok {
+					c.skip("swap-under-load", name, "cell absent from baseline")
+					continue
+				}
+				// Per-op time is intensive (normalized by the op count), so
+				// it compares across workload sizes.
+				c.compare("swap-under-load", name, "per_op_ns",
+					metricSample{float64(bc.PerOp), bc.RelStd, bc.N},
+					metricSample{float64(cl.PerOp), cl.RelStd, cl.N}, false)
+			}
+		}
+		c.tol = savedTol
+	}
 	if presence("scale", baseline.Scale != nil, current.Scale != nil) {
 		b, cur := baseline.Scale, current.Scale
 		if b.ServiceTime != cur.ServiceTime {

@@ -48,6 +48,7 @@ type Report struct {
 	Figure1       *Figure1Result  `json:"figure1,omitempty"`
 	PacketFilter  *PFResult       `json:"pktfilter,omitempty"`
 	PFBatch       *PFBatchResult  `json:"pktfilter_batch,omitempty"`
+	Swap          *SwapResult     `json:"swap_under_load,omitempty"`
 	Ablation      *AblationResult `json:"ablation,omitempty"`
 	Scale         *ScaleResult    `json:"scale,omitempty"`
 	// Telemetry holds per-graft invocation counters accumulated during the

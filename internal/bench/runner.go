@@ -189,6 +189,20 @@ func Experiments() []ExperimentSpec {
 			},
 		},
 		{
+			Name: "swap-under-load", Title: "Swap Under Load",
+			Run: func(cfg Config, r *Report) error {
+				res, err := RunSwapUnderLoad(cfg)
+				r.Swap = res
+				return err
+			},
+			Render: func(r *Report) string {
+				if r.Swap == nil {
+					return ""
+				}
+				return r.Swap.Table().String()
+			},
+		},
+		{
 			Name: "ablation", Title: "Ablations",
 			Run: func(cfg Config, r *Report) error {
 				res, err := RunAblation(cfg)

@@ -75,7 +75,8 @@ func TestEffectiveWarmupDefaults(t *testing.T) {
 // an unknown name errors.
 func TestExperimentMatrix(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table4", "table5",
-		"table6", "figure1", "pktfilter", "pktfilter-batch", "ablation", "scale"}
+		"table6", "figure1", "pktfilter", "pktfilter-batch", "swap-under-load",
+		"ablation", "scale"}
 	specs := Experiments()
 	if len(specs) != len(want) {
 		t.Fatalf("matrix has %d experiments, want %d", len(specs), len(want))

@@ -108,6 +108,14 @@ func Flatten(r *Report, cvThreshold float64) []Cell {
 			}
 		}
 	}
+	if s := r.Swap; s != nil {
+		for _, row := range s.Rows {
+			for _, cl := range row.Cells {
+				name := fmt.Sprintf("%s/%s", row.Tech, cl.Mode)
+				durCell("swap-under-load", name, "per_op_ns", cl.PerOp, cl.RelStd, cl.N, cl.P50, cl.P95, cl.P99)
+			}
+		}
+	}
 	if s := r.Scale; s != nil {
 		for _, row := range s.Rows {
 			for _, cl := range row.Cells {

@@ -1,0 +1,287 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graftlab/internal/grafts"
+	"graftlab/internal/lifecycle"
+	"graftlab/internal/mem"
+	"graftlab/internal/tech"
+)
+
+// The lifecycle swap sweep: the packet filter hot-swapped from a
+// port-80 deployment (v1) to a port-81 deployment (v2) under every
+// technology class in the registry, with a kill point injected into
+// every step of the invoke/swap interleaving. The pinned invariants
+// are the same as internal/lifecycle's deep suite — no invocation
+// lost, duplicated, or executed against a torn policy — but swept
+// across tech.All, because swap atomicity is a property of the slot
+// protocol and must not depend on which engine carries the filter.
+
+// lifecycleSwapScenario is the packet filter under the coverage cell
+// name "lifecycle-swap". It is deliberately NOT part of
+// graftScenarios(): the only test that marks this cell is
+// TestLifecycleSwapKillPoints below, so losing that test fails the
+// zzz coverage gate instead of silently shrinking coverage. The gate's
+// static half still pulls the scenario in through this helper to check
+// carriage across the registry.
+func lifecycleSwapScenario() graftScenario {
+	src := grafts.PacketFilter
+	src.Name = "lifecycle-swap"
+	return graftScenario{
+		src: src, memSize: grafts.PFMemSize,
+		steps: []graftStep{step("filter", 1, 60)},
+	}
+}
+
+// lcFrame is one invocation of the filter stream.
+type lcFrame struct {
+	port   uint16
+	proto  uint8
+	length uint32
+}
+
+// lcFrames crosses both versions' ports with a stranger port, a TCP
+// frame, and a runt, so accept and reject verdicts both cross the swap.
+func lcFrames() []lcFrame {
+	return []lcFrame{
+		{80, 17, 60}, {81, 17, 60}, {7, 17, 60}, {80, 6, 60},
+		{80, 17, 41}, {81, 17, 60}, {80, 17, 60}, {81, 17, 41},
+	}
+}
+
+// lcWant is the filter oracle: version v accepts IPv4/UDP frames of
+// full length addressed to its configured port.
+func lcWant(version uint64, f lcFrame) uint32 {
+	port := uint16(80)
+	if version == 2 {
+		port = 81
+	}
+	if f.proto == 17 && f.length >= 42 && f.port == port {
+		return 1
+	}
+	return 0
+}
+
+// lcPrep writes frame f into the single-frame buffer of whichever
+// engine the slot acquired — the per-invocation marshal step.
+func lcPrep(f lcFrame) func(m *mem.Memory) error {
+	return func(m *mem.Memory) error {
+		writeUDPFrame(m, f.port)
+		m.St8U(grafts.PFBufAddr+23, uint32(f.proto))
+		return nil
+	}
+}
+
+// lcLoad caches one carrier per version for a carrier column: engines
+// load once per class, slots are rebuilt per kill point.
+func lcLoad(c graftCarrier) lifecycle.LoadFunc {
+	carriers := map[uint64]lifecycle.Carrier{}
+	src := lifecycleSwapScenario().src
+	return func(a tech.Artifact) (lifecycle.Carrier, error) {
+		if cached, ok := carriers[a.Version]; ok {
+			return cached, nil
+		}
+		g, err := tech.Load(c.id, src, mem.New(grafts.PFMemSize), tech.Options{VM: c.vmMode})
+		if err != nil {
+			return nil, err
+		}
+		cached := lifecycle.Single(g)
+		carriers[a.Version] = cached
+		return cached, nil
+	}
+}
+
+// lcSlot builds a fresh slot routing v1 (port 80) with v2 (port 81)
+// staged, over the class's cached engines.
+func lcSlot(t *testing.T, c graftCarrier, load lifecycle.LoadFunc) *lifecycle.Slot {
+	t.Helper()
+	src := lifecycleSwapScenario().src
+	s := lifecycle.NewSlot("lifecycle-swap", c.id, load)
+	if err := s.Activate(tech.NewArtifact(src, 1), func(m *mem.Memory) error {
+		grafts.ConfigurePacketFilter(m, 80)
+		return nil
+	}); err != nil {
+		t.Fatalf("carrier %s: activate: %v", c.name, err)
+	}
+	if err := s.Stage(tech.NewArtifact(src, 2), func(m *mem.Memory) error {
+		grafts.ConfigurePacketFilter(m, 81)
+		return nil
+	}, 0); err != nil {
+		t.Fatalf("carrier %s: stage: %v", c.name, err)
+	}
+	return s
+}
+
+// lcVerify checks the committed stream against the oracle and the
+// conservation ledger.
+func lcVerify(t *testing.T, c graftCarrier, s *lifecycle.Slot, frames []lcFrame, results []lifecycle.Result, tag string) {
+	t.Helper()
+	lastVer := uint64(0)
+	for i, res := range results {
+		if res.Version < lastVer {
+			t.Fatalf("%s: frame %d served by v%d after v%d — version sequence not monotone",
+				tag, i, res.Version, lastVer)
+		}
+		lastVer = res.Version
+		if want := lcWant(res.Version, frames[i]); res.Value != want {
+			t.Fatalf("%s: frame %d (%+v) verdict %d under v%d, want %d — torn policy?",
+				tag, i, frames[i], res.Value, res.Version, want)
+		}
+	}
+	a := s.Accounting()
+	if a.Issued != uint64(len(frames)) || a.Committed != a.Issued || a.Aborted != 0 {
+		t.Fatalf("%s: ledger %+v over %d frames — an invocation was lost or duplicated",
+			tag, a, len(frames))
+	}
+}
+
+// runLCInline commits a Promote inline at the killStep-th data-plane
+// gate crossing (or after the stream, when the step lies beyond it).
+func runLCInline(t *testing.T, c graftCarrier, load lifecycle.LoadFunc, killStep int, tag string) {
+	t.Helper()
+	s := lcSlot(t, c, load)
+	step, swapped, inPromote := 0, false, false
+	s.SetGate(func(p lifecycle.Point) error {
+		if inPromote {
+			return nil
+		}
+		if !swapped && step == killStep {
+			swapped, inPromote = true, true
+			if err := s.Promote(); err != nil {
+				t.Errorf("%s: inline promote at %s: %v", tag, p, err)
+			}
+			inPromote = false
+		}
+		step++
+		return nil
+	})
+	frames := lcFrames()
+	results := make([]lifecycle.Result, len(frames))
+	for i, f := range frames {
+		res, err := s.Do("filter", lcPrep(f), f.length)
+		if err != nil {
+			t.Fatalf("%s: frame %d: %v", tag, i, err)
+		}
+		results[i] = res
+	}
+	s.SetGate(nil)
+	if !swapped {
+		if err := s.Promote(); err != nil {
+			t.Fatalf("%s: trailing promote: %v", tag, err)
+		}
+	}
+	if s.Incumbent().Artifact.Version != 2 || s.Candidate() != nil {
+		t.Fatalf("%s: slot did not converge on v2", tag)
+	}
+	lcVerify(t, c, s, frames, results, tag)
+}
+
+// runLCSwapAbort aborts the Promote critical section at one of its
+// gate points mid-stream and checks the swap was all-or-nothing.
+func runLCSwapAbort(t *testing.T, c graftCarrier, load lifecycle.LoadFunc, killPoint lifecycle.Point, tag string) {
+	t.Helper()
+	s := lcSlot(t, c, load)
+	frames := lcFrames()
+	results := make([]lifecycle.Result, 0, len(frames))
+	half := len(frames) / 2
+	doFrame := func(i int, f lcFrame) {
+		res, err := s.Do("filter", lcPrep(f), f.length)
+		if err != nil {
+			t.Fatalf("%s: frame %d: %v", tag, i, err)
+		}
+		results = append(results, res)
+	}
+	for i, f := range frames[:half] {
+		doFrame(i, f)
+	}
+
+	errKill := errors.New("killed")
+	epochBefore := s.Epoch()
+	s.SetGate(func(p lifecycle.Point) error {
+		if p == killPoint {
+			return errKill
+		}
+		return nil
+	})
+	err := s.Promote()
+	s.SetGate(nil)
+	if !errors.Is(err, errKill) {
+		t.Fatalf("%s: killed promote returned %v", tag, err)
+	}
+	committed := s.Epoch() != epochBefore
+	wantVer := uint64(1)
+	if committed {
+		wantVer = 2
+	}
+	if inc := s.Incumbent(); inc.Artifact.Version != wantVer {
+		t.Fatalf("%s: kill at %s left incumbent v%d with commit=%v — torn swap",
+			tag, killPoint, inc.Artifact.Version, committed)
+	}
+	if committed == (s.Candidate() != nil) {
+		t.Fatalf("%s: kill at %s left candidate state inconsistent with commit=%v",
+			tag, killPoint, committed)
+	}
+
+	for i, f := range frames[half:] {
+		doFrame(half+i, f)
+	}
+	if !committed {
+		if err := s.Promote(); err != nil {
+			t.Fatalf("%s: retried promote after pre-commit abort: %v", tag, err)
+		}
+	}
+	if s.Incumbent().Artifact.Version != 2 {
+		t.Fatalf("%s: slot did not converge on v2", tag)
+	}
+	lcVerify(t, c, s, frames, results, tag)
+}
+
+// TestLifecycleSwapKillPoints sweeps kill points over the packet
+// filter's v1→v2 hot swap under every technology class in the
+// registry. This is the only test that marks the "lifecycle-swap"
+// coverage cell and the "lifecycle-killpoint" fault class, so the zzz
+// gate fails if this sweep is lost or a class stops carrying it.
+func TestLifecycleSwapKillPoints(t *testing.T) {
+	points := 1000
+	if testing.Short() {
+		points = 24
+	}
+	swapPoints := []lifecycle.Point{
+		lifecycle.PointSwapBegin, lifecycle.PointSwapPrepared,
+		lifecycle.PointSwapCommitted, lifecycle.PointSwapRetired,
+	}
+	seed := suiteSeed(77, 6)
+	t.Logf("lifecycle kill-point seed %d (replay with -seed)", seed)
+	maxStep := len(lcFrames())*3 + 8
+	ran := 0
+	for _, c := range graftCarriers() {
+		c := c
+		if c.wrap {
+			continue // the upcall wrap column is covered by the general matrix
+		}
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + int64(len(c.name))))
+			load := lcLoad(c)
+			for i := 0; i < points; i++ {
+				if i%2 == 0 {
+					killStep := rng.Intn(maxStep)
+					runLCInline(t, c, load, killStep, fmt.Sprintf("%s/inline/%d@step%d", c.name, i, killStep))
+				} else {
+					kp := swapPoints[rng.Intn(len(swapPoints))]
+					runLCSwapAbort(t, c, load, kp, fmt.Sprintf("%s/abort/%d@%s", c.name, i, kp))
+				}
+			}
+			markGraftTech(c.id)
+			markGraftCell("lifecycle-swap", c.id)
+			markFaultClass("lifecycle-killpoint")
+		})
+		ran++
+	}
+	if ran < 8 {
+		t.Fatalf("only %d carrier columns swept — the lifecycle sweep has collapsed", ran)
+	}
+}

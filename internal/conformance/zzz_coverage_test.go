@@ -21,14 +21,17 @@ var requiredEngines = []string{
 var requiredFaultClasses = []string{
 	"mem-scheduler", "fuel-cliff", "upcall-delivery",
 	"disk-torn-write", "disk-short-write", "runaway-watchdog",
+	"lifecycle-killpoint",
 }
 
 // requiredGraftCells lists the grafts whose conformance scenario must
 // run under *every* technology class in tech.All, cell by cell. The
 // packet filter is the fourth graft column: both its single-frame entry
 // and the batched slot protocol are pinned across the whole registry, so
-// a class that silently stops carrying the filter fails here.
-var requiredGraftCells = []string{"pktfilter", "pktfilter-batch"}
+// a class that silently stops carrying the filter fails here. The
+// lifecycle-swap cell is the filter hot-swapped through the versioned
+// deployment protocol: losing the kill-point sweep loses the cell.
+var requiredGraftCells = []string{"pktfilter", "pktfilter-batch", "lifecycle-swap"}
 
 // TestZZZCoverageGate is the anti-rot gate, named to sort last in the
 // package (go test runs tests in file order). It has a static half —
@@ -75,6 +78,10 @@ func TestZZZCoverageGate(t *testing.T) {
 	for _, sc := range graftScenarios() {
 		scenarios[sc.src.Name] = sc
 	}
+	// The lifecycle cell lives outside graftScenarios(): its only runner
+	// is the kill-point sweep, so the dynamic half below fails if that
+	// sweep is deleted rather than letting the cell quietly vanish.
+	scenarios["lifecycle-swap"] = lifecycleSwapScenario()
 	for _, name := range requiredGraftCells {
 		sc, ok := scenarios[name]
 		if !ok {

@@ -11,6 +11,7 @@ package kernel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graftlab/internal/telemetry"
@@ -87,8 +88,11 @@ type pagerShard struct {
 // on the hit path is one uncontended atomic add — instrumentation stays
 // within its ≤2% budget no matter how many workers hammer the pager.
 type ShardedPager struct {
-	shards    []pagerShard
-	policy    ShardPolicy
+	shards []pagerShard
+	// policy holds the installed ShardPolicy behind an atomic pointer so
+	// it can be replaced while faults are in flight (see SwapPolicy). A
+	// nil box or a box holding nil both mean "no policy".
+	policy    atomic.Pointer[shardPolicyBox]
 	faultTime time.Duration
 
 	hits            *telemetry.ShardedCounter
@@ -135,9 +139,50 @@ func NewShardedPager(cfg ShardedPagerConfig) (*ShardedPager, error) {
 	return sp, nil
 }
 
-// SetPolicy installs (or removes, with nil) the eviction hook. Install
-// before concurrent use; the policy pointer itself is not synchronized.
-func (sp *ShardedPager) SetPolicy(policy ShardPolicy) { sp.policy = policy }
+// shardPolicyBox wraps a ShardPolicy so an interface value (two words,
+// not atomically storable) can live behind one atomic pointer.
+type shardPolicyBox struct{ p ShardPolicy }
+
+// SetPolicy installs (or removes, with nil) the eviction hook. The
+// store is atomic, so a policy may be installed, removed, or replaced
+// while faults are in flight; see SwapPolicy for the swap semantics.
+func (sp *ShardedPager) SetPolicy(policy ShardPolicy) {
+	if policy == nil {
+		sp.policy.Store(nil)
+		return
+	}
+	sp.policy.Store(&shardPolicyBox{p: policy})
+}
+
+// SwapPolicy atomically replaces the eviction hook and returns the one
+// it displaced (nil if none). This is the lifecycle hot-swap seam: a
+// fault that consulted the old policy in its unlocked window simply has
+// its proposal revalidated under the shard lock like any other stale
+// proposal (see faultIn), so swapping mid-fault can never install a
+// torn decision — the worst case is one extra retry iteration that
+// consults the new incumbent. Package lifecycle drives this from
+// Slot.Promote when the swapped graft is a pager policy.
+func (sp *ShardedPager) SwapPolicy(policy ShardPolicy) ShardPolicy {
+	var next *shardPolicyBox
+	if policy != nil {
+		next = &shardPolicyBox{p: policy}
+	}
+	old := sp.policy.Swap(next)
+	if old == nil {
+		return nil
+	}
+	return old.p
+}
+
+// currentPolicy loads the installed hook (nil if none). Callers load
+// once per decision so a concurrent swap cannot split one decision
+// across two policies.
+func (sp *ShardedPager) currentPolicy() ShardPolicy {
+	if box := sp.policy.Load(); box != nil {
+		return box.p
+	}
+	return nil
+}
 
 // Shards reports the partition count.
 func (sp *ShardedPager) Shards() int { return len(sp.shards) }
@@ -248,11 +293,16 @@ func (sp *ShardedPager) faultIn(s int, sh *pagerShard, page PageID) error {
 		}
 		victim := candidate
 		outcome := uint64(telemetry.EvictDefault)
-		if sp.policy != nil {
+		// Load the policy once per iteration: a SwapPolicy racing this
+		// fault either ran before the load (the new policy decides) or
+		// after (the old proposal is revalidated under the lock below,
+		// exactly like any proposal that went stale in the unlocked
+		// window). Either way the decision is whole, never torn.
+		if pol := sp.currentPolicy(); pol != nil {
 			sp.policyCalls.Add(s, 1)
 			snap := sh.p.AppendLRU(nil) // fresh slice: the policy reads it unlocked
 			sh.mu.Unlock()
-			proposal, perr := sp.shardVictim(s, snap, candidate)
+			proposal, perr := sp.shardVictim(pol, s, snap, candidate)
 			sh.mu.Lock()
 			if sh.p.Touch(page) {
 				// Another goroutine faulted page in while the policy ran;
@@ -299,20 +349,23 @@ func (sp *ShardedPager) faultIn(s int, sh *pagerShard, page PageID) error {
 	}
 }
 
-// shardVictim consults the ShardPolicy hook, opening a "kernel:evict"
-// root span when causal tracing samples this fault and handing the
-// context down through span-aware policies. Runs unlocked (see faultIn).
-func (sp *ShardedPager) shardVictim(s int, lru []PageID, candidate PageID) (PageID, error) {
+// shardVictim consults the given ShardPolicy hook, opening a
+// "kernel:evict" root span when causal tracing samples this fault and
+// handing the context down through span-aware policies. Takes the
+// policy as an argument — the caller's once-per-iteration load — so a
+// concurrent swap cannot change the policy between the span check and
+// the call. Runs unlocked (see faultIn).
+func (sp *ShardedPager) shardVictim(pol ShardPolicy, s int, lru []PageID, candidate PageID) (PageID, error) {
 	span := telemetry.RootSpan("kernel:evict", "kernel")
 	if span.Active() {
-		if sep, ok := sp.policy.(SpanShardPolicy); ok {
+		if sep, ok := pol.(SpanShardPolicy); ok {
 			proposal, err := sep.ChooseVictimSpan(span.Ctx(), s, lru, candidate)
 			span.End(uint64(s), uint64(proposal))
 			return proposal, err
 		}
-		proposal, err := sp.policy.ChooseVictim(s, lru, candidate)
+		proposal, err := pol.ChooseVictim(s, lru, candidate)
 		span.End(uint64(s), uint64(proposal))
 		return proposal, err
 	}
-	return sp.policy.ChooseVictim(s, lru, candidate)
+	return pol.ChooseVictim(s, lru, candidate)
 }

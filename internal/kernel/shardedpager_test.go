@@ -240,3 +240,98 @@ func TestStressShardedPagerSlowPolicy(t *testing.T) {
 		t.Fatalf("stats %+v do not sum to %d accesses", st, workers*iters)
 	}
 }
+
+// TestConcurrentShardedPagerPolicySwap hot-swaps the eviction policy
+// while workers fault continuously — the lifecycle swap seam. Each
+// policy counts its own decisions; the invariants are that every policy
+// call landed in exactly one policy (no torn decision), SwapPolicy
+// returns the displaced hook, and the pager's books still balance.
+func TestConcurrentShardedPagerPolicySwap(t *testing.T) {
+	workers, iters, swaps := 8, 300, 40
+	if testing.Short() {
+		workers, iters, swaps = 4, 80, 10
+	}
+	sp := newTestShardedPager(t, 4, 16)
+
+	counts := make([]atomic.Uint64, 2)
+	mkPolicy := func(gen int) ShardPolicy {
+		return ShardPolicyFunc(func(shard int, lru []PageID, candidate PageID) (PageID, error) {
+			counts[gen].Add(1)
+			if len(lru) > 1 && int(candidate%2) == gen {
+				return lru[len(lru)-1], nil // override
+			}
+			return candidate, nil // accept
+		})
+	}
+	policies := []ShardPolicy{mkPolicy(0), mkPolicy(1)}
+	sp.SetPolicy(policies[0])
+
+	// Workers interleave swaps with their own faults (rather than a
+	// dedicated swapper goroutine) so policy replacement is guaranteed to
+	// overlap fault traffic even on GOMAXPROCS=1, where a background
+	// spinner may never be scheduled against a short burst of workers.
+	swapEvery := iters / swaps * workers
+	if swapEvery < 1 {
+		swapEvery = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	var swapped atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			for i := 0; i < iters; i++ {
+				// 64-page working set over 16 frames: near-constant eviction,
+				// so almost every fault consults whichever policy is live.
+				if _, err := sp.Access(PageID(rng.Intn(64))); err != nil {
+					errs[w] = err
+					return
+				}
+				if (w*iters+i)%swapEvery == 0 {
+					n := swapped.Add(1)
+					if old := sp.SwapPolicy(policies[n%2]); old == nil {
+						errs[w] = fmt.Errorf("swap %d displaced nil, want previous policy", n)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if swapped.Load() == 0 {
+		t.Fatal("no swaps executed")
+	}
+
+	st := sp.Stats()
+	total := uint64(workers * iters)
+	if st.Hits+st.Faults != total {
+		t.Fatalf("hits %d + faults %d != %d accesses", st.Hits, st.Faults, total)
+	}
+	if got := counts[0].Load() + counts[1].Load(); got != st.PolicyCalls {
+		t.Fatalf("policies ran %d times, pager counted %d calls — a decision was torn or lost",
+			got, st.PolicyCalls)
+	}
+	if counts[0].Load() == 0 || counts[1].Load() == 0 {
+		t.Fatalf("one policy generation never consulted (gen0=%d gen1=%d): swap not taking effect",
+			counts[0].Load(), counts[1].Load())
+	}
+	if got := sp.ResidentCount(); got > 16 {
+		t.Fatalf("resident count %d exceeds 16 frames", got)
+	}
+	// Removal mid-stream must also be safe: nil policy, then more faults.
+	if old := sp.SwapPolicy(nil); old == nil {
+		t.Fatal("final swap displaced nil, want a live policy")
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := sp.Access(PageID(200 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package lifecycle
+
+import (
+	"sort"
+	"sync"
+
+	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
+)
+
+// Registry holds the process's lifecycle slots and, when armed, turns
+// watchdog violations into automatic demotions and rollbacks.
+type Registry struct {
+	mu     sync.Mutex
+	slots  map[string]*Slot
+	events []GuardEvent
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{slots: make(map[string]*Slot)}
+}
+
+// NewSlot creates, registers, and returns a slot. A second slot with
+// the same name replaces the first in the registry.
+func (r *Registry) NewSlot(name string, id tech.ID, load LoadFunc) *Slot {
+	s := NewSlot(name, id, load)
+	r.mu.Lock()
+	r.slots[name] = s
+	r.mu.Unlock()
+	return s
+}
+
+// Get looks a slot up by name.
+func (r *Registry) Get(name string) (*Slot, bool) {
+	r.mu.Lock()
+	s, ok := r.slots[name]
+	r.mu.Unlock()
+	return s, ok
+}
+
+// Slots returns every registered slot, sorted by name.
+func (r *Registry) Slots() []*Slot {
+	r.mu.Lock()
+	out := make([]*Slot, 0, len(r.slots))
+	for _, s := range r.slots {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// GuardEvent records one automatic reaction to a watchdog violation.
+type GuardEvent struct {
+	Slot    string
+	Action  string // "demote" or "rollback"
+	Version uint64 // the version the violation named
+	// Err is non-nil when the reaction itself failed (e.g. the candidate
+	// was already demoted by the time the violation arrived).
+	Err       error
+	Violation telemetry.Violation
+}
+
+// Events returns the reactions recorded since Arm, oldest first.
+func (r *Registry) Events() []GuardEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]GuardEvent(nil), r.events...)
+}
+
+// Arm wires the registry to a watchdog: each violation the watchdog
+// flags is matched against the registry's live deployments by versioned
+// name ("slot@v2") and technology, and the matching slot reacts —
+// a breaching candidate is demoted (canary verdict: the incumbent keeps
+// serving, untouched); a breaching incumbent with a retained previous
+// version is rolled back. The callback runs synchronously from
+// Watchdog.Check, so by the time Check returns the routing change is
+// visible to the data plane.
+func (r *Registry) Arm(w *telemetry.Watchdog) {
+	w.OnViolation(r.react)
+}
+
+// react is the violation handler installed by Arm.
+func (r *Registry) react(v telemetry.Violation) {
+	for _, s := range r.Slots() {
+		if v.Tech != string(s.Tech()) {
+			continue
+		}
+		if cand := s.Candidate(); cand != nil &&
+			v.Graft == VersionedName(s.Name(), cand.Artifact.Version) {
+			r.recordEvent(GuardEvent{
+				Slot: s.Name(), Action: "demote",
+				Version: cand.Artifact.Version,
+				Err:     s.Demote(), Violation: v,
+			})
+			continue
+		}
+		if inc := s.Incumbent(); inc != nil &&
+			v.Graft == VersionedName(s.Name(), inc.Artifact.Version) {
+			r.recordEvent(GuardEvent{
+				Slot: s.Name(), Action: "rollback",
+				Version: inc.Artifact.Version,
+				Err:     s.Rollback(), Violation: v,
+			})
+		}
+	}
+}
+
+func (r *Registry) recordEvent(e GuardEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package lifecycle_test
+
+import (
+	"sync"
+	"testing"
+
+	"graftlab/internal/lifecycle"
+	"graftlab/internal/tech"
+)
+
+// TestStressLifecycleSwapUnderLoad hammers one slot from concurrent
+// workers (pooled carriers, so engines are never shared) while the
+// deployment cycles v1 → v2 → v3 → ... through Stage/Promote, with
+// periodic Rollbacks thrown in. Control-plane operations are issued
+// from inside the worker loops rather than a background goroutine so
+// they are guaranteed to interleave with invocations even on
+// GOMAXPROCS=1. The invariants are the lifecycle conservation laws:
+// every result matches its serving version's pure function, and the
+// ledger balances exactly — no invocation lost, duplicated, or torn
+// across a swap, under the race detector.
+func TestStressLifecycleSwapUnderLoad(t *testing.T) {
+	workers, iters := 8, 400
+	if testing.Short() {
+		workers, iters = 4, 100
+	}
+	const maxVer = 6
+	s := lifecycle.NewSlot("decide", tech.Bytecode,
+		lifecycle.PoolLoader(tech.Bytecode, tech.Options{Fuel: 1 << 20},
+			tech.PoolConfig{MemSize: decideMemSize}))
+	if err := s.Activate(tech.NewArtifact(decideSrc(1), 1), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards nextVer and serializes control-plane intent
+	nextVer := uint64(2)
+	fail := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				x := uint32((w*31 + i) % 17)
+				if x == 13 {
+					x = 14 // keep the stream trap-free; traps are covered elsewhere
+				}
+				res, err := s.Invoke("decide", x)
+				if err != nil {
+					fail[w] = err
+					return
+				}
+				if res.Value != decideValue(int(res.Version), x) {
+					t.Errorf("worker %d: v%d returned %d for x=%d, want %d — torn execution",
+						w, res.Version, res.Value, x, decideValue(int(res.Version), x))
+					return
+				}
+				// Worker 0 drives the deployment cycle; worker 1 injects
+				// rollbacks. Both tolerate state-machine refusals (someone
+				// else may have consumed the candidate or the target).
+				if w == 0 && i%20 == 10 {
+					mu.Lock()
+					v := nextVer
+					if v <= maxVer {
+						nextVer++
+					}
+					mu.Unlock()
+					if v <= maxVer {
+						if err := s.Stage(tech.NewArtifact(decideSrc(int(v)), v), nil, 8); err != nil {
+							fail[w] = err
+							return
+						}
+						if err := s.Promote(); err != nil {
+							fail[w] = err
+							return
+						}
+					}
+				}
+				if w == 1 && i%150 == 75 {
+					s.Rollback() // best-effort; ErrNoPrevious is fine
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range fail {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+
+	a := s.Accounting()
+	if want := uint64(workers * iters); a.Issued != want {
+		t.Fatalf("issued %d, want %d", a.Issued, want)
+	}
+	if a.Committed != a.Issued || a.Aborted != 0 {
+		t.Fatalf("ledger %+v: committed != issued under concurrent swaps", a)
+	}
+	var perVersion uint64
+	for _, v := range s.Versions() {
+		perVersion += v.Invocations()
+	}
+	if perVersion != a.Committed {
+		t.Fatalf("per-version sum %d != committed %d", perVersion, a.Committed)
+	}
+	if a.Swaps == 0 {
+		t.Fatal("no swaps executed under load")
+	}
+	t.Logf("ledger: %+v over %d versions", a, len(s.Versions()))
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,44 @@ func (h *Histogram) Mean() time.Duration {
 		return 0
 	}
 	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Std estimates the sample standard deviation from the bucket counts:
+// each bucket contributes its midpoint, deviations are taken against
+// the exact mean (the sum is tracked exactly). Within-bucket spread is
+// lost to the log2 quantization, so the estimate is coarse the same way
+// Quantile is — good enough for "is the canary's latency distribution
+// significantly wider/slower" effect-size tests, not for metrology.
+// Zero with fewer than two samples.
+func (h *Histogram) Std() time.Duration {
+	n := h.count.Load()
+	if n < 2 {
+		return 0
+	}
+	mean := float64(h.sum.Load()) / float64(n)
+	var ss float64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 && i < 63 {
+			lo = int64(1) << (i - 1)
+		}
+		hi := lo
+		if i > 0 && i < 63 {
+			hi = int64(1) << i
+		}
+		mid := float64(lo+hi) / 2
+		d := mid - mean
+		ss += float64(c) * d * d
+	}
+	v := ss / float64(n-1)
+	if v <= 0 {
+		return 0
+	}
+	return time.Duration(int64(math.Sqrt(v)))
 }
 
 // Merge folds other's samples into h — the snapshot-combining path for

@@ -99,3 +99,36 @@ func TestHistogramMergeQuantiles(t *testing.T) {
 		t.Errorf("nil/self merge changed count: %d -> %d", before, merged.Count())
 	}
 }
+
+func TestHistogramStd(t *testing.T) {
+	var h Histogram
+	if h.Std() != 0 {
+		t.Errorf("empty Std = %v, want 0", h.Std())
+	}
+	h.Record(300 * time.Nanosecond)
+	if h.Std() != 0 {
+		t.Errorf("single-sample Std = %v, want 0", h.Std())
+	}
+
+	// A tight distribution must read far narrower than a spread one;
+	// both estimates are bucket-midpoint coarse, so only the ordering
+	// and rough magnitude are contractual.
+	var tight, wide Histogram
+	for i := 0; i < 64; i++ {
+		tight.Record(500 * time.Nanosecond)
+		if i%2 == 0 {
+			wide.Record(100 * time.Nanosecond)
+		} else {
+			wide.Record(100 * time.Microsecond)
+		}
+	}
+	ts, ws := tight.Std(), wide.Std()
+	if ws <= ts {
+		t.Errorf("wide Std %v <= tight Std %v", ws, ts)
+	}
+	// The wide split is ~±50µs around its mean; the log2 buckets keep
+	// the estimate within 2x of that.
+	if ws < 25*time.Microsecond || ws > 100*time.Microsecond {
+		t.Errorf("wide Std = %v, want on the order of 50µs", ws)
+	}
+}

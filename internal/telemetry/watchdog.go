@@ -64,10 +64,11 @@ func (v Violation) String() string {
 type Watchdog struct {
 	slo SLO
 
-	mu      sync.Mutex
-	flagged map[string]Violation
-	stop    chan struct{}
-	done    chan struct{}
+	mu          sync.Mutex
+	flagged     map[string]Violation
+	onViolation func(Violation)
+	stop        chan struct{}
+	done        chan struct{}
 }
 
 // NewWatchdog builds a watchdog over the global metrics registry.
@@ -76,6 +77,18 @@ func NewWatchdog(slo SLO) *Watchdog {
 		slo.MinInvocations = 16
 	}
 	return &Watchdog{slo: slo, flagged: make(map[string]Violation)}
+}
+
+// OnViolation registers fn to be called once per freshly flagged pair,
+// synchronously from the Check that flagged it (so a periodic Start
+// loop delivers violations from its scan goroutine). This is the
+// reaction arm production watchdogs hang enforcement off — the
+// lifecycle package uses it to demote a breaching canary and restore
+// the incumbent. At most one callback is registered; nil removes it.
+func (w *Watchdog) OnViolation(fn func(Violation)) {
+	w.mu.Lock()
+	w.onViolation = fn
+	w.mu.Unlock()
 }
 
 // Check scans every registered pair once and returns the pairs newly
@@ -130,6 +143,16 @@ func (w *Watchdog) Check() []Violation {
 		w.flagged[key] = v
 		w.mu.Unlock()
 		fresh = append(fresh, v)
+	}
+	if len(fresh) > 0 {
+		w.mu.Lock()
+		fn := w.onViolation
+		w.mu.Unlock()
+		if fn != nil {
+			for _, v := range fresh {
+				fn(v)
+			}
+		}
 	}
 	return fresh
 }

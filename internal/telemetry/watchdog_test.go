@@ -147,3 +147,48 @@ func TestWatchdogStartStop(t *testing.T) {
 	}
 	w.Stop() // idempotent with the deferred Stop
 }
+
+// TestWatchdogOnViolation pins the reaction hook: the callback fires
+// synchronously inside Check, once per fresh violation, and never again
+// for an already-flagged pair.
+func TestWatchdogOnViolation(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() {
+		ClearQuarantines()
+		ResetMetrics()
+	})
+
+	m := Register("hooked", "bytecode")
+	for i := 0; i < 64; i++ {
+		m.Inc()
+		m.AddFuel(1 << 20)
+	}
+	w := NewWatchdog(SLO{MaxMeanFuel: 1 << 10})
+	var seen []Violation
+	w.OnViolation(func(v Violation) { seen = append(seen, v) })
+
+	fresh := w.Check()
+	if len(fresh) != 1 || len(seen) != 1 {
+		t.Fatalf("fresh %d, callback saw %d, want 1 and 1", len(fresh), len(seen))
+	}
+	if seen[0].Graft != "hooked" || seen[0].Reason == "" {
+		t.Fatalf("callback violation = %+v", seen[0])
+	}
+	if seen[0].String() == "" {
+		t.Error("violation renders empty")
+	}
+	// Already flagged: a second scan must not re-invoke the hook.
+	if w.Check(); len(seen) != 1 {
+		t.Errorf("callback re-invoked for a stale violation: %d calls", len(seen))
+	}
+	// The hook is replaceable; nil disables it without breaking Check.
+	w.OnViolation(nil)
+	m2 := Register("hooked2", "bytecode")
+	for i := 0; i < 64; i++ {
+		m2.Inc()
+		m2.AddFuel(1 << 20)
+	}
+	if fresh := w.Check(); len(fresh) != 1 || len(seen) != 1 {
+		t.Errorf("nil hook: fresh %d, callback calls %d", len(fresh), len(seen))
+	}
+}
