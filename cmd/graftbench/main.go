@@ -8,6 +8,7 @@
 //	           [-warmup N] [-seed N] [-report-dir dir]
 //	           [-figure1-csv out.csv] [-vm opt|baseline] [-json] [-json-out out.json]
 //	           [-telemetry] [-trace-out trace.jsonl]
+//	           [-metrics-addr :9090] [-metrics-hold 30s]
 //	           [-profile-out p.folded] [-profile-interval N]
 //	           [-spans-out spans.json] [-span-sample N]
 //	           [-check-against baseline.json] [-check-tolerance 0.30] [-check-effect 0.80]
@@ -68,6 +69,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"graftlab/internal/bench"
 	"graftlab/internal/stats"
@@ -108,6 +110,11 @@ func main() {
 		profInterval = flag.Int64("profile-interval", telemetry.DefaultProfileInterval, "fuel units between profiler samples")
 		spansOut     = flag.String("spans-out", "", "record causal spans and write Chrome trace-event JSON (Perfetto-loadable) to this path (implies -telemetry)")
 		spanSample   = flag.Int("span-sample", 64, "sample every Nth root span for -spans-out")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live /metrics (Prometheus text), /debug/telemetry.json, and SSE /stream on this address during the run (implies -telemetry)")
+		metricsHold = flag.Duration("metrics-hold", 0,
+			"keep the -metrics-addr server up this long after the run so scrapers and graftmon can read the final windows")
 	)
 	flag.Parse()
 
@@ -155,9 +162,27 @@ func main() {
 		}
 		telemetry.EnableSpans(spanRingCapacity)
 	}
+	if *metricsAddr != "" {
+		*telem = true
+	}
 	if *telem {
 		telemetry.SetEnabled(true)
 		cfg.Telemetry = true
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graftbench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("serving live telemetry on http://%s (endpoints: /metrics, /debug/telemetry.json, /stream)\n", srv.Addr())
+		defer srv.Close()
+		if *metricsHold > 0 {
+			defer func() {
+				fmt.Printf("holding telemetry server for %v (attach graftmon or curl, ^C to stop early)\n", *metricsHold)
+				time.Sleep(*metricsHold)
+			}()
+		}
 	}
 
 	report, err := run(cfg, exp, *csv, jsonPath, *quick)

@@ -1,0 +1,233 @@
+// Command graftmon is a top-like live viewer for a graftlab process's
+// telemetry export surface. Point it at a process started with
+// -metrics-addr (graftbench, kernelsim, or anything embedding
+// telemetry.NewMetricsHandler) and it renders the windowed view — one
+// row per (graft, technology) pair with trailing-window rates,
+// quantiles, and deployment state — refreshed on an interval.
+//
+// Usage:
+//
+//	graftmon [-addr localhost:9090] [-window 10s] [-interval 1s]
+//	         [-once] [-sort rate] [-top 0]
+//	graftmon -check [-addr ...] [-window 5m]
+//
+// -once renders a single frame and exits (no screen clearing), for
+// scripts and logs. -check is the CI gate: it scrapes /metrics,
+// verifies the exposition parses as Prometheus text and carries a
+// non-empty windowed p99, cross-checks /debug/telemetry.json, and
+// exits non-zero on any failure. CI runs -check with a wide -window
+// (e.g. 5m) so the gap between the benchmark finishing and the scrape
+// cannot drain the fast buckets and flake the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"graftlab/internal/stats"
+	"graftlab/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:9090", "export surface to watch (host:port)")
+		window   = flag.Duration("window", telemetry.DefaultExportWindow, "trailing aggregation window")
+		interval = flag.Duration("interval", time.Second, "refresh interval in live mode")
+		once     = flag.Bool("once", false, "render one frame and exit")
+		check    = flag.Bool("check", false, "CI mode: validate /metrics and /debug/telemetry.json, exit non-zero on failure")
+		sortKey  = flag.String("sort", "rate", "row order: rate, p99, trap, fuel, or name")
+		top      = flag.Int("top", 0, "show only the first N rows after sorting (0 = all)")
+	)
+	flag.Parse()
+	client := &http.Client{Timeout: 5 * time.Second}
+	base := "http://" + *addr
+
+	if *check {
+		summary, err := runCheck(client, base, *window)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graftmon: check failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(summary)
+		return
+	}
+
+	frames := 0
+	for {
+		dump, err := fetchDump(client, base, *window)
+		if err != nil {
+			if frames > 0 {
+				// The watched process finishing its run is the normal way a
+				// live session ends.
+				fmt.Printf("graftmon: %s went away after %d frames (%v)\n", *addr, frames, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "graftmon: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once && frames > 0 {
+			fmt.Print("\033[H\033[2J")
+		}
+		renderDump(os.Stdout, *addr, dump, *sortKey, *top)
+		frames++
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchDump pulls one /debug/telemetry.json document.
+func fetchDump(c *http.Client, base string, window time.Duration) (*telemetry.DebugDump, error) {
+	resp, err := c.Get(fmt.Sprintf("%s/debug/telemetry.json?window=%s", base, window))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/telemetry.json: %s", resp.Status)
+	}
+	var dump telemetry.DebugDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("/debug/telemetry.json: %v", err)
+	}
+	return &dump, nil
+}
+
+// sortRows orders the windowed snapshots for display. Unknown keys fall
+// back to rate. Ties (and the name key) break alphabetically so the
+// table is stable frame to frame.
+func sortRows(rows []telemetry.WindowSnapshot, key string) {
+	less := func(a, b telemetry.WindowSnapshot) bool {
+		byName := a.Graft < b.Graft || (a.Graft == b.Graft && a.Tech < b.Tech)
+		switch key {
+		case "name":
+			return byName
+		case "p99":
+			if a.P99 != b.P99 {
+				return a.P99 > b.P99
+			}
+		case "trap":
+			if a.TrapRatio != b.TrapRatio {
+				return a.TrapRatio > b.TrapRatio
+			}
+		case "fuel":
+			if a.FuelPerSec != b.FuelPerSec {
+				return a.FuelPerSec > b.FuelPerSec
+			}
+		default: // rate
+			if a.Rate != b.Rate {
+				return a.Rate > b.Rate
+			}
+		}
+		return byName
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+}
+
+// stateLabel renders the deployment/health column: the lifecycle note
+// ("canary", "incumbent", ...) when present, with quarantine flagged
+// loudly on top of it.
+func stateLabel(s telemetry.WindowSnapshot) string {
+	state := s.Note
+	if state == "" {
+		state = "-"
+	}
+	if s.Quarantined {
+		state += " [QUARANTINED]"
+	}
+	return state
+}
+
+// renderDump writes one frame: a header line and the per-pair table.
+func renderDump(w io.Writer, addr string, d *telemetry.DebugDump, sortKey string, top int) {
+	fmt.Fprintf(w, "graftmon %s  window=%v  buckets=%d x %v  telemetry=%v\n",
+		addr, d.Window, d.WindowConfig.Buckets, d.WindowConfig.Width, d.Enabled)
+	rows := append([]telemetry.WindowSnapshot(nil), d.Windowed...)
+	sortRows(rows, sortKey)
+	shown := len(rows)
+	if top > 0 && top < shown {
+		shown = top
+	}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Trailing %v per (graft, tech)", d.Window),
+		Header: []string{"graft", "tech", "state", "inv/s", "trap%", "fuel/s", "p50", "p99", "invocations"},
+	}
+	for _, r := range rows[:shown] {
+		t.AddRow(r.Graft, r.Tech, stateLabel(r),
+			fmt.Sprintf("%.1f", r.Rate),
+			fmt.Sprintf("%.1f", 100*r.TrapRatio),
+			fmt.Sprintf("%.0f", r.FuelPerSec),
+			stats.FormatDuration(r.P50), stats.FormatDuration(r.P99),
+			fmt.Sprint(r.Invocations))
+	}
+	fmt.Fprintln(w, t)
+	if shown < len(rows) {
+		fmt.Fprintf(w, "(%d of %d pairs shown; -top 0 for all)\n", shown, len(rows))
+	}
+}
+
+// runCheck is the CI gate behind -check: the exposition must parse as
+// Prometheus text, be non-empty, and carry a positive windowed p99; the
+// JSON dump must agree that telemetry is on and windows are populated.
+func runCheck(c *http.Client, base string, window time.Duration) (string, error) {
+	resp, err := c.Get(fmt.Sprintf("%s/metrics?window=%s", base, window))
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", fmt.Errorf("/metrics: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	samples, err := telemetry.ParsePromText(string(body))
+	if err != nil {
+		return "", fmt.Errorf("/metrics is not valid Prometheus text: %v", err)
+	}
+	if len(samples) == 0 {
+		return "", fmt.Errorf("/metrics exposition is empty")
+	}
+	p99 := telemetry.FindProm(samples, "graftlab_window_latency_seconds", "quantile", "0.99")
+	if len(p99) == 0 {
+		return "", fmt.Errorf("no windowed p99 samples in a %v window — did the run record latencies?", window)
+	}
+	positive := 0
+	for _, s := range p99 {
+		if s.Value > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		return "", fmt.Errorf("all %d windowed p99 samples are zero", len(p99))
+	}
+
+	dump, err := fetchDump(c, base, window)
+	if err != nil {
+		return "", err
+	}
+	if !dump.Enabled {
+		return "", fmt.Errorf("server reports telemetry disabled")
+	}
+	if len(dump.Windowed) == 0 {
+		return "", fmt.Errorf("/debug/telemetry.json has no windowed snapshots")
+	}
+
+	names := make(map[string]bool)
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, "graftlab_") {
+			names[s.Name] = true
+		}
+	}
+	return fmt.Sprintf("check ok: %d samples across %d graftlab_* series, %d pairs windowed, %d positive p99(s) at window=%v",
+		len(samples), len(names), len(dump.Windowed), positive, window), nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/telemetry"
+)
+
+// startPopulatedServer brings up a real export surface on a loopback
+// port with one busy pair and one quarantined canary behind it.
+func startPopulatedServer(t *testing.T) string {
+	t.Helper()
+	telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(false) })
+
+	m := telemetry.Register("monGraft", "bytecode")
+	m.AddInvocations(1024)
+	m.AddFuel(1 << 16)
+	for i := 0; i < 64; i++ {
+		m.RecordLatency(time.Duration(i+1) * time.Microsecond)
+	}
+	m.RecordError(&mem.Trap{Kind: mem.TrapFuel})
+
+	q := telemetry.Register("monCanary", "script")
+	q.AddInvocations(64)
+	q.SetNote("canary")
+	q.Quarantine()
+	t.Cleanup(q.Unquarantine)
+
+	srv, err := telemetry.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestFetchAndRender(t *testing.T) {
+	addr := startPopulatedServer(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	dump, err := fetchDump(client, "http://"+addr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dump.Enabled {
+		t.Fatal("dump claims telemetry disabled")
+	}
+	if len(dump.Windowed) < 2 {
+		t.Fatalf("windowed pairs = %d, want both registered grafts", len(dump.Windowed))
+	}
+
+	var b strings.Builder
+	renderDump(&b, addr, dump, "rate", 0)
+	out := b.String()
+	for _, want := range []string{"monGraft", "monCanary", "canary [QUARANTINED]", "Trailing 30s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered frame missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	renderDump(&b, addr, dump, "rate", 1)
+	out = b.String()
+	// monGraft's 1024 invocations out-rate monCanary's 64, so -top 1
+	// keeps only monGraft.
+	if !strings.Contains(out, "monGraft") || strings.Contains(out, "monCanary") {
+		t.Errorf("-top 1 by rate should keep only monGraft:\n%s", out)
+	}
+	if !strings.Contains(out, "1 of 2 pairs shown") {
+		t.Errorf("truncation note missing:\n%s", out)
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []telemetry.WindowSnapshot{
+		{Graft: "b", Tech: "x", Rate: 10, P99: time.Millisecond},
+		{Graft: "a", Tech: "x", Rate: 10, P99: time.Second},
+		{Graft: "c", Tech: "x", Rate: 99, P99: time.Microsecond},
+	}
+	sortRows(rows, "rate")
+	if rows[0].Graft != "c" || rows[1].Graft != "a" || rows[2].Graft != "b" {
+		t.Errorf("rate sort order = %s,%s,%s", rows[0].Graft, rows[1].Graft, rows[2].Graft)
+	}
+	sortRows(rows, "p99")
+	if rows[0].Graft != "a" || rows[2].Graft != "c" {
+		t.Errorf("p99 sort order = %s,%s,%s", rows[0].Graft, rows[1].Graft, rows[2].Graft)
+	}
+	sortRows(rows, "name")
+	if rows[0].Graft != "a" || rows[1].Graft != "b" || rows[2].Graft != "c" {
+		t.Errorf("name sort order = %s,%s,%s", rows[0].Graft, rows[1].Graft, rows[2].Graft)
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	addr := startPopulatedServer(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	summary, err := runCheck(client, "http://"+addr, 30*time.Second)
+	if err != nil {
+		t.Fatalf("check against a populated server: %v", err)
+	}
+	if !strings.Contains(summary, "check ok") {
+		t.Errorf("summary = %q", summary)
+	}
+
+	// Unreachable server fails rather than passing vacuously.
+	if _, err := runCheck(client, "http://127.0.0.1:1", time.Second); err == nil {
+		t.Error("check against a dead address passed")
+	}
+}

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	kernelsim [-tech native-unsafe] [-frames 200] [-subtrees 2] [-passes 5]
-//	          [-telemetry]
+//	          [-telemetry] [-metrics-addr :9090]
 //
 // -telemetry turns on the observability layer for the run: per-graft
 // invocation counters (printed as a table afterwards) and the kernel
-// event trace (summarized by event kind). See docs/observability.md.
+// event trace (summarized by event kind). -metrics-addr additionally
+// serves the live export surface (/metrics, /debug/telemetry.json, SSE
+// /stream) for the duration of the run, so graftmon or a Prometheus
+// scraper can watch the scenarios execute. See docs/observability.md.
 //
 // The interesting regime is a working set slightly larger than memory,
 // rescanned: pure LRU then evicts exactly the pages about to be needed
@@ -41,14 +44,28 @@ func main() {
 		subtrees = flag.Int("subtrees", 2, "third-level subtrees to scan")
 		passes   = flag.Int("passes", 5, "scan passes over the subtree range")
 		scenario = flag.String("scenario", "pageevict",
-			"which hook point to drive: pageevict, sched, cache, readahead, swap, canary, all")
+			"which hook point to drive: pageevict, sched, cache, readahead, swap, canary, watchdog, all")
 		telem = flag.Bool("telemetry", false,
 			"record per-graft counters and kernel events; print them after the run")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live /metrics (Prometheus text), /debug/telemetry.json, and SSE /stream on this address during the run (implies -telemetry)")
 	)
 	flag.Parse()
+	if *metricsAddr != "" {
+		*telem = true
+	}
 	if *telem {
 		telemetry.SetEnabled(true)
 		telemetry.EnableTrace(1 << 14)
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernelsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving live telemetry on http://%s (endpoints: /metrics, /debug/telemetry.json, /stream)\n", srv.Addr())
+		defer srv.Close()
 	}
 	id := tech.ID(*techName)
 	var err error
@@ -65,6 +82,8 @@ func main() {
 		err = runSwap(id)
 	case "canary":
 		err = runCanary(id)
+	case "watchdog":
+		err = runWatchdog(id)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return run(id, *frames, *subtrees, *passes) },
@@ -73,6 +92,7 @@ func main() {
 			runReadahead,
 			func() error { return runSwap(id) },
 			func() error { return runCanary(id) },
+			func() error { return runWatchdog(id) },
 		} {
 			if err = f(); err != nil {
 				break

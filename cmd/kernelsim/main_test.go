@@ -25,4 +25,7 @@ func TestScenarios(t *testing.T) {
 	if err := runCanary(tech.Bytecode); err != nil {
 		t.Fatalf("canary: %v", err)
 	}
+	if err := runWatchdog(tech.Bytecode); err != nil {
+		t.Fatalf("watchdog: %v", err)
+	}
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"graftlab/internal/mem"
+	"graftlab/internal/stats"
+	"graftlab/internal/tech"
+	"graftlab/internal/telemetry"
+)
+
+// runWatchdog walks the windowed burn-rate loop end to end on a single
+// long-lived graft: a large healthy history, a fresh regression that the
+// lifetime aggregate dilutes below the SLO but the sliding windows catch
+// within one fast window, automatic quarantine (the kernel refuses the
+// hook), and — once the fast window drains clean through probation —
+// automatic unquarantine and restored service.
+func runWatchdog(id tech.ID) error {
+	// The watchdog reads the telemetry layer, so the scenario needs it on
+	// regardless of the -telemetry flag.
+	wasEnabled := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(wasEnabled)
+
+	// Shrink the bucket geometry so window rotation happens in tens of
+	// milliseconds instead of minutes. Must precede Load: rings are sized
+	// when the graft registers.
+	if err := telemetry.SetWindowConfig(telemetry.WindowConfig{
+		Width:   50 * time.Millisecond,
+		Buckets: 64,
+	}); err != nil {
+		return err
+	}
+	defer telemetry.SetWindowConfig(telemetry.DefaultWindowConfig) //nolint:errcheck
+
+	const (
+		fastWindow = 200 * time.Millisecond
+		slowWindow = time.Second
+		fuelBudget = 1 << 12
+	)
+	src := tech.Source{
+		Name: "hotpath",
+		GEL: `
+func hot(x) {
+	var i = 0;
+	while (i < x) { i = i + 1; }
+	return i;
+}
+`,
+	}
+	g, err := tech.Load(id, src, mem.New(1<<12), tech.Options{Fuel: fuelBudget})
+	if err != nil {
+		return err
+	}
+	met := telemetry.Register(src.Name, string(id))
+
+	w := telemetry.NewWatchdog(telemetry.SLO{
+		MaxPreemptRate: 0.25,
+		MinInvocations: 256,
+		FastWindow:     fastWindow,
+		SlowWindow:     slowWindow,
+		RecoveryChecks: 2,
+		Quarantine:     true,
+	})
+	fmt.Printf("graft %q on %s, fuel budget %d\n", src.Name, id, fuelBudget)
+	fmt.Printf("SLO: preempt rate <= 0.25 over both the %v fast and %v slow window; quarantine on\n\n",
+		fastWindow, slowWindow)
+
+	// Phase 1: a long healthy life. hot(1) is one loop iteration — far
+	// inside the fuel budget.
+	const healthy = 16384
+	for i := 0; i < healthy; i++ {
+		if _, err := g.Invoke("hot", 1); err != nil {
+			return fmt.Errorf("healthy invocation %d: %v", i, err)
+		}
+	}
+	fmt.Printf("phase 1: %d healthy invocations, 0 preemptions — lifetime history banked\n", healthy)
+
+	// Let the healthy traffic age past the slow window, then regress:
+	// hot(8000) wants more iterations than the fuel budget allows, so
+	// every invocation is preempted.
+	time.Sleep(slowWindow + 50*time.Millisecond)
+	const regressed = 1024
+	var preempted int
+	for i := 0; i < regressed; i++ {
+		_, err := g.Invoke("hot", 8000)
+		var tr *mem.Trap
+		if errors.As(err, &tr) && tr.Kind == mem.TrapFuel {
+			preempted++
+		} else if err != nil {
+			return fmt.Errorf("regressed invocation %d: %v", i, err)
+		}
+	}
+	fmt.Printf("phase 2: regression — %d of %d invocations fuel-preempted\n\n", preempted, regressed)
+
+	// The view the watchdog is about to act on.
+	life := met.Snapshot()
+	lifeRate := float64(met.FuelPreemptions()) / float64(life.Invocations)
+	slow := met.Window(slowWindow)
+	fast := met.Window(fastWindow)
+	verdict := func(rate float64) string {
+		if rate > 0.25 {
+			return "BREACH"
+		}
+		return "ok"
+	}
+	t := &stats.Table{
+		Title:  "Same graft, three vantage points at detection time",
+		Header: []string{"scope", "invocations", "preempts", "preempt rate", "vs SLO"},
+		Caption: "The lifetime aggregate dilutes the regression below the SLO — a\n" +
+			"lifetime-only watchdog would wave it through. Both sliding windows see\n" +
+			"the current behaviour and breach together, which is the burn-rate\n" +
+			"condition for flagging.",
+	}
+	t.AddRow("lifetime", fmt.Sprint(life.Invocations),
+		fmt.Sprint(met.FuelPreemptions()), fmt.Sprintf("%.3f", lifeRate), verdict(lifeRate))
+	t.AddRow(fmt.Sprintf("slow window (%v)", slowWindow), fmt.Sprint(slow.Invocations),
+		fmt.Sprint(slow.Preempts), fmt.Sprintf("%.3f", slow.PreemptRate), verdict(slow.PreemptRate))
+	t.AddRow(fmt.Sprintf("fast window (%v)", fastWindow), fmt.Sprint(fast.Invocations),
+		fmt.Sprint(fast.Preempts), fmt.Sprintf("%.3f", fast.PreemptRate), verdict(fast.PreemptRate))
+	fmt.Println(t)
+
+	fresh := w.Check()
+	if len(fresh) != 1 {
+		return fmt.Errorf("watchdog flagged %d pairs, want the regressed graft", len(fresh))
+	}
+	v := fresh[0]
+	fmt.Printf("watchdog: flagged %q (%s) over the %v window: %s\n", v.Graft, v.Tech, v.Window, v.Reason)
+	if !met.Quarantined() {
+		return fmt.Errorf("violation did not quarantine the graft")
+	}
+
+	// Quarantine is enforced on the invoke path itself; the wrapper
+	// notices at its next sampling point (every 256th call).
+	refusedAt := -1
+	for i := 1; i <= 512; i++ {
+		if _, err := g.Invoke("hot", 1); errors.Is(err, telemetry.ErrQuarantined) {
+			refusedAt = i
+			break
+		}
+	}
+	if refusedAt < 0 {
+		return fmt.Errorf("quarantined graft was never refused")
+	}
+	fmt.Printf("quarantine: hook refused at attempt %d (cached verdict refreshes each sampling batch)\n\n", refusedAt)
+
+	// Phase 3: with the hook refused, no traffic reaches the graft and
+	// its fast window drains. Two consecutive clean scans complete the
+	// probation and lift the quarantine automatically.
+	time.Sleep(fastWindow + 50*time.Millisecond)
+	w.Check()
+	if !met.Quarantined() {
+		return fmt.Errorf("quarantine lifted after one clean scan, want two")
+	}
+	fmt.Println("probation: clean scan 1/2 — still quarantined")
+	w.Check()
+	if met.Quarantined() {
+		return fmt.Errorf("quarantine not lifted after probation")
+	}
+	recs := w.Recoveries()
+	if len(recs) != 1 {
+		return fmt.Errorf("recoveries = %d, want 1", len(recs))
+	}
+	fmt.Printf("probation: clean scan 2/2 — unquarantined %q after %d checks\n",
+		recs[0].Graft, recs[0].Checks)
+	if _, err := g.Invoke("hot", 1); err != nil {
+		return fmt.Errorf("post-recovery invocation: %v", err)
+	}
+	fmt.Println("recovery: hook serving again; no operator in the loop at any point")
+	return nil
+}

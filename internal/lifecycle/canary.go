@@ -56,6 +56,35 @@ func (s VersionSnapshot) failureRate() float64 {
 	return float64(s.Traps+s.Errors) / float64(s.Invocations)
 }
 
+// windowSnapshot reads the version's telemetry over the trailing window
+// d instead of its lifetime, via the versioned key's bucket ring. False
+// when the version was deployed without telemetry (no windowed plane
+// exists for it).
+func (v *Version) windowSnapshot(d time.Duration) (VersionSnapshot, bool) {
+	if v.met == nil {
+		return VersionSnapshot{}, false
+	}
+	w := v.met.Window(d)
+	s := VersionSnapshot{
+		Version:     v.Artifact.Version,
+		Digest:      v.Artifact.Digest,
+		State:       v.State(),
+		Invocations: w.Invocations,
+		Traps:       w.Traps,
+		Errors:      w.Errors,
+		Preemptions: w.Preempts,
+		Mean:        w.Mean,
+		Std:         w.Std,
+		P50:         w.P50,
+		P99:         w.P99,
+		Max:         w.Max,
+	}
+	if s.Invocations > 0 {
+		s.FuelPerInvocation = float64(w.Fuel) / float64(s.Invocations)
+	}
+	return s, true
+}
+
 // CanaryPolicy thresholds the candidate-vs-incumbent comparison. Zero
 // values take the documented defaults.
 type CanaryPolicy struct {
@@ -74,6 +103,14 @@ type CanaryPolicy struct {
 	// candidate's trap+error rate over the incumbent's (default 0: any
 	// increase is disqualifying).
 	MaxTrapRateIncrease float64
+	// Window, when positive, compares the trailing Window of each
+	// version's telemetry instead of lifetime aggregates — the same
+	// sliding windows the watchdog burns rates over. A long-lived
+	// incumbent's ancient history then cannot dilute the comparison: the
+	// candidate is judged against what the incumbent is doing *now*.
+	// Requires both versions to have been deployed with telemetry
+	// enabled; Canary falls back to lifetime aggregates otherwise.
+	Window time.Duration
 }
 
 func (p CanaryPolicy) withDefaults() CanaryPolicy {
@@ -110,6 +147,10 @@ type CanaryReport struct {
 	TrapRateDelta float64
 	Verdict       string
 	Reason        string
+	// Window is the trailing span the snapshots cover when the policy
+	// requested a windowed comparison and both versions supported it;
+	// zero means lifetime aggregates were compared.
+	Window time.Duration
 }
 
 // Canary compares the staged candidate's telemetry against the
@@ -127,10 +168,19 @@ func (s *Slot) Canary(p CanaryPolicy) (*CanaryReport, error) {
 	p = p.withDefaults()
 	inc := ls.incumbent.Snapshot()
 	cand := ls.candidate.Snapshot()
+	window := time.Duration(0)
+	if p.Window > 0 {
+		wi, iok := ls.incumbent.windowSnapshot(p.Window)
+		wc, cok := ls.candidate.windowSnapshot(p.Window)
+		if iok && cok {
+			inc, cand, window = wi, wc, p.Window
+		}
+	}
 	r := &CanaryReport{
 		Slot:          s.name,
 		Incumbent:     inc,
 		Candidate:     cand,
+		Window:        window,
 		TrapRateDelta: cand.failureRate() - inc.failureRate(),
 	}
 	r.LatencyD = stats.CohensDStats(

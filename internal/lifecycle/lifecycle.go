@@ -206,6 +206,21 @@ type Version struct {
 // State reports the version's lifecycle state marker.
 func (v *Version) State() State { return State(v.state.Load()) }
 
+// setState moves the lifecycle marker and mirrors it as the telemetry
+// note on the versioned key, so the export surface and graftmon can
+// flag deployment state ("canary", "incumbent", "demoted") next to the
+// windowed numbers without importing this package.
+func (v *Version) setState(s State) {
+	v.state.Store(int32(s))
+	if v.met != nil {
+		note := s.String()
+		if s == StateCandidate {
+			note = "canary"
+		}
+		v.met.SetNote(note)
+	}
+}
+
 // Invocations reports how many invocations committed against v.
 func (v *Version) Invocations() uint64 { return v.stats.invocations.Load() }
 
@@ -388,6 +403,7 @@ func (s *Slot) deploy(a tech.Artifact, prep func(m *mem.Memory) error) (*Version
 	if telemetry.Enabled() {
 		v.met = telemetry.Register(VersionedName(s.name, a.Version), string(s.tech))
 	}
+	v.setState(StateCandidate)
 	return v, nil
 }
 
@@ -404,7 +420,7 @@ func (s *Slot) Activate(a tech.Artifact, prep func(m *mem.Memory) error) error {
 	if err != nil {
 		return err
 	}
-	v.state.Store(int32(StateIncumbent))
+	v.setState(StateIncumbent)
 	s.versions = append(s.versions, v)
 	s.cur.Store(&liveSet{epoch: 1, incumbent: v})
 	return s.gateAt(PointDeployPublished)
@@ -463,8 +479,8 @@ func (s *Slot) Promote() error {
 	if err := s.gateAt(PointSwapCommitted); err != nil {
 		return err
 	}
-	ls.candidate.state.Store(int32(StateIncumbent))
-	ls.incumbent.state.Store(int32(StateRetired))
+	ls.candidate.setState(StateIncumbent)
+	ls.incumbent.setState(StateRetired)
 	return s.gateAt(PointSwapRetired)
 }
 
@@ -488,10 +504,10 @@ func (s *Slot) Rollback() error {
 	s.cur.Store(&liveSet{epoch: ls.epoch + 1, incumbent: restored}) // commit point
 	s.prev = nil
 	s.rollbacks.Add(1)
-	restored.state.Store(int32(StateIncumbent))
-	ls.incumbent.state.Store(int32(StateDemoted))
+	restored.setState(StateIncumbent)
+	ls.incumbent.setState(StateDemoted)
 	if ls.candidate != nil {
-		ls.candidate.state.Store(int32(StateDemoted))
+		ls.candidate.setState(StateDemoted)
 	}
 	return s.gateAt(PointRollbackCommitted)
 }
@@ -513,7 +529,7 @@ func (s *Slot) Demote() error {
 	}
 	s.cur.Store(&liveSet{epoch: ls.epoch + 1, incumbent: ls.incumbent}) // commit point
 	s.demotions.Add(1)
-	ls.candidate.state.Store(int32(StateDemoted))
+	ls.candidate.setState(StateDemoted)
 	return s.gateAt(PointDemoteCommitted)
 }
 

@@ -51,15 +51,19 @@ func (r *Registry) Slots() []*Slot {
 	return out
 }
 
-// GuardEvent records one automatic reaction to a watchdog violation.
+// GuardEvent records one automatic reaction to a watchdog verdict: a
+// violation (demote/rollback) or a completed recovery probation
+// (unquarantine).
 type GuardEvent struct {
 	Slot    string
-	Action  string // "demote" or "rollback"
-	Version uint64 // the version the violation named
+	Action  string // "demote", "rollback", or "unquarantine"
+	Version uint64 // the version the verdict named
 	// Err is non-nil when the reaction itself failed (e.g. the candidate
 	// was already demoted by the time the violation arrived).
 	Err       error
 	Violation telemetry.Violation
+	// Recovery is set for "unquarantine" events (Violation is zero then).
+	Recovery telemetry.Recovery
 }
 
 // Events returns the reactions recorded since Arm, oldest first.
@@ -74,11 +78,32 @@ func (r *Registry) Events() []GuardEvent {
 // name ("slot@v2") and technology, and the matching slot reacts —
 // a breaching candidate is demoted (canary verdict: the incumbent keeps
 // serving, untouched); a breaching incumbent with a retained previous
-// version is rolled back. The callback runs synchronously from
-// Watchdog.Check, so by the time Check returns the routing change is
-// visible to the data plane.
+// version is rolled back. Watchdog recoveries (a flagged pair whose
+// fast window stayed clean through probation) are recorded as
+// "unquarantine" events so the deployment audit trail shows the full
+// breach → quarantine → recovery loop. Callbacks run synchronously
+// from Watchdog.Check, so by the time Check returns the routing change
+// is visible to the data plane.
 func (r *Registry) Arm(w *telemetry.Watchdog) {
 	w.OnViolation(r.react)
+	w.OnRecovery(r.reactRecovery)
+}
+
+// reactRecovery is the recovery handler installed by Arm.
+func (r *Registry) reactRecovery(rec telemetry.Recovery) {
+	for _, s := range r.Slots() {
+		if rec.Tech != string(s.Tech()) {
+			continue
+		}
+		for _, v := range s.Versions() {
+			if rec.Graft == VersionedName(s.Name(), v.Artifact.Version) {
+				r.recordEvent(GuardEvent{
+					Slot: s.Name(), Action: "unquarantine",
+					Version: v.Artifact.Version, Recovery: rec,
+				})
+			}
+		}
+	}
 }
 
 // react is the violation handler installed by Arm.

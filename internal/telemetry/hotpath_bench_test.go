@@ -80,6 +80,51 @@ func BenchmarkObservabilityHotPath(b *testing.B) {
 			s.Hit("evict", 7, DefaultProfileInterval)
 		}
 	})
+	b.Run("window-record", func(b *testing.B) {
+		// Full cost of landing one flush in the current window bucket:
+		// one coarse clock read, the epoch check, one atomic add. This
+		// is paid once per sampling interval, not per invocation.
+		m := Register("bench-win", "compiled-unsafe")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.win.addInvocations(1)
+		}
+		ResetMetrics()
+	})
+	b.Run("window-flush-amortized-256", func(b *testing.B) {
+		// What an instrumented wrapper actually pays per invocation for
+		// the whole batched flush (cumulative + window) at the default
+		// 1-in-256 sampling interval.
+		m := Register("bench-win", "compiled-unsafe")
+		var local uint64
+		mask := m.Mask()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			local++
+			if local&mask == 0 {
+				m.AddInvocations(mask + 1)
+			}
+		}
+		ResetMetrics()
+	})
+	b.Run("window-snapshot", func(b *testing.B) {
+		// The reader side: one windowed snapshot over the default export
+		// window. Runs on scrape/stream paths, never on the hot path —
+		// priced to show it stays microseconds.
+		m := Register("bench-win", "compiled-unsafe")
+		m.AddInvocations(1000)
+		for i := 0; i < 100; i++ {
+			m.RecordLatency(time.Duration(i) * time.Microsecond)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := m.Window(DefaultExportWindow)
+			if s.Invocations == 0 {
+				b.Fatal("empty snapshot")
+			}
+		}
+		ResetMetrics()
+	})
 	b.Run("profiler-tick-amortized", func(b *testing.B) {
 		// What a metered engine actually pays per fuel charge: a
 		// countdown, with one Hit per DefaultProfileInterval units.

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Minimal Prometheus text-exposition parser. It exists so the export
+// surface can be validated without a prometheus dependency: the
+// /metrics acceptance test round-trips writeProm's output through it,
+// and `graftmon -check` (the CI smoke job) uses the same code against a
+// live endpoint — one parser, both gates. It covers the subset of the
+// v0.0.4 format the exporter emits (HELP/TYPE comments, escaped label
+// values, float values) and rejects anything malformed rather than
+// guessing.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value, empty when absent.
+func (s PromSample) Label(k string) string { return s.Labels[k] }
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.Contains(s, ":")
+}
+
+// parseLabels consumes `key="value",...}` starting after the opening
+// brace, returning the labels and the rest of the line after the brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, s[1])
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %s", name)
+		}
+	}
+}
+
+// ParsePromText parses a Prometheus text-format exposition, returning
+// every sample. Comment lines are validated as HELP/TYPE/EOF forms;
+// malformed sample lines are errors, not skips, so a broken exporter
+// fails loudly in both the unit test and the CI smoke check.
+func ParsePromText(text string) ([]PromSample, error) {
+	var out []PromSample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(line[1:])
+			switch {
+			case rest == "", strings.HasPrefix(rest, "HELP "),
+				strings.HasPrefix(rest, "TYPE "), rest == "EOF":
+			default:
+				// Free-form comments are legal in the format; accept.
+			}
+			continue
+		}
+		name := line
+		var labels map[string]string
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			var err error
+			labels, rest, err = parseLabels(line[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+		} else if i := strings.IndexAny(line, " \t"); i >= 0 {
+			name = line[:i]
+			rest = line[i:]
+		} else {
+			return nil, fmt.Errorf("line %d: sample without value", ln+1)
+		}
+		name = strings.TrimSpace(name)
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("line %d: bad metric name %q", ln+1, name)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("line %d: want value [timestamp], got %q", ln+1, rest)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, fields[0], err)
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return nil, fmt.Errorf("line %d: bad timestamp %q", ln+1, fields[1])
+			}
+		}
+		if labels == nil {
+			labels = map[string]string{}
+		}
+		out = append(out, PromSample{Name: name, Labels: labels, Value: v})
+	}
+	return out, nil
+}
+
+// FindProm returns the samples matching name and every given label
+// pair ("k", "v", "k2", "v2", ...).
+func FindProm(samples []PromSample, name string, kv ...string) []PromSample {
+	var out []PromSample
+outer:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				continue outer
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -112,6 +112,18 @@ type GraftMetrics struct {
 	latency Histogram
 	mask    uint64 // latency sampling mask (interval-1)
 
+	// win is the sliding-window plane (window.go): every flush point
+	// mirrors its counts into the current time bucket so windowed
+	// snapshots, burn-rate SLOs, and the /metrics surface see recent
+	// activity separately from the cumulative counters above.
+	win *Windows
+
+	// note is a free-form state label the lifecycle layer stamps on
+	// versioned keys ("canary", "incumbent", "demoted", …) so the export
+	// surface and graftmon can flag deployment state without reaching
+	// into the lifecycle package.
+	note atomic.Pointer[string]
+
 	// quarantined is set by the watchdog when the pair breaches its SLO
 	// with quarantine enabled; tech.Load refuses quarantined pairs and
 	// live instrumented wrappers deny further invocations at their next
@@ -132,19 +144,29 @@ func (m *GraftMetrics) Mask() uint64 { return m.mask }
 // AddInvocations flushes a batch of invocations counted locally by a
 // single-writer instrumentation path. Snapshot therefore lags a live
 // call path by up to the sampling interval; the count is exact once the
-// path reaches its next sampling point.
-func (m *GraftMetrics) AddInvocations(n uint64) { m.invocations.Add(n) }
+// path reaches its next sampling point. The flush also lands the batch
+// in the current window bucket — windowed views inherit the same
+// at-most-one-interval lag.
+func (m *GraftMetrics) AddInvocations(n uint64) {
+	m.invocations.Add(n)
+	m.win.addInvocations(n)
+}
 
 // Sampled reports whether the n-th invocation should be timed.
 func (m *GraftMetrics) Sampled(n uint64) bool { return n&m.mask == 0 }
 
-// RecordLatency feeds one timed invocation into the histogram.
-func (m *GraftMetrics) RecordLatency(d time.Duration) { m.latency.Record(d) }
+// RecordLatency feeds one timed invocation into the cumulative and
+// current-window histograms.
+func (m *GraftMetrics) RecordLatency(d time.Duration) {
+	m.latency.Record(d)
+	m.win.recordLatency(d)
+}
 
 // AddFuel accumulates fuel consumed by one invocation.
 func (m *GraftMetrics) AddFuel(n int64) {
 	if n > 0 {
 		m.fuel.Add(n)
+		m.win.addFuel(n)
 	}
 }
 
@@ -155,9 +177,29 @@ func (m *GraftMetrics) RecordError(err error) {
 	var t *mem.Trap
 	if errors.As(err, &t) && int(t.Kind) < numTrapKinds {
 		m.traps[t.Kind].Add(1)
+		m.win.recordTrap(t.Kind == mem.TrapFuel)
 		return
 	}
 	m.errors.Add(1)
+	m.win.recordError()
+}
+
+// SetNote stamps a free-form state label on the key ("canary",
+// "incumbent", …); empty clears it. See GraftMetrics.note.
+func (m *GraftMetrics) SetNote(s string) {
+	if s == "" {
+		m.note.Store(nil)
+		return
+	}
+	m.note.Store(&s)
+}
+
+// Note reports the current state label, empty when unset.
+func (m *GraftMetrics) Note() string {
+	if p := m.note.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Invocations reports the total invocation count.
@@ -229,6 +271,7 @@ type GraftSnapshot struct {
 	LatencyP99      time.Duration     `json:"latency_p99,omitempty"`
 	LatencyMax      time.Duration     `json:"latency_max,omitempty"`
 	Quarantined     bool              `json:"quarantined,omitempty"`
+	Note            string            `json:"note,omitempty"`
 }
 
 // Snapshot copies the counters into an exportable form.
@@ -242,6 +285,7 @@ func (m *GraftMetrics) Snapshot() GraftSnapshot {
 		FuelPreemptions: m.FuelPreemptions(),
 		LatencySamples:  m.latency.Count(),
 		Quarantined:     m.quarantined.Load(),
+		Note:            m.Note(),
 	}
 	for k := 0; k < numTrapKinds; k++ {
 		if n := m.traps[k].Load(); n > 0 {
@@ -280,7 +324,7 @@ func Register(graft, tech string) *GraftMetrics {
 	if m, ok := registry.byKey[key]; ok {
 		return m
 	}
-	m := &GraftMetrics{GraftName: graft, Tech: tech, mask: sampleMask.Load()}
+	m := &GraftMetrics{GraftName: graft, Tech: tech, mask: sampleMask.Load(), win: newWindows()}
 	registry.byKey[key] = m
 	return m
 }

@@ -9,64 +9,121 @@ import (
 
 // Runaway-graft watchdog: the §4 "extension that runs too long" story
 // made operational. The metered engines already bound each invocation
-// with fuel; the watchdog watches the aggregate signals the rest of the
-// package collects — fuel-preemption counters, sampled latency
-// quantiles, mean fuel per invocation, and (when the profiler is on)
-// the hottest sampled site — and flags any (graft, technology) pair
-// breaching a configured SLO. With Quarantine set, a flagged pair is
-// also put on the deny-list dispatch consults: tech.Load refuses it and
-// live instrumented wrappers start failing invocations with
-// ErrQuarantined at their next sampling point.
+// with fuel; the watchdog watches the windowed signals the rest of the
+// package collects — fuel-preemption ratios, sampled latency
+// quantiles, mean fuel per invocation over a sliding window, and (when
+// the profiler is on) the hottest sampled site — and flags any (graft,
+// technology) pair breaching a configured SLO.
+//
+// Evaluation is the SRE multi-window burn-rate idiom, not a lifetime
+// aggregate: a pair is flagged only when BOTH a fast window (default
+// 10s) and a slow window (default 5m) breach the same SLO. The fast
+// window makes detection prompt — a fresh regression is caught within
+// one scan of it crossing the threshold, no matter how much healthy
+// lifetime history precedes it (a lifetime-aggregate check would stay
+// diluted below threshold for hours). The slow window supplies
+// confirmation — a one-bucket blip that does not sustain never flags.
+// And because windows forget, the watchdog can observe recovery: with
+// RecoveryChecks set, a flagged pair whose fast window comes back
+// clean for that many consecutive scans is unflagged and (if it was
+// quarantined) automatically unquarantined, closing the breach →
+// quarantine → drain → probation → restore loop without operator
+// action. With Quarantine set, a flagged pair is put on the deny-list
+// dispatch consults: tech.Load refuses it and live instrumented
+// wrappers start failing invocations with ErrQuarantined at their next
+// sampling point.
 
 // SLO configures the watchdog's per-pair thresholds. Zero-valued
 // thresholds are "no limit"; a pair must exceed at least one non-zero
-// threshold to be flagged.
+// threshold — in both burn-rate windows — to be flagged.
 type SLO struct {
-	// MaxP99 flags pairs whose sampled p99 latency exceeds it.
+	// MaxP99 flags pairs whose windowed sampled p99 latency exceeds it.
 	MaxP99 time.Duration
-	// MaxMeanFuel flags pairs whose mean fuel per invocation exceeds it.
+	// MaxMeanFuel flags pairs whose windowed mean fuel per invocation
+	// exceeds it.
 	MaxMeanFuel int64
-	// MaxPreemptRate flags pairs whose fuel-preemption fraction
+	// MaxPreemptRate flags pairs whose windowed fuel-preemption fraction
 	// (preemptions / invocations) exceeds it, e.g. 0.5.
 	MaxPreemptRate float64
-	// MinInvocations gates flagging until a pair has enough invocations
-	// for its statistics to mean anything (default 16 when zero).
+	// MinInvocations gates flagging until the FAST window holds enough
+	// invocations for its statistics to mean anything (default 16 when
+	// zero). A pair that goes idle drops below the gate and cannot be
+	// freshly flagged on stale history.
 	MinInvocations uint64
+	// FastWindow is the burn-rate detection window (default 10s). Both
+	// windows are clamped to the span the bucket ring retains.
+	FastWindow time.Duration
+	// SlowWindow is the burn-rate confirmation window (default 5m).
+	SlowWindow time.Duration
+	// RecoveryChecks, when positive, arms automatic recovery: a flagged
+	// pair whose fast window shows no breach for this many consecutive
+	// Checks is unflagged and unquarantined. Zero keeps the legacy
+	// flag-once behaviour (recovery only via ClearQuarantines).
+	RecoveryChecks int
 	// Quarantine, when set, puts flagged pairs on the dispatch deny-list
 	// in addition to reporting them.
 	Quarantine bool
 }
 
-// Violation describes one flagged pair at the moment it breached.
+// Violation describes one flagged pair at the moment it breached. The
+// statistics are windowed: Invocations, P99, MeanFuel, PreemptRate,
+// and Rate describe the fast window that tripped the alert, not the
+// pair's lifetime.
 type Violation struct {
 	Graft, Tech string
 	Reason      string
+	// Window is the fast window the statistics below cover.
+	Window      time.Duration
 	Invocations uint64
+	Rate        float64 // invocations/sec over the fast window
 	P99         time.Duration
 	MeanFuel    int64
 	PreemptRate float64
+	// SlowReason is the slow window's confirming breach.
+	SlowReason string
 	// HotSite is the pair's heaviest profiled site ("func:line"), when
 	// the sampling profiler was running; empty otherwise.
 	HotSite string
 }
 
 func (v Violation) String() string {
-	s := fmt.Sprintf("%s/%s: %s (p99=%v meanFuel=%d preempt=%.0f%% over %d invocations)",
-		v.Graft, v.Tech, v.Reason, v.P99, v.MeanFuel, 100*v.PreemptRate, v.Invocations)
+	s := fmt.Sprintf("%s/%s: %s (p99=%v meanFuel=%d preempt=%.0f%% over %d invocations in %v)",
+		v.Graft, v.Tech, v.Reason, v.P99, v.MeanFuel, 100*v.PreemptRate, v.Invocations, v.Window)
+	if v.SlowReason != "" {
+		s += "; slow window confirms: " + v.SlowReason
+	}
 	if v.HotSite != "" {
 		s += " hot=" + v.HotSite
 	}
 	return s
 }
 
+// Recovery describes one pair whose fast window came back clean long
+// enough to lift its flag (and quarantine).
+type Recovery struct {
+	Graft, Tech string
+	// Checks is how many consecutive clean scans confirmed recovery.
+	Checks int
+	// Window is the fast-window snapshot that completed the probation.
+	Window WindowSnapshot
+}
+
+func (r Recovery) String() string {
+	return fmt.Sprintf("%s/%s: recovered after %d clean scans (window rate %.1f/s, preempt %.0f%%)",
+		r.Graft, r.Tech, r.Checks, r.Window.Rate, 100*r.Window.PreemptRate)
+}
+
 // Watchdog periodically (or on demand, via Check) scans the metrics
-// registry against an SLO.
+// registry against a windowed SLO.
 type Watchdog struct {
 	slo SLO
 
 	mu          sync.Mutex
 	flagged     map[string]Violation
+	clean       map[string]int // consecutive breach-free scans per flagged pair
+	recovered   []Recovery
 	onViolation func(Violation)
+	onRecovery  func(Recovery)
 	stop        chan struct{}
 	done        chan struct{}
 }
@@ -76,7 +133,17 @@ func NewWatchdog(slo SLO) *Watchdog {
 	if slo.MinInvocations == 0 {
 		slo.MinInvocations = 16
 	}
-	return &Watchdog{slo: slo, flagged: make(map[string]Violation)}
+	if slo.FastWindow <= 0 {
+		slo.FastWindow = 10 * time.Second
+	}
+	if slo.SlowWindow <= 0 {
+		slo.SlowWindow = 5 * time.Minute
+	}
+	return &Watchdog{
+		slo:     slo,
+		flagged: make(map[string]Violation),
+		clean:   make(map[string]int),
+	}
 }
 
 // OnViolation registers fn to be called once per freshly flagged pair,
@@ -91,66 +158,138 @@ func (w *Watchdog) OnViolation(fn func(Violation)) {
 	w.mu.Unlock()
 }
 
-// Check scans every registered pair once and returns the pairs newly
-// flagged by this scan. Already-flagged pairs are not re-reported (or
-// re-quarantined) — a runaway is flagged exactly once.
+// OnRecovery registers fn to be called once per pair whose probation
+// completes, synchronously from the Check that lifted the flag. Same
+// contract as OnViolation; nil removes it.
+func (w *Watchdog) OnRecovery(fn func(Recovery)) {
+	w.mu.Lock()
+	w.onRecovery = fn
+	w.mu.Unlock()
+}
+
+// breaches evaluates one window snapshot against the SLO thresholds,
+// returning one reason per tripped threshold (sorted, stable).
+func (w *Watchdog) breaches(s WindowSnapshot) []string {
+	if s.Invocations == 0 {
+		return nil
+	}
+	var reasons []string
+	if w.slo.MaxP99 > 0 && s.P99 > w.slo.MaxP99 {
+		reasons = append(reasons, fmt.Sprintf("p99 %v > SLO %v", s.P99, w.slo.MaxP99))
+	}
+	if w.slo.MaxMeanFuel > 0 && s.Fuel/int64(s.Invocations) > w.slo.MaxMeanFuel {
+		reasons = append(reasons, fmt.Sprintf("mean fuel %d > SLO %d",
+			s.Fuel/int64(s.Invocations), w.slo.MaxMeanFuel))
+	}
+	if w.slo.MaxPreemptRate > 0 && s.PreemptRate > w.slo.MaxPreemptRate {
+		reasons = append(reasons, fmt.Sprintf("preemption rate %.0f%% > SLO %.0f%%",
+			100*s.PreemptRate, 100*w.slo.MaxPreemptRate))
+	}
+	sort.Strings(reasons)
+	return reasons
+}
+
+func joinReasons(rs []string) string {
+	out := rs[0]
+	for _, r := range rs[1:] {
+		out += "; " + r
+	}
+	return out
+}
+
+// Check scans every registered pair once: fresh burn-rate breaches are
+// flagged (and quarantined, with SLO.Quarantine) and returned;
+// already-flagged pairs are tracked for recovery instead of being
+// re-reported. A flagged pair whose fast window stays clean for
+// RecoveryChecks consecutive scans is unflagged — after which a new
+// breach flags it again, so the flag follows the pair's current
+// behaviour, not its history.
 func (w *Watchdog) Check() []Violation {
 	var fresh []Violation
+	var lifted []Recovery
 	for _, m := range Metrics() {
-		inv := m.Invocations()
-		if inv < w.slo.MinInvocations {
-			continue
-		}
 		key := m.GraftName + "\x00" + m.Tech
+		fast := m.Window(w.slo.FastWindow)
+		fastReasons := w.breaches(fast)
+
 		w.mu.Lock()
 		_, seen := w.flagged[key]
 		w.mu.Unlock()
 		if seen {
+			if w.slo.RecoveryChecks <= 0 {
+				continue // legacy flag-once: no probation
+			}
+			if len(fastReasons) > 0 {
+				w.mu.Lock()
+				w.clean[key] = 0
+				w.mu.Unlock()
+				continue
+			}
+			w.mu.Lock()
+			w.clean[key]++
+			n := w.clean[key]
+			var rec Recovery
+			done := n >= w.slo.RecoveryChecks
+			if done {
+				delete(w.flagged, key)
+				delete(w.clean, key)
+				rec = Recovery{Graft: m.GraftName, Tech: m.Tech, Checks: n, Window: fast}
+				w.recovered = append(w.recovered, rec)
+			}
+			w.mu.Unlock()
+			if done {
+				m.Unquarantine()
+				lifted = append(lifted, rec)
+			}
+			continue
+		}
+
+		// Fresh evaluation: the fast window must hold enough invocations
+		// to judge, and BOTH windows must breach (the burn-rate rule).
+		if fast.Invocations < w.slo.MinInvocations || len(fastReasons) == 0 {
+			continue
+		}
+		slow := m.Window(w.slo.SlowWindow)
+		slowReasons := w.breaches(slow)
+		if len(slowReasons) == 0 {
 			continue
 		}
 		v := Violation{
 			Graft:       m.GraftName,
 			Tech:        m.Tech,
-			Invocations: inv,
-			P99:         m.Latency().Quantile(0.99),
-			MeanFuel:    m.FuelConsumed() / int64(inv),
-			PreemptRate: float64(m.FuelPreemptions()) / float64(inv),
+			Reason:      joinReasons(fastReasons),
+			Window:      w.slo.FastWindow,
+			Invocations: fast.Invocations,
+			Rate:        fast.Rate,
+			P99:         fast.P99,
+			PreemptRate: fast.PreemptRate,
+			SlowReason:  joinReasons(slowReasons),
+			HotSite:     hotSite(m.GraftName, m.Tech),
 		}
-		var reasons []string
-		if w.slo.MaxP99 > 0 && v.P99 > w.slo.MaxP99 {
-			reasons = append(reasons, fmt.Sprintf("p99 %v > SLO %v", v.P99, w.slo.MaxP99))
+		if fast.Invocations > 0 {
+			v.MeanFuel = fast.Fuel / int64(fast.Invocations)
 		}
-		if w.slo.MaxMeanFuel > 0 && v.MeanFuel > w.slo.MaxMeanFuel {
-			reasons = append(reasons, fmt.Sprintf("mean fuel %d > SLO %d", v.MeanFuel, w.slo.MaxMeanFuel))
-		}
-		if w.slo.MaxPreemptRate > 0 && v.PreemptRate > w.slo.MaxPreemptRate {
-			reasons = append(reasons, fmt.Sprintf("preemption rate %.0f%% > SLO %.0f%%",
-				100*v.PreemptRate, 100*w.slo.MaxPreemptRate))
-		}
-		if len(reasons) == 0 {
-			continue
-		}
-		sort.Strings(reasons)
-		v.Reason = reasons[0]
-		for _, r := range reasons[1:] {
-			v.Reason += "; " + r
-		}
-		v.HotSite = hotSite(m.GraftName, m.Tech)
 		if w.slo.Quarantine {
 			m.Quarantine()
 		}
 		w.mu.Lock()
 		w.flagged[key] = v
+		w.clean[key] = 0
 		w.mu.Unlock()
 		fresh = append(fresh, v)
 	}
-	if len(fresh) > 0 {
+	if len(fresh) > 0 || len(lifted) > 0 {
 		w.mu.Lock()
-		fn := w.onViolation
+		vfn, rfn := w.onViolation, w.onRecovery
 		w.mu.Unlock()
-		if fn != nil {
+		if vfn != nil {
 			for _, v := range fresh {
-				fn(v)
+				vfn(v)
+			}
+		}
+		if rfn != nil {
+			for _, r := range lifted {
+				rfn(r)
 			}
 		}
 	}
@@ -175,7 +314,9 @@ func hotSite(graft, tech string) string {
 	return ""
 }
 
-// Violations returns everything flagged so far, sorted by pair.
+// Violations returns every pair currently flagged, sorted by pair.
+// Pairs that completed recovery probation no longer appear here; their
+// history moves to Recoveries.
 func (w *Watchdog) Violations() []Violation {
 	w.mu.Lock()
 	out := make([]Violation, 0, len(w.flagged))
@@ -192,9 +333,16 @@ func (w *Watchdog) Violations() []Violation {
 	return out
 }
 
-// Start scans every interval until Stop; the interval is the SLO
-// window — a runaway is flagged (and quarantined) within one interval
-// of its statistics crossing the threshold.
+// Recoveries returns every completed probation so far, oldest first.
+func (w *Watchdog) Recoveries() []Recovery {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Recovery(nil), w.recovered...)
+}
+
+// Start scans every interval until Stop. A fresh regression is flagged
+// (and quarantined) within one interval of its fast window crossing the
+// threshold; recovery probation advances one step per interval.
 func (w *Watchdog) Start(interval time.Duration) {
 	w.mu.Lock()
 	if w.stop != nil {

@@ -1,21 +1,58 @@
 package telemetry
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"graftlab/internal/mem"
 )
 
+// fakeClock drives a metric's window ring deterministically: tests
+// advance time instead of sleeping, so rotation and burn-rate behaviour
+// are exact, not racy.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() int64              { return c.ns.Load() }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+func newFakeClock(at time.Duration) *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(int64(at))
+	return c
+}
+
+// registerWindowed registers a metric whose window ring uses cfg and
+// clk, restoring the global window config before returning.
+func registerWindowed(t *testing.T, graft, tech string, cfg WindowConfig, clk *fakeClock) *GraftMetrics {
+	t.Helper()
+	prev := WindowConfig{
+		Width:   time.Duration(windowWidth.Load()),
+		Buckets: int(windowBuckets.Load()),
+	}
+	if err := SetWindowConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	m := Register(graft, tech)
+	if err := SetWindowConfig(prev); err != nil {
+		t.Fatal(err)
+	}
+	m.win.now = clk.now
+	return m
+}
+
+func fuelTrap() error { return &mem.Trap{Kind: mem.TrapFuel} }
+
 func TestWatchdogFlagsAndQuarantines(t *testing.T) {
 	ResetMetrics()
 	t.Cleanup(func() { ResetMetrics() })
 
-	runaway := Register("runaway", "bytecode")
-	good := Register("wellbehaved", "bytecode")
+	clk := newFakeClock(time.Hour)
+	cfg := WindowConfig{Width: 100 * time.Millisecond, Buckets: 64}
+	runaway := registerWindowed(t, "runaway", "bytecode", cfg, clk)
+	good := registerWindowed(t, "wellbehaved", "bytecode", cfg, clk)
 	for i := 0; i < 100; i++ {
-		runaway.Inc()
-		good.Inc()
+		runaway.AddInvocations(1)
+		good.AddInvocations(1)
 		runaway.AddFuel(1 << 20)
 		good.AddFuel(100)
 		good.RecordLatency(200 * time.Nanosecond)
@@ -23,13 +60,15 @@ func TestWatchdogFlagsAndQuarantines(t *testing.T) {
 	}
 	// Half the runaway's invocations hit the fuel limit.
 	for i := 0; i < 50; i++ {
-		runaway.RecordError(&mem.Trap{Kind: mem.TrapFuel})
+		runaway.RecordError(fuelTrap())
 	}
 
 	w := NewWatchdog(SLO{
 		MaxP99:         time.Millisecond,
 		MaxMeanFuel:    1 << 16,
 		MaxPreemptRate: 0.25,
+		FastWindow:     time.Second,
+		SlowWindow:     5 * time.Second,
 		Quarantine:     true,
 	})
 	fresh := w.Check()
@@ -40,8 +79,11 @@ func TestWatchdogFlagsAndQuarantines(t *testing.T) {
 	if v.Graft != "runaway" {
 		t.Fatalf("flagged %s/%s", v.Graft, v.Tech)
 	}
-	if v.Reason == "" || v.PreemptRate != 0.5 {
+	if v.Reason == "" || v.SlowReason == "" || v.PreemptRate != 0.5 {
 		t.Errorf("violation = %+v", v)
+	}
+	if v.Window != time.Second {
+		t.Errorf("violation window = %v, want the fast window", v.Window)
 	}
 	if !runaway.Quarantined() || !Quarantined("runaway", "bytecode") {
 		t.Error("runaway not quarantined")
@@ -50,7 +92,7 @@ func TestWatchdogFlagsAndQuarantines(t *testing.T) {
 		t.Error("well-behaved pair quarantined")
 	}
 
-	// A pair is flagged exactly once; the violation stays queryable.
+	// A flagged pair is not re-reported; the violation stays queryable.
 	if again := w.Check(); len(again) != 0 {
 		t.Errorf("re-flagged: %v", again)
 	}
@@ -68,19 +110,22 @@ func TestWatchdogMinInvocationsGate(t *testing.T) {
 	ResetMetrics()
 	t.Cleanup(func() { ResetMetrics() })
 
-	m := Register("coldstart", "script")
+	clk := newFakeClock(time.Hour)
+	m := registerWindowed(t, "coldstart", "script",
+		WindowConfig{Width: 100 * time.Millisecond, Buckets: 64}, clk)
 	// Breaches every threshold, but with too few invocations to matter.
 	for i := 0; i < 5; i++ {
-		m.Inc()
+		m.AddInvocations(1)
 		m.AddFuel(1 << 30)
 		m.RecordLatency(time.Second)
 	}
-	w := NewWatchdog(SLO{MaxP99: time.Microsecond, MaxMeanFuel: 1})
+	w := NewWatchdog(SLO{MaxP99: time.Microsecond, MaxMeanFuel: 1,
+		FastWindow: time.Second, SlowWindow: 5 * time.Second})
 	if fresh := w.Check(); len(fresh) != 0 {
 		t.Fatalf("flagged under MinInvocations: %v", fresh)
 	}
 	for i := 0; i < 20; i++ {
-		m.Inc()
+		m.AddInvocations(1)
 		m.RecordLatency(time.Second)
 	}
 	if fresh := w.Check(); len(fresh) != 1 {
@@ -109,7 +154,7 @@ func TestWatchdogHotSite(t *testing.T) {
 
 	m := Register("spinner", "bytecode")
 	for i := 0; i < 32; i++ {
-		m.Inc()
+		m.AddInvocations(1)
 		m.RecordLatency(time.Second)
 	}
 	w := NewWatchdog(SLO{MaxP99: time.Millisecond})
@@ -128,7 +173,7 @@ func TestWatchdogStartStop(t *testing.T) {
 
 	m := Register("slowpoke", "script")
 	for i := 0; i < 32; i++ {
-		m.Inc()
+		m.AddInvocations(1)
 		m.RecordLatency(time.Second)
 	}
 	w := NewWatchdog(SLO{MaxP99: time.Millisecond, Quarantine: true})
@@ -160,7 +205,7 @@ func TestWatchdogOnViolation(t *testing.T) {
 
 	m := Register("hooked", "bytecode")
 	for i := 0; i < 64; i++ {
-		m.Inc()
+		m.AddInvocations(1)
 		m.AddFuel(1 << 20)
 	}
 	w := NewWatchdog(SLO{MaxMeanFuel: 1 << 10})
@@ -185,10 +230,224 @@ func TestWatchdogOnViolation(t *testing.T) {
 	w.OnViolation(nil)
 	m2 := Register("hooked2", "bytecode")
 	for i := 0; i < 64; i++ {
-		m2.Inc()
+		m2.AddInvocations(1)
 		m2.AddFuel(1 << 20)
 	}
 	if fresh := w.Check(); len(fresh) != 1 || len(seen) != 1 {
 		t.Errorf("nil hook: fresh %d, callback calls %d", len(fresh), len(seen))
+	}
+}
+
+// TestWatchdogWindowedCatchesFreshRegression is the acceptance case for
+// the windowed rewrite: a graft with a long healthy history starts
+// preempting on every call. The lifetime preemption rate stays diluted
+// far below the SLO — a lifetime-aggregate check would never fire — but
+// the sliding windows forget the healthy era, so the burn-rate check
+// flags the pair promptly; after the regression stops, probation lifts
+// the quarantine automatically.
+func TestWatchdogWindowedCatchesFreshRegression(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() { ResetMetrics() })
+
+	clk := newFakeClock(time.Hour)
+	m := registerWindowed(t, "regressor", "bytecode",
+		WindowConfig{Width: 100 * time.Millisecond, Buckets: 64}, clk)
+
+	// A long healthy era: 10k clean invocations.
+	m.AddInvocations(10000)
+
+	// The healthy era ages out of both windows...
+	clk.advance(3 * time.Second)
+	// ...then a fresh regression: every one of 100 invocations preempts.
+	m.AddInvocations(100)
+	for i := 0; i < 100; i++ {
+		m.RecordError(fuelTrap())
+	}
+
+	const maxPreempt = 0.5
+	// The lifetime aggregate is diluted below the SLO: the old check
+	// would sit blind on exactly this regression.
+	lifetime := float64(m.FuelPreemptions()) / float64(m.Invocations())
+	if lifetime >= maxPreempt {
+		t.Fatalf("lifetime preempt rate %.3f not diluted below %.2f; test setup broken", lifetime, maxPreempt)
+	}
+
+	w := NewWatchdog(SLO{
+		MaxPreemptRate: maxPreempt,
+		MinInvocations: 16,
+		FastWindow:     500 * time.Millisecond,
+		SlowWindow:     2 * time.Second,
+		RecoveryChecks: 2,
+		Quarantine:     true,
+	})
+	fresh := w.Check()
+	if len(fresh) != 1 {
+		t.Fatalf("windowed watchdog flagged %d pairs, want 1: %v", len(fresh), fresh)
+	}
+	if fresh[0].PreemptRate != 1.0 {
+		t.Errorf("windowed preempt rate %.2f, want 1.0", fresh[0].PreemptRate)
+	}
+	if !m.Quarantined() {
+		t.Fatal("regressor not quarantined")
+	}
+
+	// Recovery: the quarantine drains traffic, the breach ages out of
+	// the fast window, and two clean scans lift the flag.
+	clk.advance(time.Second)
+	if w.Check(); m.Quarantined() != true {
+		t.Fatal("unquarantined after one clean scan, want two")
+	}
+	w.Check()
+	if m.Quarantined() {
+		t.Fatal("not unquarantined after RecoveryChecks clean scans")
+	}
+	if vs := w.Violations(); len(vs) != 0 {
+		t.Errorf("recovered pair still in Violations(): %v", vs)
+	}
+	recs := w.Recoveries()
+	if len(recs) != 1 || recs[0].Graft != "regressor" || recs[0].Checks != 2 {
+		t.Fatalf("Recoveries() = %v", recs)
+	}
+	if recs[0].String() == "" {
+		t.Error("recovery renders empty")
+	}
+
+	// The flag follows current behaviour: a second regression re-flags.
+	m.AddInvocations(50)
+	for i := 0; i < 50; i++ {
+		m.RecordError(fuelTrap())
+	}
+	if fresh := w.Check(); len(fresh) != 1 {
+		t.Fatalf("recovered pair not re-flagged on a new breach: %v", fresh)
+	}
+	if !m.Quarantined() {
+		t.Error("re-flagged pair not re-quarantined")
+	}
+}
+
+// TestWatchdogBurnRateNeedsBothWindows pins the multi-window rule: a
+// short blip that breaches the fast window while the slow window stays
+// healthy must not flag.
+func TestWatchdogBurnRateNeedsBothWindows(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() { ResetMetrics() })
+
+	clk := newFakeClock(time.Hour)
+	m := registerWindowed(t, "blippy", "bytecode",
+		WindowConfig{Width: 100 * time.Millisecond, Buckets: 64}, clk)
+
+	// Healthy traffic still inside the slow window...
+	m.AddInvocations(10000)
+	clk.advance(2 * time.Second)
+	// ...then a one-burst blip: fast window 100% preempts, slow window
+	// diluted to ~0.2%.
+	m.AddInvocations(20)
+	for i := 0; i < 20; i++ {
+		m.RecordError(fuelTrap())
+	}
+
+	w := NewWatchdog(SLO{
+		MaxPreemptRate: 0.5,
+		MinInvocations: 16,
+		FastWindow:     300 * time.Millisecond,
+		SlowWindow:     5 * time.Second,
+	})
+	if fresh := w.Check(); len(fresh) != 0 {
+		t.Fatalf("blip flagged despite healthy slow window: %v", fresh)
+	}
+
+	// When the burn sustains long enough to push the slow window over
+	// the threshold too, the pair flags.
+	for round := 0; round < 40; round++ {
+		clk.advance(100 * time.Millisecond)
+		m.AddInvocations(500)
+		for i := 0; i < 500; i++ {
+			m.RecordError(fuelTrap())
+		}
+	}
+	// By now the slow window holds mostly preempting traffic (and much
+	// of the healthy era has aged out of it).
+	if fresh := w.Check(); len(fresh) != 1 {
+		t.Fatalf("sustained burn not flagged: %v", fresh)
+	}
+}
+
+// TestWatchdogRecoveryResetsOnRelapse pins the probation hysteresis: a
+// breach during probation resets the clean-scan counter, so a pair
+// flapping in and out of breach never recovers early.
+func TestWatchdogRecoveryResetsOnRelapse(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() { ResetMetrics() })
+
+	clk := newFakeClock(time.Hour)
+	m := registerWindowed(t, "flapper", "bytecode",
+		WindowConfig{Width: 100 * time.Millisecond, Buckets: 64}, clk)
+
+	breach := func(n int) {
+		m.AddInvocations(uint64(n))
+		for i := 0; i < n; i++ {
+			m.RecordError(fuelTrap())
+		}
+	}
+	breach(32)
+	w := NewWatchdog(SLO{
+		MaxPreemptRate: 0.5,
+		MinInvocations: 16,
+		FastWindow:     500 * time.Millisecond,
+		SlowWindow:     2 * time.Second,
+		RecoveryChecks: 3,
+		Quarantine:     true,
+	})
+	if fresh := w.Check(); len(fresh) != 1 {
+		t.Fatalf("not flagged: %v", fresh)
+	}
+
+	clk.advance(time.Second) // breach out of the fast window
+	w.Check()                // clean scan 1
+	w.Check()                // clean scan 2
+	breach(32)               // relapse inside probation
+	w.Check()                // breach scan: resets the counter
+	clk.advance(time.Second)
+	w.Check() // clean 1
+	w.Check() // clean 2
+	if !m.Quarantined() {
+		t.Fatal("recovered early: relapse did not reset probation")
+	}
+	w.Check() // clean 3: now recovery completes
+	if m.Quarantined() {
+		t.Fatal("not unquarantined after full probation")
+	}
+}
+
+// TestWatchdogOnRecovery pins the recovery hook: fired synchronously
+// from the Check that completes probation, once per pair.
+func TestWatchdogOnRecovery(t *testing.T) {
+	ResetMetrics()
+	t.Cleanup(func() { ResetMetrics() })
+
+	clk := newFakeClock(time.Hour)
+	m := registerWindowed(t, "healed", "bytecode",
+		WindowConfig{Width: 100 * time.Millisecond, Buckets: 64}, clk)
+	m.AddInvocations(32)
+	for i := 0; i < 32; i++ {
+		m.RecordError(fuelTrap())
+	}
+	w := NewWatchdog(SLO{
+		MaxPreemptRate: 0.5,
+		FastWindow:     500 * time.Millisecond,
+		SlowWindow:     2 * time.Second,
+		RecoveryChecks: 1,
+		Quarantine:     true,
+	})
+	var recovered []Recovery
+	w.OnRecovery(func(r Recovery) { recovered = append(recovered, r) })
+	w.Check()
+	clk.advance(time.Second)
+	w.Check()
+	if len(recovered) != 1 || recovered[0].Graft != "healed" {
+		t.Fatalf("OnRecovery saw %v", recovered)
+	}
+	if w.Check(); len(recovered) != 1 {
+		t.Errorf("OnRecovery re-invoked: %d calls", len(recovered))
 	}
 }
